@@ -1,0 +1,43 @@
+"""Ablation: airgapped slice isolation on a shared machine (Section 2.6).
+
+"OCS also enables an air gapped network isolation between different
+slices, which enhances the security of multiple customers sharing a
+TPU v4 supercomputer."  The audit proves zero cross-slice optical
+paths for a clean two-tenant machine and detects an injected
+cross-tenant circuit.
+"""
+
+import pytest
+
+from repro.core.security import airgap_audit
+from repro.ocs.fabric import OCSFabric
+from repro.ocs.reconfigure import default_placement, realize_slice
+
+
+def two_tenants():
+    fabric = OCSFabric()
+    wiring_a = realize_slice(fabric, (8, 8, 8))
+    placement_b = {coord: block + 8
+                   for coord, block in default_placement((4, 4, 8)).items()}
+    wiring_b = realize_slice(fabric, (4, 4, 8), placement=placement_b)
+    return fabric, {"cust-a": wiring_a, "cust-b": wiring_b}
+
+
+def test_ablation_airgap(benchmark):
+    fabric, wirings = two_tenants()
+    report = benchmark.pedantic(lambda: airgap_audit(fabric, wirings),
+                                rounds=3, iterations=1)
+    print()
+    print(report.summary())
+    assert report.isolated
+    assert report.circuits_audited > 0
+
+    # Inject a cross-tenant circuit; the audit must catch it.
+    switch = fabric.switch_for(2, 0)
+    switch.disconnect(fabric.port_for(8, "+"))
+    switch.disconnect(fabric.port_for(7, "-"))
+    switch.connect(fabric.port_for(8, "+"), fabric.port_for(7, "-"))
+    breached = airgap_audit(fabric, wirings)
+    print(f"after injected cross-circuit: "
+          f"{len(breached.violations)} violations detected")
+    assert not breached.isolated

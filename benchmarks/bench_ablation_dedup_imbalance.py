@@ -1,0 +1,28 @@
+"""Ablation: dedup against Zipf load imbalance (Section 3.4).
+
+"To reduce load imbalance, deduplication of frequent feature values is
+commonly used ... Deduplication also reduces the number of memory
+accesses, and the quantity of data sent over the interconnection
+network."  This ablation measures both effects on a Zipf-distributed
+lookup wave sharded across 64 chips.
+"""
+
+from repro.sparsecore.imbalance import dedup_study, imbalance_vs_chips
+
+
+def test_ablation_dedup_imbalance(benchmark):
+    study = benchmark.pedantic(
+        lambda: dedup_study(1_000_000, 100_000, 64, alpha=1.2, seed=1),
+        rounds=3, iterations=1)
+    print()
+    print(f"traffic removed by dedup: {study.traffic_reduction:.1%}")
+    print(f"imbalance (max/mean): raw {study.raw.imbalance:.2f} -> "
+          f"deduped {study.deduped.imbalance:.2f}")
+    print(f"step-time speedup from dedup: {study.speedup():.1f}x")
+    for chips, raw, deduped in imbalance_vs_chips(
+            1_000_000, 100_000, [64, 256, 1024], alpha=1.2, seed=1):
+        print(f"  {chips:5d} chips: imbalance raw {raw:6.2f}, "
+              f"deduped {deduped:5.2f}")
+    assert study.traffic_reduction > 0.5
+    assert study.deduped.imbalance < study.raw.imbalance
+    assert study.speedup() > 2.0

@@ -1,0 +1,19 @@
+"""Ablation benchmark: job-stream scheduling, OCS vs static (Section 2.5).
+
+Quantifies "the OCS also simplifies scheduling, which increases
+utilization" on a Table 2-distributed job stream.
+"""
+
+from repro.core.jobsim import scheduling_benefit
+
+
+def test_ablation_job_scheduling(benchmark):
+    benefit = benchmark.pedantic(
+        lambda: scheduling_benefit(num_jobs=300, seed=0),
+        rounds=1, iterations=1)
+    print()
+    print(f"acceptance: OCS {benefit['ocs_acceptance']:.1%} vs "
+          f"static {benefit['static_acceptance']:.1%}")
+    print(f"utilization: OCS {benefit['ocs_utilization']:.1%} vs "
+          f"static {benefit['static_utilization']:.1%}")
+    assert benefit["ocs_utilization"] >= benefit["static_utilization"]

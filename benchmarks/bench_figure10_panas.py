@@ -1,0 +1,9 @@
+"""Benchmark: regenerate Figure 10 (PA-NAS DLRM0 rebalancing)."""
+
+
+def test_figure10_panas(run_report):
+    result = run_report("figure10", rounds=3)
+    assert result.measured["original SC idle"] == "25%"
+    gain = float(result.measured["end-to-end gain"].rstrip("%"))
+    assert gain > 10.0  # paper: ">10%"
+    assert result.measured["optimized pipes balanced"] == "yes"

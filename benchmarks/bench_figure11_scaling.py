@@ -1,0 +1,10 @@
+"""Benchmark: regenerate Figure 11 (production workload scalability)."""
+
+
+def test_figure11_scaling(run_report):
+    result = run_report("figure11")
+    good = result.measured["apps scaling well to 3K"]
+    for app in ("CNN0", "RNN0", "RNN1", "BERT1"):
+        assert app in good
+    assert result.measured["BERT0 limit"] == 2048
+    assert result.measured["DLRM0/1 limit"] == 1024

@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Figure 12 (per-app TPU v4 vs v3 speedups)."""
+
+import pytest
+
+
+def test_figure12_v4_vs_v3(run_report):
+    result = run_report("figure12", rounds=3)
+    for app, paper_value in result.paper.items():
+        assert result.measured[app] == pytest.approx(paper_value,
+                                                     rel=0.12), app
+    assert result.measured["DLRM0"] > 2.8   # the SparseCore standout
+    assert result.measured["RNN1"] > 3.0    # the CMEM standout

@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Figure 13 (CMEM ablation, perf and perf/Watt)."""
+
+import pytest
+
+
+def test_figure13_cmem(run_report):
+    result = run_report("figure13", rounds=3)
+    assert result.measured["overall v4/v3 performance"] == pytest.approx(
+        2.1, rel=0.1)
+    assert result.measured["overall v4/v3 perf/Watt"] == pytest.approx(
+        2.7, rel=0.1)
+    assert result.measured["CMEM contribution overall"] == pytest.approx(
+        1.2, abs=0.07)
+    assert result.measured["CMEM contribution RNN1"] == pytest.approx(
+        2.0, rel=0.2)

@@ -1,0 +1,9 @@
+"""Benchmark: regenerate Figure 14 (fastest MLPerf per DSA vs A100)."""
+
+
+def test_figure14_mlperf(run_report):
+    result = run_report("figure14", rounds=3)
+    assert result.measured["Graphcore benchmarks submitted"] == 2
+    assert result.measured["TPU v4 DLRM category"] == "research"
+    benchmarks_shown = {row[0] for row in result.rows}
+    assert len(benchmarks_shown) == 5

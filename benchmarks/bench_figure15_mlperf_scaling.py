@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Figure 15 (MLPerf BERT/ResNet scaling curves)."""
+
+import pytest
+
+
+def test_figure15_mlperf_scaling(run_report):
+    result = run_report("figure15", rounds=3)
+    assert result.measured["BERT: TPUv4/A100 at ~4K chips"] == \
+        pytest.approx(1.15, abs=0.02)
+    assert result.measured["ResNet: TPUv4/A100 at ~4K chips"] == \
+        pytest.approx(1.67, abs=0.02)
+    assert result.measured["BERT: TPUv4/IPU at 256 chips"] == \
+        pytest.approx(4.3, abs=0.1)
+    assert result.measured["ResNet: TPUv4/IPU at 256 chips"] == \
+        pytest.approx(4.5, abs=0.1)

@@ -1,0 +1,9 @@
+"""Benchmark: regenerate Figure 16 (roofline models)."""
+
+
+def test_figure16_roofline(run_report):
+    result = run_report("figure16", rounds=3)
+    assert result.measured["TPU v4 ridge point (FLOP/B)"] == 229
+    assert result.measured["A100 ridge point lower than v4"] == "yes"
+    # Every chip x model pair gets a roofline placement.
+    assert len(result.rows) == 3 * 10

@@ -1,0 +1,8 @@
+"""Benchmark: regenerate Figure 17 (DLRM0 growth over five years)."""
+
+
+def test_figure17_dlrm_growth(run_report):
+    result = run_report("figure17", rounds=3)
+    assert result.measured["versions"] == 43
+    assert result.measured["weights growth"] == 4.2
+    assert result.measured["embeddings growth"] == 3.8

@@ -1,0 +1,9 @@
+"""Benchmark: verify Figure 1 (block-to-OCS wiring law) by construction."""
+
+
+def test_figure1_ocs_wiring(run_report):
+    result = run_report("figure1")
+    assert result.measured["OCS count"] == 48
+    assert result.measured["links per block"] == 96
+    assert result.measured["ports per OCS needed"] == 128
+    assert result.measured["total chips"] == 4096

@@ -1,0 +1,13 @@
+"""Benchmark: regenerate Figure 4 (goodput vs availability, OCS/static)."""
+
+import pytest
+
+
+def test_figure4_goodput(run_report):
+    result = run_report("figure4")
+    assert result.measured["goodput @1K chips, 99.0-99.5%"] == \
+        pytest.approx(0.75, abs=0.03)
+    assert result.measured["goodput @2K chips"] == pytest.approx(0.50,
+                                                                 abs=0.03)
+    assert result.measured["goodput @3K chips"] == pytest.approx(0.75,
+                                                                 abs=0.03)

@@ -1,0 +1,7 @@
+"""Benchmark: regenerate Figure 5 (regular vs twisted 4x2 wiring)."""
+
+
+def test_figure5_twist_wiring(run_report):
+    result = run_report("figure5", rounds=3)
+    assert result.measured["electrical links unchanged by twisting"] == "yes"
+    assert result.measured["optical links rerouted"] > 0

@@ -1,0 +1,9 @@
+"""Benchmark: regenerate Figure 8 (bisection ratio, embedding speedup)."""
+
+
+def test_figure8_bisection(run_report):
+    result = run_report("figure8")
+    assert result.measured["bisection ratio range"] == "2.0x-4.0x"
+    low, high = result.measured["embedding speedup range"].split("-")
+    assert 1.1 <= float(low.rstrip("x")) <= float(high.rstrip("x")) <= 2.0
+    assert result.measured["overheads dominate at"] == "1024 chips"

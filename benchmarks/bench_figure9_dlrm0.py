@@ -1,0 +1,13 @@
+"""Benchmark: regenerate Figure 9 (DLRM0 across systems)."""
+
+import pytest
+
+
+def test_figure9_dlrm0(run_report):
+    result = run_report("figure9", rounds=3)
+    assert result.measured["TPU v3 vs CPU"] == pytest.approx(9.8, rel=0.10)
+    assert result.measured["TPU v4 vs CPU"] == pytest.approx(30.1, rel=0.10)
+    assert result.measured["TPU v4 vs TPU v3"] == pytest.approx(3.1,
+                                                                rel=0.08)
+    low, high = result.measured["drop without SparseCore"].split("-")
+    assert 5.0 <= float(low.rstrip("x")) <= float(high.rstrip("x")) <= 7.0

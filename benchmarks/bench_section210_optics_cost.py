@@ -1,0 +1,7 @@
+"""Benchmark: regenerate Section 2.10 (optics cost/power ceilings)."""
+
+
+def test_section210_optics_cost(run_report):
+    result = run_report("section210", rounds=3)
+    assert float(result.measured["optics cost fraction"].rstrip("%")) < 5.0
+    assert float(result.measured["optics power fraction"].rstrip("%")) < 3.0

@@ -1,0 +1,17 @@
+"""Benchmark: regenerate Section 2.9 (distribution of topologies)."""
+
+import pytest
+
+
+def test_section29_topology_distribution(run_report):
+    result = run_report("section29", rounds=3)
+    assert result.measured["sub-block (mesh-only) slices"] == \
+        pytest.approx(0.29, abs=0.02)
+    assert result.measured["twistable slices"] == pytest.approx(0.33,
+                                                                abs=0.02)
+    assert result.measured["twisted slices"] == pytest.approx(0.28,
+                                                              abs=0.02)
+    assert result.measured["twisted among twistable"] == pytest.approx(
+        0.86, abs=0.03)
+    assert result.measured["twisted among >=1-block slices"] == \
+        pytest.approx(0.40, abs=0.03)

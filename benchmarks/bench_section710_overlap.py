@@ -1,0 +1,20 @@
+"""Section 7.10: compute-communication overlap for LLM partitioning.
+
+TPU v4 "enables larger models to be partitioned across more chips with
+effective compute-communication overlap" (citing Wang et al. [59]).
+The graph-level simulator runs one LLM step at three scheduling rungs:
+collectives blocking compute, free-running collectives, and the [59]
+chunked decomposition.
+"""
+
+
+def test_section710_overlap(run_report):
+    result = run_report("section710")
+    by_schedule = {row[0]: row for row in result.rows}
+    serial = by_schedule["serial"][1]
+    overlap = by_schedule["overlap"][1]
+    decomposed = by_schedule["decomposed"][1]
+    assert overlap <= serial
+    assert decomposed <= overlap
+    # The decomposition must deliver a real end-to-end gain.
+    assert by_schedule["decomposed"][2] >= 1.05

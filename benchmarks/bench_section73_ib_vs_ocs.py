@@ -1,0 +1,17 @@
+"""Benchmark: regenerate Section 7.3 (Infiniband vs OCS what-if)."""
+
+import pytest
+
+
+def test_section73_ib_vs_ocs(run_report):
+    result = run_report("section73")
+    ar_low, ar_high = [float(x.rstrip("x")) for x in
+                       result.measured["all-reduce slowdown range"].split("-")]
+    assert 1.8 <= ar_low and ar_high <= 2.4   # paper: 1.8x-2.4x
+    a2a_low, a2a_high = [float(x.rstrip("x")) for x in
+                         result.measured["all-to-all slowdown range"].split("-")]
+    assert 1.15 <= a2a_low and a2a_high <= 2.45  # paper: 1.2x-2.4x
+    assert result.measured["IB switches per 1120-GPU superpod"] == \
+        pytest.approx(164, rel=0.10)
+    assert result.measured["IB switches for 4096 TPUs"] == pytest.approx(
+        568, rel=0.10)

@@ -1,0 +1,9 @@
+"""Benchmark: regenerate Section 7.6 (energy and CO2e comparison)."""
+
+import pytest
+
+
+def test_section76_carbon(run_report):
+    result = run_report("section76", rounds=3)
+    assert result.measured["energy ratio"] == pytest.approx(2.85, abs=0.01)
+    assert result.measured["CO2e ratio"] == pytest.approx(18.3, abs=0.2)

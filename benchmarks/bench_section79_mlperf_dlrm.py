@@ -1,0 +1,16 @@
+"""Section 7.9: is MLPerf's DLRM benchmark realistic?
+
+The paper's argument: the 64k global-batch cap leaves 128 examples per
+SparseCore at 128 chips, so fixed per-batch overheads (HBM latency +
+CISC instruction generation on the SC sequencer) dominate and limit
+useful scaling to <= 128 chips — production DLRMs scale to 1024.
+"""
+
+
+def test_section79_mlperf_dlrm(run_report):
+    result = run_report("section79")
+    measured_limit = result.measured["MLPerf DLRM useful scaling limit"]
+    assert int(measured_limit.split()[0]) <= 128
+    production = result.measured["production DLRM useful scaling"]
+    assert int(production.split()[0]) >= 512
+    assert result.measured["per-SC batch at 128 chips (64k cap)"] == 128

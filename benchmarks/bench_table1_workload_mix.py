@@ -1,0 +1,7 @@
+"""Benchmark: regenerate Table 1 (workload mix by DNN model type)."""
+
+
+def test_table1_workload_mix(run_report):
+    result = run_report("table1", rounds=3)
+    assert result.measured["transformer share 10/2022"] == 0.57
+    assert result.measured["RNN share 10/2022"] == 0.02

@@ -1,0 +1,6 @@
+"""Benchmark: regenerate Table 2 (slice-shape popularity)."""
+
+
+def test_table2_slice_popularity(run_report):
+    result = run_report("table2", rounds=3)
+    assert result.measured["most popular slice"].startswith("4x4x8_T")

@@ -1,0 +1,11 @@
+"""Benchmark: regenerate Table 3 (topology + partitioning search)."""
+
+import pytest
+
+
+def test_table3_topology_search(run_report):
+    result = run_report("table3")
+    assert 1.9 <= result.measured["LLM gain"] <= 2.7          # paper 2.3x
+    assert 1.1 <= result.measured["GPT-3 pre-training gain"] <= 1.9  # 1.2x
+    assert result.measured["LLM baseline (seqs/s)"] == pytest.approx(
+        17.9, rel=0.18)

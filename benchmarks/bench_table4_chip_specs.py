@@ -1,0 +1,8 @@
+"""Benchmark: regenerate Table 4 (TPU v4 vs TPU v3 features)."""
+
+
+def test_table4_chip_specs(run_report):
+    result = run_report("table4", rounds=3)
+    assert result.measured["peak ratio v4/v3"] == 2.24
+    assert result.measured["HBM BW ratio v4/v3"] == 1.33
+    assert result.measured["mean power v4 (W)"] == 170

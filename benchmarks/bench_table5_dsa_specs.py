@@ -1,0 +1,8 @@
+"""Benchmark: regenerate Table 5 (A100 / IPU Bow features)."""
+
+
+def test_table5_dsa_specs(run_report):
+    result = run_report("table5", rounds=3)
+    assert result.measured["A100 threads"] == 3456
+    assert result.measured["IPU threads"] == 8832
+    assert result.measured["A100 peak / TPUv4 peak"] == 1.13

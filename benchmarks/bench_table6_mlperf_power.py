@@ -1,0 +1,11 @@
+"""Benchmark: regenerate Table 6 (mean MLPerf power, A100 vs TPU v4)."""
+
+import pytest
+
+
+def test_table6_mlperf_power(run_report):
+    result = run_report("table6", rounds=3)
+    assert result.measured["BERT power ratio"] == pytest.approx(1.93,
+                                                                abs=0.03)
+    assert result.measured["ResNet power ratio"] == pytest.approx(1.33,
+                                                                  abs=0.03)

@@ -1,0 +1,30 @@
+"""Shared fixtures for the per-table/figure benchmark harness.
+
+Every benchmark regenerates one paper artifact through the experiment
+registry, times it with pytest-benchmark, prints the paper-vs-measured
+report, and asserts the headline claims hold.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import run
+from repro.experiments.base import ExperimentResult
+
+
+@pytest.fixture
+def run_report(benchmark):
+    """Time one experiment and print its rendered report.
+
+    Usage: ``result = run_report("figure6")`` — heavy experiments default
+    to a single round; pass ``rounds=`` for cheap ones.
+    """
+    def _run(experiment_id: str, *, rounds: int = 1) -> ExperimentResult:
+        result = benchmark.pedantic(run, args=(experiment_id,),
+                                    rounds=rounds, iterations=1)
+        print()
+        print(result.render())
+        return result
+
+    return _run

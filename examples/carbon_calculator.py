@@ -1,0 +1,47 @@
+"""Estimate the operational CO2e of a training run (Section 7.6's 4Ms).
+
+Prices a PaLM-class run (50 days on thousands of chips) in a clean WSC
+versus a typical on-premise datacenter, then reproduces the paper's
+~2.85x energy / ~18x CO2e comparison against a contemporary DSA.
+
+Run:  python examples/carbon_calculator.py
+"""
+
+from repro.energy import (GOOGLE_CLOUD_OKLAHOMA, ON_PREMISE_AVERAGE,
+                          co2e_comparison)
+from repro.energy.carbon import training_run_co2e_kg
+from repro.units import DAY
+
+
+def main() -> None:
+    runs = [
+        ("PaLM-class (6144 chips x 50 days)", 170.0, 6144, 50 * DAY),
+        ("BERT MLPerf record (4096 chips x 0.2 min)", 197.0, 4096, 12.0),
+        ("one week on a 256-chip slice", 170.0, 256, 7 * DAY),
+    ]
+    print("operational CO2e by datacenter (IT power x PUE x grid):")
+    for name, watts, chips, seconds in runs:
+        cloud = training_run_co2e_kg(watts, chips, seconds,
+                                     GOOGLE_CLOUD_OKLAHOMA)
+        on_prem = training_run_co2e_kg(watts, chips, seconds,
+                                       ON_PREMISE_AVERAGE)
+        print(f"  {name}:")
+        print(f"    clean WSC:  {cloud / 1000:10.2f} tCO2e")
+        print(f"    on-premise: {on_prem / 1000:10.2f} tCO2e "
+              f"({on_prem / cloud:.1f}x)")
+
+    comparison = co2e_comparison()
+    factors = comparison.factors
+    print("\nthe paper's 4Ms comparison (contemporary DSA on-prem vs "
+          "TPU v4 in WSC):")
+    print(f"  Machine (perf/W, conservative): {factors.machine:.1f}x")
+    print(f"  Mechanization (PUE):            {factors.mechanization:.2f}x")
+    print(f"  Map (grid carbon):              {factors.map:.2f}x")
+    print(f"  => energy {comparison.energy_ratio:.2f}x  "
+          f"(paper: 2.85x)")
+    print(f"  => CO2e   {comparison.co2e_ratio:.1f}x   (paper: ~18.3x, "
+          f"'~20x less CO2e')")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+"""Checkpoint cadence for a 3K-chip everything-must-work run (Section 1).
+
+Computes the system MTBF of a 768-host slice, the Young/Daly optimal
+checkpoint interval, and validates the closed-form goodput against a
+failure-injection simulation — then shows the cost of checkpointing
+too eagerly or too lazily.
+
+Run:  python examples/checkpoint_policy.py
+"""
+
+from repro.core.checkpoint import (CheckpointParams, goodput_fraction,
+                                   optimal_interval, simulate_run,
+                                   sweep_intervals)
+from repro.units import DAY, HOUR, MINUTE
+
+
+def main() -> None:
+    params = CheckpointParams()
+    print(f"deployment: {params.num_hosts} hosts "
+          f"(a {params.num_hosts * 4}-chip slice), host MTBF "
+          f"{params.host_mtbf_seconds / DAY:.0f} days")
+    print(f"system MTBF: {params.system_mtbf_seconds / HOUR:.2f} hours "
+          f"-> some host fails ~{24 / (params.system_mtbf_seconds / HOUR):.0f} "
+          f"times a day\n")
+
+    best = optimal_interval(params)
+    print(f"Young/Daly optimal interval: {best / MINUTE:.1f} minutes")
+    print(f"analytic goodput at optimum: "
+          f"{goodput_fraction(best, params):.2%}\n")
+
+    print("cadence sweep:")
+    for point in sweep_intervals(params,
+                                 [2 * MINUTE, 8 * MINUTE, 32 * MINUTE,
+                                  2 * HOUR]):
+        marker = "  <- Young/Daly optimum" if point.is_optimal else ""
+        print(f"  every {point.interval_seconds / MINUTE:6.1f} min: "
+              f"goodput {point.goodput:.2%}{marker}")
+
+    outcome = simulate_run(params, best, duration_seconds=100 * DAY, seed=7)
+    print(f"\nfailure injection over 100 days: {outcome.failures} failures, "
+          f"measured goodput {outcome.measured_goodput:.2%} "
+          f"(analytic {goodput_fraction(best, params):.2%})")
+    print("\nThis goodput term, times the availability gain of OCS")
+    print("rescheduling, is what lets a 50-day PaLM run sustain ~57.8%")
+    print("of peak FLOPS (abstract, Section 9).")
+
+
+if __name__ == "__main__":
+    main()

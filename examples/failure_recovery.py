@@ -1,0 +1,60 @@
+"""End-to-end failure recovery: the OCS as a plugboard.
+
+A training job runs on a 128-chip slice.  A CPU host dies mid-run; the
+paper's answer is the OCS: release the slice, pick ANY healthy blocks,
+reprogram circuits in milliseconds, restore from checkpoint.  A bad
+transceiver, by contrast, is repaired in place on a spare port.  This
+script walks both flows.
+
+Run:  python examples/failure_recovery.py
+"""
+
+from repro import TPUv4Supercomputer
+from repro.ocs.repair import RepairableSwitch
+from repro.ocs.switch import OpticalCircuitSwitch
+
+
+def host_failure_flow() -> None:
+    machine = TPUv4Supercomputer()
+    job = machine.create_slice((4, 4, 8), twisted=True, name="train-job")
+    print(f"job running on blocks {job.block_ids} "
+          f"({job.wiring.num_optical_links} OCS circuits)")
+
+    victim = job.block_ids[0]
+    machine.blocks[victim].fail_host(3)
+    print(f"host failure in block {victim}: block unhealthy, "
+          f"job must move")
+
+    machine.release(job)
+    job = machine.create_slice((4, 4, 8), twisted=True, name="train-job")
+    assert victim not in job.block_ids
+    switch_time = next(iter(machine.fabric.switches.values())).switch_time
+    print(f"rescheduled onto blocks {job.block_ids} — no recabling, "
+          f"~{switch_time * 1e3:.0f} ms of mirror moves, restore from "
+          f"checkpoint and continue")
+
+
+def transceiver_failure_flow() -> None:
+    repairable = RepairableSwitch(OpticalCircuitSwitch(name="ocs-d0-f00"))
+    for block in range(64):
+        repairable.switch.connect(block, 64 + block)
+    print(f"\n{repairable.switch.name}: {repairable.circuit_count()} "
+          f"circuits, {repairable.spares_available} spares")
+
+    spare = repairable.fail_port(17)
+    print(f"transceiver on port 17 flaky: circuit moved to spare {spare}, "
+          f"{repairable.circuit_count()} circuits still up, port 17 "
+          f"quarantined for testing")
+
+    repairable.repair_port(17)
+    print(f"port 17 tested good: restored, "
+          f"{repairable.spares_available} spares free again")
+
+
+def main() -> None:
+    host_failure_flow()
+    transceiver_failure_flow()
+
+
+if __name__ == "__main__":
+    main()

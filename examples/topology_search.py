@@ -1,0 +1,56 @@
+"""Find the best slice topology and partitioning for your LLM (Table 3).
+
+Walks every 512-chip slice shape and every whole-dimension partitioning,
+pricing each with the cost model — the automated version of what the
+paper's experts and auto-tuner do.  Then re-runs the search for a custom
+model to show the machinery is reusable.
+
+Run:  python examples/topology_search.py
+"""
+
+from repro.models.transformer import TransformerConfig
+from repro.parallelism import (TABLE3_GPT3, TABLE3_LLM,
+                               search_best_configuration)
+from repro.parallelism.search import CaseStudy
+from repro.parallelism.spec import PartitionSpec, Sharding
+
+
+def report(case, result) -> None:
+    print(f"\n=== {case.name} ===")
+    print(f"baseline: {case.baseline_shape} {case.baseline_spec.label} -> "
+          f"{result.baseline.throughput_seqs:.1f} seqs/s "
+          f"(paper: {case.paper_baseline_throughput})")
+    print(f"best of {result.evaluated} feasible configs:")
+    for cost in result.leaderboard:
+        shape = "x".join(map(str, cost.shape))
+        print(f"  {shape:9s} {cost.spec.label:22s} "
+              f"{cost.throughput_seqs:6.1f} seqs/s  "
+              f"MFU {cost.model_flops_utilization:.2f}")
+    print(f"gain over baseline: {result.gain:.2f}x "
+          f"(paper: {case.paper_gain:.2f}x)")
+
+
+def main() -> None:
+    for case in (TABLE3_LLM, TABLE3_GPT3):
+        report(case, search_best_configuration(case))
+
+    # Your own model: a 30B-parameter chat model on the same 512 chips.
+    custom_model = TransformerConfig(
+        name="chat-30B", num_layers=48, d_model=7168, num_heads=56,
+        d_ff=28_672, seq_len=2048, vocab_size=32_000)
+    custom_case = CaseStudy(
+        name="chat-30B",
+        model=custom_model,
+        global_batch=512,
+        baseline_shape=(8, 8, 8),
+        baseline_spec=PartitionSpec(1, 8, 8, 8, Sharding("2D", "2D")),
+        best_shape=(8, 8, 8),  # placeholder; search decides
+        best_spec=PartitionSpec(1, 8, 8, 8),
+        paper_baseline_throughput=1.0,
+        paper_best_throughput=1.0,
+    )
+    report(custom_case, search_best_configuration(custom_case))
+
+
+if __name__ == "__main__":
+    main()

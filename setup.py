@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The modern editable-install path (PEP 660) requires the `wheel` package,
+which offline environments may lack.  `python setup.py develop` (or
+`pip install -e . --no-build-isolation` on newer setuptools) works either
+way; metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,41 @@
+"""Command-line entry point: run paper experiments.
+
+    python -m repro list
+    python -m repro run figure6
+    python -m repro run all
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.experiments import list_experiments, run
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI dispatcher; returns a process exit code."""
+    args = argv if argv is not None else sys.argv[1:]
+    if not args or args[0] in ("-h", "--help", "help"):
+        print(__doc__)
+        print("experiments:", ", ".join(list_experiments()))
+        return 0
+    command = args[0]
+    if command == "list":
+        for experiment_id in list_experiments():
+            print(experiment_id)
+        return 0
+    if command == "run":
+        if len(args) < 2:
+            print("usage: python -m repro run <experiment-id>|all")
+            return 2
+        targets = list_experiments() if args[1] == "all" else args[1:]
+        for target in targets:
+            print(run(target).render())
+            print()
+        return 0
+    print(f"unknown command {command!r}")
+    return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

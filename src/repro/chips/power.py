@@ -1,0 +1,43 @@
+"""Chip and system power accounting (Tables 4, 6; Figure 13 bottom)."""
+
+from __future__ import annotations
+
+from repro.chips.specs import ChipSpec
+from repro.errors import ConfigurationError
+
+
+def perf_per_watt(performance: float, watts: float) -> float:
+    """Performance per watt; the paper's Machine parameter numerator."""
+    if watts <= 0:
+        raise ConfigurationError(f"watts must be > 0, got {watts}")
+    return performance / watts
+
+
+def system_power(spec: ChipSpec, num_chips: int, *,
+                 utilization: str = "mean") -> float:
+    """Total ASIC+HBM power for `num_chips` chips at a utilization level.
+
+    `utilization` picks among the Table 4 measured powers ('idle', 'min',
+    'mean', 'max') or 'tdp'.
+    """
+    lookup = {
+        "idle": spec.idle_watts,
+        "min": spec.min_watts,
+        "mean": spec.mean_watts,
+        "max": spec.max_watts,
+        "tdp": spec.tdp_watts,
+    }
+    if utilization not in lookup:
+        raise ConfigurationError(f"unknown utilization {utilization!r}")
+    per_chip = lookup[utilization]
+    if per_chip is None:
+        raise ConfigurationError(
+            f"{spec.name} has no published {utilization!r} power")
+    return per_chip * num_chips
+
+
+def measured_power_ratio(spec_a: ChipSpec, spec_b: ChipSpec,
+                         utilization: str = "mean") -> float:
+    """Power ratio A/B at a utilization level (e.g. TPUv3/TPUv4 = 1.29)."""
+    return (system_power(spec_a, 1, utilization=utilization)
+            / system_power(spec_b, 1, utilization=utilization))

@@ -1,0 +1,98 @@
+"""Roofline model (paper Figure 16, after Williams et al. [61]).
+
+Attainable FLOPS = min(peak FLOPS, operational intensity x memory
+bandwidth).  The paper plots TPU v3/v4 and the A100 (base and boost
+ceilings) with production models placed at their operational intensities.
+The exact model OIs are read off Figure 16; they are documented estimates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.chips.specs import ChipSpec
+from repro.errors import ConfigurationError
+
+# Operational intensities (FLOP/byte) for the models Figure 16 places on
+# the rooflines.  Estimated from the figure; embedding-dominated models sit
+# far left, transformers far right.
+MODEL_INTENSITIES: dict[str, float] = {
+    "DLRM0": 10.0,
+    "DLRM1": 15.0,
+    "RNN0": 30.0,
+    "RNN1": 20.0,
+    "CNN0": 150.0,
+    "CNN1": 80.0,
+    "BERT0": 300.0,
+    "BERT1": 250.0,
+    "LLM0": 400.0,
+    "LLM1": 350.0,
+}
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """One model placed on one chip's roofline."""
+
+    chip: str
+    model: str
+    operational_intensity: float
+    attainable: float            # FLOPS
+    memory_bound: bool
+
+
+def attainable_flops(spec: ChipSpec, operational_intensity: float) -> float:
+    """The roofline: min(compute ceiling, OI * HBM bandwidth).
+
+    Chips without DRAM (IPU) are pure compute-ceiling devices.
+    """
+    if operational_intensity <= 0:
+        raise ConfigurationError(
+            f"operational intensity must be > 0, got {operational_intensity}")
+    if spec.hbm_bandwidth <= 0:
+        return spec.peak_bf16_flops
+    return min(spec.peak_bf16_flops,
+               operational_intensity * spec.hbm_bandwidth)
+
+
+def ridge_point(spec: ChipSpec) -> float:
+    """OI at which the chip turns compute-bound (FLOP/byte).
+
+    >>> from repro.chips.specs import TPUV4
+    >>> 200 < ridge_point(TPUV4) < 250
+    True
+    """
+    if spec.hbm_bandwidth <= 0:
+        return 0.0
+    return spec.peak_bf16_flops / spec.hbm_bandwidth
+
+
+def roofline_curve(spec: ChipSpec, intensities: np.ndarray | None = None
+                   ) -> tuple[np.ndarray, np.ndarray]:
+    """(OI, attainable) arrays for plotting one chip's roofline."""
+    if intensities is None:
+        intensities = np.logspace(0, 3, 61)
+    attainable = np.array([attainable_flops(spec, float(oi))
+                           for oi in intensities])
+    return intensities, attainable
+
+
+def place_models(spec: ChipSpec,
+                 intensities: dict[str, float] | None = None
+                 ) -> list[RooflinePoint]:
+    """Place the catalog models on a chip's roofline (Figure 16 markers)."""
+    if intensities is None:
+        intensities = MODEL_INTENSITIES
+    points = []
+    ridge = ridge_point(spec)
+    for model, oi in sorted(intensities.items()):
+        points.append(RooflinePoint(
+            chip=spec.name,
+            model=model,
+            operational_intensity=oi,
+            attainable=attainable_flops(spec, oi),
+            memory_bound=bool(ridge and oi < ridge),
+        ))
+    return points

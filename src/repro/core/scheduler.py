@@ -1,0 +1,137 @@
+"""Slice placement: OCS-reconfigurable versus statically-wired machines.
+
+The OCS benefit (Section 2.5): a slice needs any-N healthy blocks, "picked
+from anywhere in the supercomputer".  A statically-cabled machine (the
+TPU v3 situation, and Figure 4's "statically connected" baseline) must find
+a *contiguous cuboid* of healthy blocks in the fixed block grid.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Sequence
+
+from repro.core.slicing import (SliceShape, blocks_needed, block_grid,
+                                canonical_shape, is_legal_shape)
+from repro.errors import SchedulingError
+from repro.topology.builder import is_block_multiple
+
+
+class PlacementPolicy(Enum):
+    """How slices map onto blocks."""
+
+    OCS = "ocs"
+    STATIC = "static"
+
+
+@dataclass
+class ScheduleOutcome:
+    """Result of packing as many equal slices as possible."""
+
+    slice_shape: SliceShape
+    policy: PlacementPolicy
+    placements: list[list[int]] = field(default_factory=list)
+    total_blocks: int = 0
+
+    @property
+    def num_slices(self) -> int:
+        """Slices successfully placed."""
+        return len(self.placements)
+
+    @property
+    def scheduled_blocks(self) -> int:
+        """Blocks consumed by placed slices."""
+        return sum(len(p) for p in self.placements)
+
+    @property
+    def goodput(self) -> float:
+        """Scheduled fraction of the machine (the paper's goodput)."""
+        return self.scheduled_blocks / self.total_blocks
+
+
+def _grid_dims(num_blocks: int) -> tuple[int, int, int]:
+    """The physical block grid of a machine (4x4x4 for 64 blocks)."""
+    side = round(num_blocks ** (1 / 3))
+    if side**3 != num_blocks:
+        raise SchedulingError(
+            f"static policy needs a cubic block grid; {num_blocks} blocks "
+            f"is not a cube")
+    return (side, side, side)
+
+
+class SliceScheduler:
+    """Greedy first-fit packer over a machine's block health map."""
+
+    def __init__(self, healthy: Sequence[bool],
+                 grid: tuple[int, int, int] | None = None) -> None:
+        self.healthy = list(healthy)
+        self.grid = grid if grid is not None else _grid_dims(len(self.healthy))
+        if self.grid[0] * self.grid[1] * self.grid[2] != len(self.healthy):
+            raise SchedulingError(
+                f"grid {self.grid} does not cover {len(self.healthy)} blocks")
+
+    @classmethod
+    def from_machine(cls, machine) -> "SliceScheduler":
+        """Build a scheduler view over a TPUv4Supercomputer."""
+        return cls([b.available for b in machine.blocks])
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _block_id(self, coord: tuple[int, int, int]) -> int:
+        gx, gy, gz = self.grid
+        return (coord[0] * gy + coord[1]) * gz + coord[2]
+
+    def _cuboid_blocks(self, anchor: tuple[int, int, int],
+                       extent: tuple[int, int, int]) -> list[int] | None:
+        """Blocks of a contiguous cuboid, or None if it leaves the grid."""
+        for axis in range(3):
+            if anchor[axis] + extent[axis] > self.grid[axis]:
+                return None
+        blocks = []
+        for dx in range(extent[0]):
+            for dy in range(extent[1]):
+                for dz in range(extent[2]):
+                    blocks.append(self._block_id(
+                        (anchor[0] + dx, anchor[1] + dy, anchor[2] + dz)))
+        return blocks
+
+    # -- packing -----------------------------------------------------------------
+
+    def pack(self, shape: SliceShape,
+             policy: PlacementPolicy) -> ScheduleOutcome:
+        """Place as many `shape` slices as possible; greedy, deterministic."""
+        dims = canonical_shape(shape)
+        if not is_legal_shape(dims):
+            raise SchedulingError(f"illegal slice shape {dims}")
+        outcome = ScheduleOutcome(slice_shape=dims, policy=policy,
+                                  total_blocks=len(self.healthy))
+        free = list(self.healthy)
+        if policy is PlacementPolicy.OCS:
+            per_slice = blocks_needed(dims)
+            pool = [i for i, ok in enumerate(free) if ok]
+            while len(pool) >= per_slice:
+                outcome.placements.append(pool[:per_slice])
+                pool = pool[per_slice:]
+            return outcome
+
+        # Static: contiguous cuboids, any axis orientation, no wraparound.
+        extent = block_grid(dims) if is_block_multiple(dims) else (1, 1, 1)
+        orientations = sorted(set(itertools.permutations(extent)))
+        placed = True
+        while placed:
+            placed = False
+            for anchor in itertools.product(*(range(g) for g in self.grid)):
+                for orientation in orientations:
+                    blocks = self._cuboid_blocks(anchor, orientation)
+                    if blocks is None or not all(free[b] for b in blocks):
+                        continue
+                    for b in blocks:
+                        free[b] = False
+                    outcome.placements.append(blocks)
+                    placed = True
+                    break
+                if placed:
+                    break
+        return outcome

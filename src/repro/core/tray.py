@@ -1,0 +1,45 @@
+"""The 4-chip tray (printed circuit board).
+
+The PCB embeds 4 ICI links connecting its chips as a 2x2 mesh; the
+remaining 16 links leave through bottom-side OSFP connectors toward other
+trays (paper Figure 2).  Each tray pairs with one CPU host.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.chip import ICI_LINKS_PER_CHIP, TPUv4Chip
+
+CHIPS_PER_TRAY = 4
+PCB_LINKS_PER_TRAY = 4           # the 2x2 mesh: 4 edges
+EXTERNAL_LINKS_PER_TRAY = (CHIPS_PER_TRAY * ICI_LINKS_PER_CHIP
+                           - 2 * PCB_LINKS_PER_TRAY)  # 16 OSFP ports
+
+
+@dataclass
+class Tray:
+    """Four chips on one board, plus its host binding."""
+
+    tray_id: int
+    host_id: int
+    chips: list[TPUv4Chip] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if len(self.chips) not in (0, CHIPS_PER_TRAY):
+            raise ValueError(
+                f"a tray holds {CHIPS_PER_TRAY} chips, got {len(self.chips)}")
+
+    @property
+    def pcb_links(self) -> int:
+        """Links embedded in the PCB (2x2 mesh)."""
+        return PCB_LINKS_PER_TRAY
+
+    @property
+    def external_links(self) -> int:
+        """OSFP links leaving the tray."""
+        return EXTERNAL_LINKS_PER_TRAY
+
+    def pcb_mesh_edges(self) -> list[tuple[int, int]]:
+        """The 2x2 mesh as local chip-index pairs (no diagonal)."""
+        return [(0, 1), (0, 2), (1, 3), (2, 3)]

@@ -1,0 +1,15 @@
+"""Energy, power, and carbon accounting (Section 7.6, Table 6)."""
+
+from repro.energy.datacenter import (DatacenterProfile, GOOGLE_CLOUD_OKLAHOMA,
+                                     ON_PREMISE_AVERAGE)
+from repro.energy.carbon import (CarbonComparison, FourMs, co2e_comparison,
+                                 operational_co2e_kg)
+from repro.energy.mlperf_power import (MeasuredPower, TABLE6_MEASUREMENTS,
+                                       mlperf_power_model, table6_rows)
+
+__all__ = [
+    "DatacenterProfile", "GOOGLE_CLOUD_OKLAHOMA", "ON_PREMISE_AVERAGE",
+    "FourMs", "CarbonComparison", "co2e_comparison", "operational_co2e_kg",
+    "MeasuredPower", "TABLE6_MEASUREMENTS", "mlperf_power_model",
+    "table6_rows",
+]

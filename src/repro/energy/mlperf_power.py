@@ -1,0 +1,84 @@
+"""Measured MLPerf power (Table 6) and the utilization model behind it.
+
+Table 6 reports mean DSA+HBM power on 64-chip systems: BERT 380 W (A100)
+vs 197 W (TPU v4), ratio 1.93; ResNet 273 W vs 206 W, ratio 1.33.
+
+The model: running power = idle + utilization x (ceiling - idle), with a
+per-benchmark utilization reflecting how compute-saturating it is (BERT's
+big matmuls push the A100 to ~its TDP; ResNet leaves more idle time).
+Calibrated to reproduce the measured watts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class MeasuredPower:
+    """One Table 6 row."""
+
+    benchmark: str
+    a100_watts: float
+    tpuv4_watts: float
+
+    @property
+    def ratio(self) -> float:
+        """A100 / TPU v4 mean power."""
+        return self.a100_watts / self.tpuv4_watts
+
+
+TABLE6_MEASUREMENTS: list[MeasuredPower] = [
+    MeasuredPower(benchmark="BERT", a100_watts=380.0, tpuv4_watts=197.0),
+    MeasuredPower(benchmark="ResNet", a100_watts=273.0, tpuv4_watts=206.0),
+]
+
+
+@dataclass(frozen=True)
+class PowerEnvelope:
+    """Idle and ceiling power for the utilization model."""
+
+    name: str
+    idle_watts: float
+    ceiling_watts: float
+
+
+TPUV4_ENVELOPE = PowerEnvelope(name="TPU v4", idle_watts=90.0,
+                               ceiling_watts=212.0)
+A100_ENVELOPE = PowerEnvelope(name="A100", idle_watts=85.0,
+                              ceiling_watts=400.0)
+
+# Per-benchmark utilization (fraction of the idle->ceiling swing).
+# BERT saturates the matmul pipelines; ResNet's smaller layers and input
+# pipeline leave gaps.  Calibrated to Table 6.
+BENCHMARK_UTILIZATION: dict[str, dict[str, float]] = {
+    "BERT": {"TPU v4": 0.88, "A100": 0.94},
+    "ResNet": {"TPU v4": 0.95, "A100": 0.60},
+}
+
+
+def mlperf_power_model(benchmark: str, envelope: PowerEnvelope) -> float:
+    """Predicted mean power for a benchmark on a chip."""
+    if benchmark not in BENCHMARK_UTILIZATION:
+        raise ConfigurationError(f"unknown benchmark {benchmark!r}")
+    utilization = BENCHMARK_UTILIZATION[benchmark].get(envelope.name)
+    if utilization is None:
+        raise ConfigurationError(
+            f"no utilization data for {envelope.name!r} on {benchmark!r}")
+    return (envelope.idle_watts
+            + utilization * (envelope.ceiling_watts - envelope.idle_watts))
+
+
+def table6_rows() -> list[tuple[str, float, float, float, float, float]]:
+    """(benchmark, measured A100, measured TPU, modeled A100, modeled TPU,
+    measured ratio) rows for the Table 6 experiment."""
+    rows = []
+    for measured in TABLE6_MEASUREMENTS:
+        modeled_a100 = mlperf_power_model(measured.benchmark, A100_ENVELOPE)
+        modeled_tpu = mlperf_power_model(measured.benchmark, TPUV4_ENVELOPE)
+        rows.append((measured.benchmark, measured.a100_watts,
+                     measured.tpuv4_watts, modeled_a100, modeled_tpu,
+                     measured.ratio))
+    return rows

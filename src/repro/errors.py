@@ -1,0 +1,35 @@
+"""Exception hierarchy for the library.
+
+Every error raised by `repro` derives from :class:`ReproError` so callers can
+catch library failures without catching unrelated bugs.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class TopologyError(ReproError):
+    """Invalid topology shape, coordinates, or wiring."""
+
+
+class OCSError(ReproError):
+    """Optical-circuit-switch misconfiguration (port conflicts, capacity)."""
+
+
+class SchedulingError(ReproError):
+    """A slice request cannot be placed on the machine."""
+
+
+class ShardingError(ReproError):
+    """An embedding-table sharding plan is inconsistent."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulator reached an inconsistent state."""
+
+
+class ConfigurationError(ReproError):
+    """A model/chip/parallelism configuration is invalid."""

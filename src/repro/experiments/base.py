@@ -1,0 +1,67 @@
+"""Common result container for paper-reproduction experiments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.reporting.figures import AsciiChart
+from repro.reporting.tables import Table
+
+
+@dataclass
+class ExperimentResult:
+    """Structured output of one table/figure reproduction.
+
+    Attributes:
+        experiment_id: registry key ('figure6', 'table3', ...).
+        title: what the paper calls the artifact.
+        columns: column names for the row listing.
+        rows: the regenerated table/series rows.
+        paper: the paper's published claims, keyed by claim name.
+        measured: our corresponding measured values (same keys where a
+            direct comparison exists).
+        notes: modelling caveats worth surfacing next to the numbers.
+    """
+
+    experiment_id: str
+    title: str
+    columns: list[str]
+    rows: list[list[Any]] = field(default_factory=list)
+    paper: dict[str, float | str] = field(default_factory=dict)
+    measured: dict[str, float | str] = field(default_factory=dict)
+    notes: list[str] = field(default_factory=list)
+    charts: list[AsciiChart] = field(default_factory=list)
+
+    def comparison_rows(self) -> list[tuple[str, Any, Any]]:
+        """(claim, paper value, measured value) for overlapping keys."""
+        out = []
+        for key, value in self.paper.items():
+            out.append((key, value, self.measured.get(key, "-")))
+        for key, value in self.measured.items():
+            if key not in self.paper:
+                out.append((key, "-", value))
+        return out
+
+    def render(self) -> str:
+        """Printable report: data rows then the paper-vs-measured block."""
+        blocks = [f"== {self.experiment_id}: {self.title} =="]
+        if self.rows:
+            data = Table(self.columns)
+            for row in self.rows:
+                data.add_row(row)
+            blocks.append(data.render())
+        for chart in self.charts:
+            blocks.append(chart.render_plot())
+        if self.paper or self.measured:
+            comparison = Table(["claim", "paper", "measured"],
+                               title="paper vs measured")
+            for claim, paper_value, measured_value in self.comparison_rows():
+                comparison.add_row([claim, paper_value, measured_value])
+            blocks.append(comparison.render())
+        for note in self.notes:
+            blocks.append(f"note: {note}")
+        return "\n\n".join(blocks)
+
+    def __str__(self) -> str:
+        return self.render()

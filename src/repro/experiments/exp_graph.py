@@ -1,0 +1,104 @@
+"""Experiments backed by the graph-level simulator and the SC ISA model.
+
+* ``section79`` — is MLPerf's DLRM benchmark realistic?  (weak-scaling
+  comparison against a production-shaped DLRM)
+* ``section710`` — LLM partitioning with compute-communication overlap
+  (the Section 7.10 claim, using the Wang et al. [59] decomposition).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.base import ExperimentResult
+from repro.graph.builders import transformer_step_graph
+from repro.graph.memory import estimate_memory
+from repro.graph.mesh import DeviceMesh, MeshAxis
+from repro.graph.overlap import overlap_speedup
+from repro.graph.schedule import simulate
+from repro.graph.spmd import partition
+from repro.models.mlperf_dlrm import (MLPERF_DLRM, PRODUCTION_DLRM,
+                                      scaling_curve, useful_scaling_limit)
+from repro.models.transformer import LLM_CONFIG
+
+SECTION79_SIZES = [16, 32, 64, 128, 256, 512, 1024]
+
+
+def run_section79() -> ExperimentResult:
+    """Section 7.9: MLPerf DLRM vs production DLRM weak scaling."""
+    result = ExperimentResult(
+        experiment_id="section79",
+        title="Is MLPerf's DLRM benchmark realistic?",
+        columns=["chips", "bench", "per-SC batch", "step (ms)",
+                 "Mexamples/s", "fixed overhead %"],
+    )
+    limits = {}
+    for bench in (MLPERF_DLRM, PRODUCTION_DLRM):
+        curve = scaling_curve(bench, SECTION79_SIZES)
+        limits[bench.name] = useful_scaling_limit(curve)
+        for point in curve:
+            result.rows.append([
+                point.num_chips, bench.name,
+                round(point.per_sc_batch, 1),
+                round(point.step_seconds * 1e3, 3),
+                round(point.examples_per_second / 1e6, 2),
+                round(100 * point.overhead_fraction, 1)])
+
+    mlperf_curve = scaling_curve(MLPERF_DLRM, SECTION79_SIZES)
+    at_128 = next(p for p in mlperf_curve if p.num_chips == 128)
+    result.paper["per-SC batch at 128 chips (64k cap)"] = 128
+    result.measured["per-SC batch at 128 chips (64k cap)"] = round(
+        at_128.per_sc_batch)
+    result.paper["MLPerf DLRM useful scaling limit"] = "<= 128 chips"
+    result.measured["MLPerf DLRM useful scaling limit"] = (
+        f"{limits[MLPERF_DLRM.name]} chips")
+    result.paper["production DLRM useful scaling"] = "up to 1024 chips"
+    result.measured["production DLRM useful scaling"] = (
+        f"{limits[PRODUCTION_DLRM.name]} chips")
+    result.notes.append(
+        "fixed overheads (CISC sequencer + HBM latency) are the modelled "
+        "reason: they reach ~1/3 of the MLPerf step at 1024 chips but "
+        "stay <1% for the production shape")
+    return result
+
+
+def run_section710(num_layers: int = 8) -> ExperimentResult:
+    """Section 7.10: overlap lets larger partitions stay efficient.
+
+    Simulates one LLM training step on an 8x8x8 slice (Table 3's best
+    LLM topology) at three scheduling levels: collectives blocking
+    compute, free-running collectives, and the [59] decomposition.
+    """
+    mesh = DeviceMesh((8, 8, 8), [MeshAxis("data", 8, (0,)),
+                                  MeshAxis("model1", 64, (1, 2))])
+    graph, annotations = transformer_step_graph(
+        LLM_CONFIG, global_batch=256, num_layers=num_layers)
+    program = partition(graph, mesh, annotations)
+    times = overlap_speedup(program, chunks=4)
+    trace = simulate(program)
+
+    result = ExperimentResult(
+        experiment_id="section710",
+        title="Compute-communication overlap for LLM partitioning",
+        columns=["schedule", "step (ms)", "speedup vs serial"],
+    )
+    for label in ("serial", "overlap", "decomposed"):
+        result.rows.append([label, round(times[label] * 1e3, 3),
+                            round(times["serial"] / times[label], 3)])
+    result.paper["overlap helps larger partitions"] = \
+        "effective compute-communication overlap [59]"
+    result.measured["overlap helps larger partitions"] = (
+        f"{times['serial'] / times['decomposed']:.2f}x step-time gain")
+    result.measured["exposed comm (overlap schedule)"] = (
+        f"{simulate(program).exposed_comm_seconds() * 1e3:.2f} ms")
+    result.measured["tensorcore utilization"] = (
+        f"{trace.utilization('tensorcore'):.1%}")
+    memory = estimate_memory(program)
+    result.paper["HBM capacity a limiting factor?"] = (
+        "could be in some cases; typically larger models partition "
+        "across more chips")
+    result.measured["HBM capacity a limiting factor?"] = (
+        f"this config: {memory.summary()} "
+        f"({memory.utilization():.0%} of 32 GiB)")
+    result.notes.append(
+        f"{num_layers}-layer slice of the Table 3 LLM on 8x8x8, "
+        "Megatron 1D sharding over a 64-chip model axis")
+    return result

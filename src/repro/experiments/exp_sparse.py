@@ -1,0 +1,142 @@
+"""Experiments for the SparseCore results: Figures 8, 9, 10, 17."""
+
+from __future__ import annotations
+
+from repro.experiments.base import ExperimentResult
+from repro.models.dlrm import (DLRM0_2022, SystemKind,
+                               dlrm_relative_performance,
+                               dlrm0_version_history)
+from repro.parallelism.panas import (dlrm0_panas_search,
+                                     original_dlrm0_balance, panas_gain)
+from repro.sparsecore.executor import EmbeddingWorkload, embedding_step_time
+from repro.topology.properties import theoretical_bisection_scaling
+
+FIGURE8_SIZES = (64, 128, 256, 512, 1024, 2048, 4096)
+
+
+def run_figure8(global_batch: int = 4096) -> ExperimentResult:
+    """Figure 8: bisection ratio and embedding sensitivity to it."""
+    result = ExperimentResult(
+        experiment_id="figure8",
+        title="Bisection bandwidth ratio and embedding speedup from it",
+        columns=["chips", "3D/2D bisection link ratio",
+                 "embedding speedup from 3D bisection", "v4 bottleneck"],
+    )
+    speedups = {}
+    for chips in FIGURE8_SIZES:
+        ratio = (theoretical_bisection_scaling(chips, 3)
+                 / theoretical_bisection_scaling(chips, 2))
+        workload = EmbeddingWorkload(global_batch=global_batch)
+        torus_3d = embedding_step_time(workload, chips, torus_dims=3)
+        torus_2d = embedding_step_time(workload, chips, torus_dims=2)
+        speedups[chips] = torus_2d.seconds / torus_3d.seconds
+        result.rows.append([chips, round(ratio, 2),
+                            round(speedups[chips], 2), torus_3d.bottleneck])
+    result.paper["bisection ratio range"] = "2x-4x"
+    ratios = [theoretical_bisection_scaling(c, 3)
+              / theoretical_bisection_scaling(c, 2) for c in FIGURE8_SIZES]
+    result.measured["bisection ratio range"] = (
+        f"{min(ratios):.1f}x-{max(ratios):.1f}x")
+    result.paper["embedding speedup range"] = "1.1x-2.0x"
+    result.measured["embedding speedup range"] = (
+        f"{min(speedups.values()):.2f}x-{max(speedups.values()):.2f}x")
+    result.paper["overheads dominate at"] = "1024 chips"
+    workload = EmbeddingWorkload(global_batch=global_batch)
+    step_1k = embedding_step_time(workload, 1024)
+    dominated = step_1k.overhead_seconds > max(step_1k.gather_seconds,
+                                               step_1k.network_seconds)
+    result.measured["overheads dominate at"] = (
+        "1024 chips" if dominated else "not reproduced")
+    return result
+
+
+def run_figure9() -> ExperimentResult:
+    """Figure 9: DLRM0 across CPU / TPU v3 / TPU v4 / no-SparseCore."""
+    relative = dlrm_relative_performance()
+    labels = {
+        SystemKind.CPU_CLUSTER: "CPU (576 Skylake sockets)",
+        SystemKind.TPUV3: "TPU v3 (128)",
+        SystemKind.TPUV4: "TPU v4 (128)",
+        SystemKind.TPUV4_EMB_ON_HOST: "TPU v4, emb on CPU hosts",
+        SystemKind.TPUV4_EMB_ON_VARIABLE_SERVER:
+            "TPU v4, emb on variable servers",
+    }
+    result = ExperimentResult(
+        experiment_id="figure9",
+        title="DLRM0 performance across systems (relative to CPU)",
+        columns=["system", "relative performance"],
+        rows=[[labels[system], round(value, 1)]
+              for system, value in sorted(relative.items(),
+                                          key=lambda kv: kv[1])],
+    )
+    result.paper["TPU v3 vs CPU"] = 9.8
+    result.measured["TPU v3 vs CPU"] = round(relative[SystemKind.TPUV3], 1)
+    result.paper["TPU v4 vs CPU"] = 30.1
+    result.measured["TPU v4 vs CPU"] = round(relative[SystemKind.TPUV4], 1)
+    result.paper["TPU v4 vs TPU v3"] = 3.1
+    result.measured["TPU v4 vs TPU v3"] = round(
+        relative[SystemKind.TPUV4] / relative[SystemKind.TPUV3], 2)
+    drop_host = (relative[SystemKind.TPUV4]
+                 / relative[SystemKind.TPUV4_EMB_ON_HOST])
+    drop_vs = (relative[SystemKind.TPUV4]
+               / relative[SystemKind.TPUV4_EMB_ON_VARIABLE_SERVER])
+    result.paper["drop without SparseCore"] = "5x-7x"
+    result.measured["drop without SparseCore"] = (
+        f"{min(drop_host, drop_vs):.1f}x-{max(drop_host, drop_vs):.1f}x")
+    return result
+
+
+def run_figure10() -> ExperimentResult:
+    """Figure 10: PA-NAS balancing SC and TC time for DLRM0."""
+    original = original_dlrm0_balance()
+    optimized = dlrm0_panas_search()
+    result = ExperimentResult(
+        experiment_id="figure10",
+        title="PA-NAS rebalancing of DLRM0 (normalized times)",
+        columns=["variant", "dense (TC) time", "sparse (SC) time",
+                 "step time", "SC idle"],
+        rows=[
+            ["original DLRM0", round(original.dense_time, 3),
+             round(original.sparse_time, 3), round(original.step_time, 3),
+             f"{original.sc_idle_fraction:.0%}"],
+            ["PA-NAS optimized", round(optimized.dense_time, 3),
+             round(optimized.sparse_time, 3), round(optimized.step_time, 3),
+             f"{optimized.sc_idle_fraction:.0%}"],
+        ],
+    )
+    result.paper["original SC idle"] = "~25%"
+    result.measured["original SC idle"] = f"{original.sc_idle_fraction:.0%}"
+    result.paper["end-to-end gain"] = ">10%"
+    result.measured["end-to-end gain"] = f"{(panas_gain() - 1):.1%}"
+    result.paper["optimized pipes balanced"] = "yes"
+    balanced = abs(optimized.dense_time - optimized.sparse_time) \
+        / optimized.step_time < 0.05
+    result.measured["optimized pipes balanced"] = "yes" if balanced else "no"
+    return result
+
+
+def run_figure17() -> ExperimentResult:
+    """Figure 17: DLRM0 growth in weights and embeddings, 2017-2022."""
+    history = dlrm0_version_history()
+    result = ExperimentResult(
+        experiment_id="figure17",
+        title="Change in size of DLRM0 over time",
+        columns=["version", "weights (M, Int8)", "embeddings (B, fp32)"],
+    )
+    for config in history[::6] + [history[-1]]:
+        result.rows.append([config.name,
+                            round(config.dense_params / 1e6, 1),
+                            round(config.embedding_params / 1e9, 2)])
+    result.paper["versions"] = 43
+    result.measured["versions"] = len(history)
+    result.paper["weights growth"] = 4.2
+    result.measured["weights growth"] = round(
+        history[-1].dense_params / history[0].dense_params, 2)
+    result.paper["embeddings growth"] = 3.8
+    result.measured["embeddings growth"] = round(
+        history[-1].embedding_params / history[0].embedding_params, 2)
+    result.paper["final size"] = "137M weights, 20B embeddings"
+    result.measured["final size"] = (
+        f"{DLRM0_2022.dense_params / 1e6:.0f}M weights, "
+        f"{DLRM0_2022.embedding_params / 1e9:.0f}B embeddings")
+    return result

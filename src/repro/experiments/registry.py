@@ -1,0 +1,55 @@
+"""Registry mapping experiment ids to runner functions."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import ConfigurationError
+from repro.experiments.base import ExperimentResult
+from repro.experiments import exp_graph, exp_mlperf, exp_network, exp_ocs, \
+    exp_perf, exp_sparse, exp_tables
+
+Runner = Callable[[], ExperimentResult]
+
+EXPERIMENTS: dict[str, Runner] = {
+    "table1": exp_tables.run_table1,
+    "table2": exp_tables.run_table2,
+    "table3": exp_perf.run_table3,
+    "table4": exp_tables.run_table4,
+    "table5": exp_tables.run_table5,
+    "table6": exp_tables.run_table6,
+    "figure1": exp_ocs.run_figure1,
+    "figure4": exp_ocs.run_figure4,
+    "figure5": exp_ocs.run_figure5,
+    "figure6": exp_network.run_figure6,
+    "figure8": exp_sparse.run_figure8,
+    "figure9": exp_sparse.run_figure9,
+    "figure10": exp_sparse.run_figure10,
+    "figure11": exp_perf.run_figure11,
+    "figure12": exp_perf.run_figure12,
+    "figure13": exp_perf.run_figure13,
+    "figure14": exp_mlperf.run_figure14,
+    "figure15": exp_mlperf.run_figure15,
+    "figure16": exp_perf.run_figure16,
+    "figure17": exp_sparse.run_figure17,
+    "section29": exp_ocs.run_section29,
+    "section210": exp_ocs.run_section210,
+    "section73": exp_network.run_section73,
+    "section76": exp_mlperf.run_section76,
+    "section79": exp_graph.run_section79,
+    "section710": exp_graph.run_section710,
+}
+
+
+def list_experiments() -> list[str]:
+    """Registered experiment ids, sorted for stable display."""
+    return sorted(EXPERIMENTS)
+
+
+def run(experiment_id: str) -> ExperimentResult:
+    """Run one experiment by id."""
+    if experiment_id not in EXPERIMENTS:
+        raise ConfigurationError(
+            f"unknown experiment {experiment_id!r}; "
+            f"have {list_experiments()}")
+    return EXPERIMENTS[experiment_id]()

@@ -1,0 +1,476 @@
+"""Builders for the training-step graphs the paper's workloads run.
+
+Each builder returns ``(graph, annotations)``: the logical op graph of
+one training step (forward, backward, optimizer update) plus the
+GSPMD sharding annotations for its parameters and inputs.  Passing the
+pair through :func:`repro.graph.spmd.partition` materialises the
+communication the parallelism strategy implies:
+
+* :func:`transformer_step_graph` — a decoder block stack with
+  Megatron-style tensor parallelism over ``model1`` and data
+  parallelism over ``data``; propagation inserts the two forward
+  all-reduces per layer, the backward ones, and the data-parallel
+  gradient all-reduce in front of every optimizer update.
+* :func:`dlrm_step_graph` — dense towers data-parallel, embedding
+  tables row-sharded across the slice; propagation inserts the
+  all-to-all vector exchanges of Section 3.4.
+* :func:`mlp_step_graph` — a minimal dense chain for tests and the
+  quickstart example.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.graph.graph import ComputationGraph
+from repro.graph.mesh import DeviceMesh
+from repro.graph.ops import (AllToAllOp, ElementwiseOp, EmbeddingLookupOp,
+                             FusionOp, InputOp, MatMulOp, ParameterOp)
+from repro.graph.tensor import ShardingSpec, TensorSpec
+from repro.models.transformer import TransformerConfig
+
+Annotations = dict[str, ShardingSpec]
+
+
+def _spec(*axes: str | None) -> ShardingSpec:
+    return ShardingSpec(axes=tuple(axes))
+
+
+# ---------------------------------------------------------------------------
+# Transformer
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class TransformerShardingPlan:
+    """Axis names the transformer builder shards over.
+
+    `data` shards the token/batch dimension; `model` column/row-shards
+    the weights Megatron-style.  Either may be None to disable that
+    form of parallelism.
+    """
+
+    data: str | None = "data"
+    model: str | None = "model1"
+
+
+def transformer_step_graph(config: TransformerConfig, *, global_batch: int,
+                           plan: TransformerShardingPlan | None = None,
+                           num_layers: int | None = None,
+                           include_head: bool = True
+                           ) -> tuple[ComputationGraph, Annotations]:
+    """One training step (fwd + bwd + optimizer) of a decoder stack.
+
+    Args:
+        config: model shape (layers, d_model, heads, d_ff, seq_len).
+        global_batch: sequences per step across the whole slice.
+        plan: which mesh axes shard what; defaults to data+model1.
+        num_layers: override layer count (smaller graphs for tests).
+        include_head: include embedding lookup, vocab projection, loss.
+
+    Returns:
+        (graph, annotations) ready for :func:`repro.graph.spmd.partition`.
+    """
+    plan = plan or TransformerShardingPlan()
+    layers = num_layers if num_layers is not None else config.num_layers
+    if layers < 1:
+        raise ConfigurationError("need at least one transformer layer")
+    tokens = global_batch * config.seq_len
+    hidden = config.d_model
+    ffn = config.d_ff
+    heads = config.num_heads
+    head_dim = hidden // heads
+    seq = config.seq_len
+
+    g = ComputationGraph(name=f"{config.name}-step")
+    ann: Annotations = {}
+    dp, mp = plan.data, plan.model
+
+    acts = TensorSpec((tokens, hidden))
+    scores_spec = TensorSpec((tokens, heads * seq))
+
+    def elementwise(name: str, inputs: tuple[str, ...],
+                    spec: TensorSpec, fpe: float) -> str:
+        return g.add(ElementwiseOp(name=name, inputs=inputs, output=spec,
+                                   flops_per_element=fpe))
+
+    def parameter(name: str, shape: tuple[int, int],
+                  sharding: ShardingSpec) -> str:
+        g.add(ParameterOp(name=name, output=TensorSpec(shape)))
+        ann[name] = sharding
+        return name
+
+    def transpose(name: str, src: str, shape: tuple[int, int],
+                  sharding: ShardingSpec) -> str:
+        g.add(FusionOp(name=name, inputs=(src,), output=TensorSpec(shape)))
+        ann[name] = sharding
+        return name
+
+    def matmul(name: str, lhs: str, rhs: str, *, m: int, k: int, n: int,
+               out: TensorSpec, batch: int = 1,
+               batch_local: bool = False) -> str:
+        return g.add(MatMulOp(name=name, inputs=(lhs, rhs), output=out,
+                              m=m, k=k, n=n, batch=batch,
+                              batch_local=batch_local))
+
+    # -- embedding / step input --------------------------------------------------
+    if include_head:
+        g.add(InputOp(name="ids", output=TensorSpec((tokens,), dtype_bytes=4)))
+        ann["ids"] = _spec(dp)
+        # Vocab-sharded over the model axis (Megatron): the input lookup
+        # pays an all-to-all and the head computes vocab-parallel logits.
+        w_emb = parameter("w_emb", (config.vocab_size, hidden),
+                          _spec(mp, None))
+        x = g.add(EmbeddingLookupOp(
+            name="tok_embed", inputs=(w_emb, "ids"), output=acts,
+            vocab=config.vocab_size, width=hidden, lookups=tokens))
+        ann["tok_embed"] = _spec(dp, None)
+    else:
+        x = g.add(InputOp(name="x0", output=acts))
+        ann["x0"] = _spec(dp, None)
+
+    # -- forward layers ---------------------------------------------------------------
+    saved: list[dict[str, str]] = []  # per-layer activations for backward
+    for i in range(layers):
+        p = f"l{i}"
+        w_qkv = parameter(f"{p}.w_qkv", (hidden, 3 * hidden), _spec(None, mp))
+        w_out = parameter(f"{p}.w_out", (hidden, hidden), _spec(mp, None))
+        w_up = parameter(f"{p}.w_up", (hidden, ffn), _spec(None, mp))
+        w_down = parameter(f"{p}.w_down", (ffn, hidden), _spec(mp, None))
+
+        ln1 = elementwise(f"{p}.ln1", (x,), acts, 6.0)
+        qkv = matmul(f"{p}.qkv", ln1, w_qkv, m=tokens, k=hidden,
+                     n=3 * hidden, out=TensorSpec((tokens, 3 * hidden)))
+        scores = matmul(f"{p}.scores", qkv, qkv, batch=global_batch * heads,
+                        m=seq, k=head_dim, n=seq, out=scores_spec,
+                        batch_local=True)
+        softmax = elementwise(f"{p}.softmax", (scores,), scores_spec, 5.0)
+        ctx = matmul(f"{p}.ctx", softmax, qkv, batch=global_batch * heads,
+                     m=seq, k=seq, n=head_dim, out=acts, batch_local=True)
+        ann[f"{p}.ctx"] = _spec(dp, mp)
+        attn_out = matmul(f"{p}.attn_out", ctx, w_out, m=tokens, k=hidden,
+                          n=hidden, out=acts)
+        resid1 = elementwise(f"{p}.resid1", (attn_out, x), acts, 1.0)
+
+        ln2 = elementwise(f"{p}.ln2", (resid1,), acts, 6.0)
+        up = matmul(f"{p}.up", ln2, w_up, m=tokens, k=hidden, n=ffn,
+                    out=TensorSpec((tokens, ffn)))
+        gelu = elementwise(f"{p}.gelu", (up,), TensorSpec((tokens, ffn)), 8.0)
+        down = matmul(f"{p}.down", gelu, w_down, m=tokens, k=ffn, n=hidden,
+                      out=acts)
+        resid2 = elementwise(f"{p}.resid2", (down, resid1), acts, 1.0)
+
+        saved.append({
+            "x": x, "ln1": ln1, "qkv": qkv, "softmax": softmax, "ctx": ctx,
+            "ln2": ln2, "gelu": gelu, "w_qkv": w_qkv, "w_out": w_out,
+            "w_up": w_up, "w_down": w_down,
+        })
+        x = resid2
+
+    # -- head + loss --------------------------------------------------------------------
+    if include_head:
+        w_embT = transpose("w_emb.T", "w_emb",
+                           (hidden, config.vocab_size), _spec(None, mp))
+        logits_spec = TensorSpec((tokens, config.vocab_size))
+        logits = matmul("logits", x, w_embT, m=tokens, k=hidden,
+                        n=config.vocab_size, out=logits_spec)
+        dlogits = elementwise("dloss", (logits,), logits_spec, 6.0)
+        dx = matmul("dlogits.dx", dlogits, "w_emb", m=tokens,
+                    k=config.vocab_size, n=hidden, out=acts)
+        xT = transpose("head_in.T", x, (hidden, tokens), _spec(None, dp))
+        demb = matmul("w_emb.grad", xT, dlogits, m=hidden, k=tokens,
+                      n=config.vocab_size,
+                      out=TensorSpec((hidden, config.vocab_size)))
+        dembT = transpose("w_emb.grad.T", demb,
+                          (config.vocab_size, hidden), _spec(mp, None))
+        elementwise("w_emb.update", ("w_emb", dembT),
+                    TensorSpec((config.vocab_size, hidden)), 4.0)
+    else:
+        dx = elementwise("dloss", (x,), acts, 2.0)
+
+    # -- backward layers -------------------------------------------------------------------
+    for i in reversed(range(layers)):
+        p = f"l{i}"
+        s = saved[i]
+        ffn_spec = TensorSpec((tokens, ffn))
+
+        # FFN backward: down -> gelu -> up.
+        w_downT = transpose(f"{p}.w_down.T", s["w_down"], (hidden, ffn),
+                            _spec(None, mp))
+        dgelu = matmul(f"{p}.dgelu", dx, w_downT, m=tokens, k=hidden, n=ffn,
+                       out=ffn_spec)
+        geluT = transpose(f"{p}.gelu.T", s["gelu"], (ffn, tokens),
+                          _spec(mp, dp))
+        dw_down = matmul(f"{p}.w_down.grad", geluT, dx, m=ffn, k=tokens,
+                         n=hidden, out=TensorSpec((ffn, hidden)))
+        dup = elementwise(f"{p}.dup", (dgelu,), ffn_spec, 8.0)
+        w_upT = transpose(f"{p}.w_up.T", s["w_up"], (ffn, hidden),
+                          _spec(mp, None))
+        dln2 = matmul(f"{p}.dln2", dup, w_upT, m=tokens, k=ffn, n=hidden,
+                      out=acts)
+        ln2T = transpose(f"{p}.ln2.T", s["ln2"], (hidden, tokens),
+                         _spec(None, dp))
+        dw_up = matmul(f"{p}.w_up.grad", ln2T, dup, m=hidden, k=tokens,
+                       n=ffn, out=TensorSpec((hidden, ffn)))
+        dresid1 = elementwise(f"{p}.dresid1", (dln2, dx), acts, 2.0)
+
+        # Attention backward.
+        w_outT = transpose(f"{p}.w_out.T", s["w_out"], (hidden, hidden),
+                           _spec(None, mp))
+        dctx = matmul(f"{p}.dctx", dresid1, w_outT, m=tokens, k=hidden,
+                      n=hidden, out=acts)
+        ann[f"{p}.dctx"] = _spec(dp, mp)
+        ctxT = transpose(f"{p}.ctx.T", s["ctx"], (hidden, tokens),
+                         _spec(mp, dp))
+        dw_out = matmul(f"{p}.w_out.grad", ctxT, dresid1, m=hidden,
+                        k=tokens, n=hidden, out=TensorSpec((hidden, hidden)))
+        dsoftmax = matmul(f"{p}.dscores", dctx, s["qkv"],
+                          batch=global_batch * heads, m=seq, k=head_dim,
+                          n=seq, out=scores_spec, batch_local=True)
+        dattn = elementwise(f"{p}.dsoftmax", (dsoftmax,), scores_spec, 5.0)
+        dqkv = matmul(f"{p}.dqkv", dattn, s["qkv"],
+                      batch=global_batch * heads, m=seq, k=seq, n=head_dim,
+                      out=TensorSpec((tokens, 3 * hidden)), batch_local=True)
+        ann[f"{p}.dqkv"] = _spec(dp, mp)
+        w_qkvT = transpose(f"{p}.w_qkv.T", s["w_qkv"], (3 * hidden, hidden),
+                           _spec(mp, None))
+        dln1 = matmul(f"{p}.dln1", dqkv, w_qkvT, m=tokens, k=3 * hidden,
+                      n=hidden, out=acts)
+        ln1T = transpose(f"{p}.ln1.T", s["ln1"], (hidden, tokens),
+                         _spec(None, dp))
+        dw_qkv = matmul(f"{p}.w_qkv.grad", ln1T, dqkv, m=hidden, k=tokens,
+                        n=3 * hidden, out=TensorSpec((hidden, 3 * hidden)))
+        dx = elementwise(f"{p}.dx", (dln1, dresid1), acts, 2.0)
+
+        # Optimizer updates (Adam: m, v, and the write).
+        for wname, grad in ((s["w_qkv"], dw_qkv), (s["w_out"], dw_out),
+                            (s["w_up"], dw_up), (s["w_down"], dw_down)):
+            elementwise(f"{wname}.update", (wname, grad),
+                        g.op(wname).output, 4.0)
+
+    return g, ann
+
+
+# ---------------------------------------------------------------------------
+# DLRM
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class DLRMGraphConfig:
+    """Shape of one DLRM training step (Figure 8's model by default)."""
+
+    name: str = "DLRM"
+    num_tables: int = 8        # lookup ops emitted (tables, possibly grouped)
+    vocab_per_table: int = 4_000_000
+    embedding_width: int = 128
+    valency: int = 4           # averaged multivalent lookups per feature
+    dense_features: int = 512
+    bottom_mlp: tuple[int, ...] = (512, 256, 128)
+    top_mlp: tuple[int, ...] = (1024, 512, 256, 1)
+
+    def __post_init__(self) -> None:
+        if self.num_tables < 1:
+            raise ConfigurationError("need at least one embedding table")
+        if not self.top_mlp or self.top_mlp[-1] != 1:
+            raise ConfigurationError("top MLP must end in a single logit")
+
+
+def dlrm_step_graph(config: DLRMGraphConfig, mesh: DeviceMesh, *,
+                    global_batch: int, data_axis: str = "data",
+                    table_axis: str | None = None
+                    ) -> tuple[ComputationGraph, Annotations]:
+    """One DLRM training step: lookups, dense towers, loss, backward.
+
+    Tables are row-sharded over `table_axis` (default: the data axis,
+    i.e. model-parallel across the whole slice, Section 3.3), which
+    makes propagation insert the forward all-to-all; the builder emits
+    the matching backward gradient all-to-all explicitly.
+    """
+    table_axis = table_axis or data_axis
+    batch = global_batch
+    width = config.embedding_width
+    g = ComputationGraph(name=f"{config.name}-step")
+    ann: Annotations = {}
+
+    def elementwise(name: str, inputs: tuple[str, ...],
+                    spec: TensorSpec, fpe: float) -> str:
+        return g.add(ElementwiseOp(name=name, inputs=inputs, output=spec,
+                                   flops_per_element=fpe))
+
+    # -- embedding forward ------------------------------------------------------
+    emb_outputs = []
+    for t in range(config.num_tables):
+        table = g.add(ParameterOp(
+            name=f"table{t}",
+            output=TensorSpec((config.vocab_per_table, width))))
+        ann[f"table{t}"] = _spec(table_axis, None)
+        ids = g.add(InputOp(name=f"ids{t}",
+                            output=TensorSpec((batch,), dtype_bytes=4)))
+        ann[f"ids{t}"] = _spec(data_axis)
+        lookup = g.add(EmbeddingLookupOp(
+            name=f"lookup{t}", inputs=(table, ids),
+            output=TensorSpec((batch, width)),
+            vocab=config.vocab_per_table, width=width,
+            lookups=batch * config.valency))
+        emb_outputs.append(lookup)
+
+    emb_cat_spec = TensorSpec((batch, config.num_tables * width))
+    emb_cat = g.add(FusionOp(name="emb_concat", inputs=tuple(emb_outputs),
+                             output=emb_cat_spec))
+    ann["emb_concat"] = _spec(data_axis, None)
+
+    # -- dense forward ------------------------------------------------------------
+    dense_in = g.add(InputOp(
+        name="dense_in", output=TensorSpec((batch, config.dense_features))))
+    ann["dense_in"] = _spec(data_axis, None)
+
+    def mlp(prefix: str, x: str, in_dim: int,
+            dims: tuple[int, ...]) -> tuple[str, list[tuple[str, str, int, int]]]:
+        """Dense tower; returns (output op, [(weight, activation_in, k, n)])."""
+        chain = []
+        for j, out_dim in enumerate(dims):
+            w = g.add(ParameterOp(name=f"{prefix}.w{j}",
+                                  output=TensorSpec((in_dim, out_dim))))
+            ann[f"{prefix}.w{j}"] = _spec(None, None)
+            y = g.add(MatMulOp(name=f"{prefix}.mm{j}", inputs=(x, w),
+                               output=TensorSpec((batch, out_dim)),
+                               m=batch, k=in_dim, n=out_dim))
+            act = elementwise(f"{prefix}.relu{j}", (y,),
+                              TensorSpec((batch, out_dim)), 1.0)
+            chain.append((w, x, in_dim, out_dim))
+            x, in_dim = act, out_dim
+        return x, chain
+
+    bottom_out, bottom_chain = mlp("bottom", dense_in,
+                                   config.dense_features, config.bottom_mlp)
+
+    # -- feature interaction ---------------------------------------------------------
+    cat_dim = config.num_tables * width + config.bottom_mlp[-1]
+    interact_in = g.add(FusionOp(name="interact_in",
+                                 inputs=(emb_cat, bottom_out),
+                                 output=TensorSpec((batch, cat_dim))))
+    ann["interact_in"] = _spec(data_axis, None)
+    fields = config.num_tables + 1
+    interaction = g.add(MatMulOp(
+        name="interaction", inputs=(interact_in, interact_in),
+        output=TensorSpec((batch, fields * fields)),
+        batch=batch, m=fields, k=width, n=fields, batch_local=True))
+    ann["interaction"] = _spec(data_axis, None)
+
+    top_in_dim = fields * fields + config.bottom_mlp[-1]
+    top_in = g.add(FusionOp(name="top_in", inputs=(interaction, bottom_out),
+                            output=TensorSpec((batch, top_in_dim))))
+    top_out, top_chain = mlp("top", top_in, top_in_dim, config.top_mlp)
+    loss = elementwise("loss", (top_out,), TensorSpec((batch, 1)), 8.0)
+
+    # -- dense backward -----------------------------------------------------------------
+    def tower_backward(prefix: str, dx: str,
+                       chain: list[tuple[str, str, int, int]]) -> str:
+        for j, (w, act_in, in_dim, out_dim) in reversed(
+                list(enumerate(chain))):
+            dy_spec = TensorSpec((batch, out_dim))
+            drelu = elementwise(f"{prefix}.drelu{j}", (dx,), dy_spec, 1.0)
+            wT = g.add(FusionOp(name=f"{w}.T", inputs=(w,),
+                                output=TensorSpec((out_dim, in_dim))))
+            dx = g.add(MatMulOp(name=f"{prefix}.dmm{j}", inputs=(drelu, wT),
+                                output=TensorSpec((batch, in_dim)),
+                                m=batch, k=out_dim, n=in_dim))
+            actT = g.add(FusionOp(name=f"{prefix}.act{j}.T",
+                                  inputs=(act_in,),
+                                  output=TensorSpec((in_dim, batch))))
+            ann[f"{prefix}.act{j}.T"] = _spec(None, data_axis)
+            dw = g.add(MatMulOp(name=f"{w}.grad", inputs=(actT, drelu),
+                                output=TensorSpec((in_dim, out_dim)),
+                                m=in_dim, k=batch, n=out_dim))
+            elementwise(f"{w}.update", (w, dw),
+                        TensorSpec((in_dim, out_dim)), 4.0)
+        return dx
+
+    dtop_in = tower_backward("top", loss, top_chain)
+    # Split the concat gradient back to the bottom tower's output width.
+    dbottom = elementwise(
+        "dconcat.bottom", (dtop_in,),
+        TensorSpec((batch, config.bottom_mlp[-1])), 0.0)
+    tower_backward("bottom", dbottom, bottom_chain)
+
+    # -- embedding backward ----------------------------------------------------------------
+    # Gradient vectors return to the row owners (all-to-all), then the
+    # owners apply the sparse optimizer to their rows.
+    chips_on_axis = mesh.axis_size(table_axis)
+    grad_spec = TensorSpec((batch, width))
+    for t in range(config.num_tables):
+        demb = elementwise(f"demb{t}", (dtop_in,), grad_spec, 1.0)
+        local_bytes = grad_spec.num_bytes / max(chips_on_axis, 1)
+        back = g.add(AllToAllOp(
+            name=f"demb{t}.alltoall", inputs=(demb,), output=grad_spec,
+            mesh_axis=table_axis, comm_bytes=float(local_bytes)))
+        ann[f"demb{t}.alltoall"] = _spec(data_axis, None)
+        elementwise(f"table{t}.update", (f"table{t}", back),
+                    TensorSpec((config.vocab_per_table, width)), 4.0)
+
+    return g, ann
+
+
+# ---------------------------------------------------------------------------
+# MLP (minimal)
+# ---------------------------------------------------------------------------
+
+def mlp_step_graph(dims: tuple[int, ...], *, global_batch: int,
+                   data_axis: str | None = "data",
+                   model_axis: str | None = None
+                   ) -> tuple[ComputationGraph, Annotations]:
+    """Forward+backward+update of a plain MLP — the smallest real graph.
+
+    Args:
+        dims: layer widths including input, e.g. (1024, 4096, 1024).
+        global_batch: rows per step.
+        data_axis: mesh axis sharding the batch (None: no data parallel).
+        model_axis: mesh axis column-sharding odd layers / row-sharding
+            even layers, Megatron-style (None: no model parallel).
+    """
+    if len(dims) < 2:
+        raise ConfigurationError("an MLP needs at least input+output dims")
+    g = ComputationGraph(name="mlp-step")
+    ann: Annotations = {}
+    batch = global_batch
+
+    x = g.add(InputOp(name="x", output=TensorSpec((batch, dims[0]))))
+    ann["x"] = _spec(data_axis, None)
+    forward: list[tuple[str, str, int, int]] = []
+    for j, (k, n) in enumerate(zip(dims, dims[1:])):
+        w = g.add(ParameterOp(name=f"w{j}", output=TensorSpec((k, n))))
+        if model_axis is not None:
+            ann[f"w{j}"] = (_spec(None, model_axis) if j % 2 == 0
+                            else _spec(model_axis, None))
+        else:
+            ann[f"w{j}"] = _spec(None, None)
+        y = g.add(MatMulOp(name=f"mm{j}", inputs=(x, w),
+                           output=TensorSpec((batch, n)), m=batch, k=k, n=n))
+        act = g.add(ElementwiseOp(name=f"act{j}", inputs=(y,),
+                                  output=TensorSpec((batch, n)),
+                                  flops_per_element=1.0))
+        forward.append((w, x, k, n))
+        x = act
+
+    dx = g.add(ElementwiseOp(name="dloss", inputs=(x,),
+                             output=TensorSpec((batch, dims[-1])),
+                             flops_per_element=2.0))
+    for j, (w, act_in, k, n) in reversed(list(enumerate(forward))):
+        wT = g.add(FusionOp(name=f"w{j}.T", inputs=(w,),
+                            output=TensorSpec((n, k))))
+        if model_axis is not None:
+            ann[f"w{j}.T"] = (_spec(model_axis, None) if j % 2 == 0
+                              else _spec(None, model_axis))
+        dx_new = g.add(MatMulOp(name=f"dmm{j}", inputs=(dx, wT),
+                                output=TensorSpec((batch, k)),
+                                m=batch, k=n, n=k))
+        actT = g.add(FusionOp(name=f"act{j}.in.T", inputs=(act_in,),
+                              output=TensorSpec((k, batch))))
+        ann[f"act{j}.in.T"] = _spec(None, data_axis)
+        dw = g.add(MatMulOp(name=f"w{j}.grad", inputs=(actT, dx),
+                            output=TensorSpec((k, n)), m=k, k=batch, n=n))
+        g.add(ElementwiseOp(name=f"w{j}.update", inputs=(w, dw),
+                            output=TensorSpec((k, n)), flops_per_element=4.0))
+        dx = dx_new
+
+    return g, ann

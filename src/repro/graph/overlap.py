@@ -1,0 +1,173 @@
+"""Communication/computation overlap via decomposition (Wang et al. [59]).
+
+Section 7.10 credits TPU v4's LLM efficiency to partitioning "across
+more chips with effective compute-communication overlap", citing the
+ASPLOS'23 decomposition paper: a collective and the matmul that
+produces or consumes its data are split into chunks so chunk *i*'s
+transfer hides under chunk *i-1*'s compute.
+
+The transform here operates on a partitioned program
+(:class:`~repro.graph.spmd.ShardedGraph`): it replaces one
+collective+matmul pair with `chunks` interleaved pairs plus a zero-cost
+fusion carrying the original names, so every downstream consumer (and
+the event-driven scheduler) is oblivious.  Scheduling the transformed
+graph with ``overlap_comm=True`` then exhibits the overlap — no
+special-case timing math, the pipelining emerges from the dependency
+structure.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.errors import ConfigurationError
+from repro.graph.graph import ComputationGraph
+from repro.graph.ops import CollectiveOp, FusionOp, MatMulOp, Op
+from repro.graph.spmd import ShardedGraph
+
+
+def _chunked_name(name: str, i: int) -> str:
+    return f"{name}.part{i}"
+
+
+def decompose_pair(sharded: ShardedGraph, collective_name: str,
+                   matmul_name: str, chunks: int) -> ShardedGraph:
+    """Split one collective+matmul dependency into `chunks` chunk pairs.
+
+    Either order is supported: a matmul consuming a collective's output
+    (all-gather before the matmul) or a collective consuming a matmul's
+    output (all-reduce/reduce-scatter after it).
+
+    Args:
+        sharded: the partitioned program to transform.
+        collective_name: name of the collective op.
+        matmul_name: name of the dependent (or producing) matmul.
+        chunks: number of interleaved chunk pairs (>= 1).
+
+    Returns:
+        A new :class:`ShardedGraph`; the input is left untouched.
+    """
+    if chunks < 1:
+        raise ConfigurationError(f"chunks must be >= 1, got {chunks}")
+    graph = sharded.graph
+    collective = graph.op(collective_name)
+    matmul = graph.op(matmul_name)
+    if not isinstance(collective, CollectiveOp):
+        raise ConfigurationError(f"{collective_name!r} is not a collective")
+    if not isinstance(matmul, MatMulOp):
+        raise ConfigurationError(f"{matmul_name!r} is not a matmul")
+    if collective_name in matmul.inputs:
+        first, second = collective, matmul
+    elif matmul_name in collective.inputs:
+        first, second = matmul, collective
+    else:
+        raise ConfigurationError(
+            f"{collective_name!r} and {matmul_name!r} are not adjacent")
+
+    out = ComputationGraph(name=graph.name)
+    new = ShardedGraph(graph=out, mesh=sharded.mesh,
+                       shardings=dict(sharded.shardings),
+                       local_flops=dict(sharded.local_flops),
+                       local_bytes=dict(sharded.local_bytes))
+
+    def add_chunks(op: Op, chunk_dep: str | None = None) -> None:
+        """Emit `chunks` scaled copies plus the name-preserving fusion.
+
+        When `chunk_dep` names the partner op, chunk *i* consumes the
+        partner's chunk *i* directly — that per-chunk dependency is
+        what lets the scheduler pipeline transfer and compute.
+        """
+        names = []
+        for i in range(chunks):
+            inputs = tuple(
+                _chunked_name(inp, i) if inp == chunk_dep else inp
+                for inp in op.inputs)
+            chunk = dataclasses.replace(op, name=_chunked_name(op.name, i),
+                                        inputs=inputs)
+            if isinstance(chunk, CollectiveOp):
+                chunk = dataclasses.replace(
+                    chunk, comm_bytes=op.comm_bytes / chunks)
+            out.add(chunk)
+            names.append(chunk.name)
+            new.shardings[chunk.name] = sharded.shardings[op.name]
+            new.local_flops[chunk.name] = \
+                sharded.local_flops[op.name] / chunks
+            new.local_bytes[chunk.name] = \
+                sharded.local_bytes[op.name] / chunks
+        fusion = FusionOp(name=op.name, inputs=tuple(names),
+                          output=op.output)
+        out.add(fusion)
+        new.shardings[op.name] = sharded.shardings[op.name]
+        new.local_flops[op.name] = 0.0
+        new.local_bytes[op.name] = 0.0
+
+    for op in graph.ops():
+        if op.name == first.name:
+            add_chunks(first)
+        elif op.name == second.name:
+            add_chunks(second, chunk_dep=first.name)
+        else:
+            out.add(op)
+    return new
+
+
+def overlappable_pairs(sharded: ShardedGraph) -> list[tuple[str, str]]:
+    """(collective, matmul) pairs eligible for decomposition.
+
+    A pair qualifies when the matmul is the *only* consumer of the
+    collective (or vice versa), so chunking cannot change semantics for
+    third parties.
+    """
+    graph = sharded.graph
+    pairs = []
+    for op in graph.collectives():
+        consumers = graph.consumers(op.name)
+        if len(consumers) == 1 and isinstance(graph.op(consumers[0]),
+                                              MatMulOp):
+            pairs.append((op.name, consumers[0]))
+            continue
+        if len(op.inputs) == 1:
+            producer = graph.op(op.inputs[0])
+            if isinstance(producer, MatMulOp) \
+                    and graph.consumers(producer.name) == [op.name]:
+                pairs.append((op.name, producer.name))
+    return pairs
+
+
+def decompose_all(sharded: ShardedGraph, chunks: int) -> ShardedGraph:
+    """Apply :func:`decompose_pair` to every eligible pair.
+
+    An op can appear in two pairs (a matmul fed by an all-gather whose
+    result feeds an all-reduce); the first decomposition turns it into
+    a fusion, so later pairs re-check types and skip it.
+    """
+    current = sharded
+    for collective_name, matmul_name in overlappable_pairs(sharded):
+        graph = current.graph
+        if not isinstance(graph.op(collective_name), CollectiveOp):
+            continue
+        if not isinstance(graph.op(matmul_name), MatMulOp):
+            continue
+        current = decompose_pair(current, collective_name, matmul_name,
+                                 chunks)
+    return current
+
+
+def overlap_speedup(sharded: ShardedGraph, chunks: int = 4, *,
+                    chip=None) -> dict[str, float]:
+    """Step times without overlap, with overlap, and with decomposition.
+
+    Returns a dict with keys ``serial`` (collectives block compute),
+    ``overlap`` (independent collectives run concurrently), and
+    ``decomposed`` (plus chunked dependent pairs) — the three rungs of
+    the [59] ablation.
+    """
+    from repro.graph.schedule import TPUV4_TIMING, simulate
+    chip = chip or TPUV4_TIMING
+    serial = simulate(sharded, chip=chip, overlap_comm=False).makespan
+    overlapped = simulate(sharded, chip=chip, overlap_comm=True).makespan
+    decomposed_graph = decompose_all(sharded, chunks)
+    decomposed = simulate(decomposed_graph, chip=chip,
+                          overlap_comm=True).makespan
+    return {"serial": serial, "overlap": overlapped,
+            "decomposed": decomposed}

@@ -1,0 +1,18 @@
+"""MLPerf Training comparison harness (Figures 14-15).
+
+Like the paper, we treat published MLPerf results as input data and
+reproduce the comparison *methodology*: fastest-per-DSA bars and log-log
+scaling curves with interpolation to equal system sizes.
+"""
+
+from repro.mlperf.results import (MLPerfEntry, MLPERF_RESULTS,
+                                  entries_for, systems_in)
+from repro.mlperf.comparison import (ScalingSeries, equal_size_ratio,
+                                     fastest_relative_to_a100,
+                                     interpolate_time, scaling_series)
+
+__all__ = [
+    "MLPerfEntry", "MLPERF_RESULTS", "entries_for", "systems_in",
+    "ScalingSeries", "interpolate_time", "scaling_series",
+    "equal_size_ratio", "fastest_relative_to_a100",
+]

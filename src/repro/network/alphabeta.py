@@ -1,0 +1,190 @@
+"""Alpha-beta (latency-bandwidth) collective cost models on torus axes.
+
+The graph-level simulator (:mod:`repro.graph`) charges every collective
+op a closed-form time of the classic form ``alpha * steps + bytes /
+bandwidth``.  This is the same altitude as the paper's own evaluation
+vehicle — "an internal event-driven simulator that operates at the
+TensorFlow graph operation level" (Section 7.3) — where each graph op
+gets a cost from an analytic model rather than a per-packet simulation.
+
+A mesh axis (data / model1 / model2 / pipeline) spans one or more whole
+torus dimensions (Section 2.7: "users map data parallelism along one
+dimension of the 3D torus and the two model parallel parameters on the
+other dimensions").  Collectives restricted to an axis use only the
+links of its torus dimensions, so collectives on *disjoint* axes can
+run concurrently — that concurrency is what the graph scheduler models;
+this module only prices one collective on one axis.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+# Per-hop latency of one collective step on ICI: DMA issue + switch
+# traversal.  Figure 6's microbenchmark uses 4 KiB DMAs at 50 GB/s
+# (~80 ns serialization); software overhead dominates at ~1-2 us per
+# step, so we default to the conservative end.
+DEFAULT_ALPHA = 1e-6
+
+
+def _validate(num_bytes: float, link_bandwidth: float) -> None:
+    if num_bytes < 0:
+        raise ConfigurationError(f"num_bytes must be >= 0, got {num_bytes}")
+    if link_bandwidth <= 0:
+        raise ConfigurationError(
+            f"link_bandwidth must be > 0, got {link_bandwidth}")
+
+
+@dataclass(frozen=True)
+class AxisGeometry:
+    """The torus sub-shape one mesh axis spans.
+
+    Attributes:
+        ring_sizes: sizes of the torus dimensions the axis occupies;
+            their product is the axis (group) size.
+        link_bandwidth: per-direction bandwidth of one ICI link (B/s).
+        wrap: True when the dimensions close into rings (torus); False
+            for sub-4^3 mesh slices, which halve usable ring bandwidth.
+        alpha: fixed latency per collective step (seconds).
+    """
+
+    ring_sizes: tuple[int, ...]
+    link_bandwidth: float
+    wrap: bool = True
+    alpha: float = DEFAULT_ALPHA
+
+    def __post_init__(self) -> None:
+        if not self.ring_sizes:
+            raise ConfigurationError("axis must span at least one dimension")
+        for n in self.ring_sizes:
+            if n < 1:
+                raise ConfigurationError(f"ring size must be >= 1, got {n}")
+        _validate(0, self.link_bandwidth)
+        if self.alpha < 0:
+            raise ConfigurationError(f"alpha must be >= 0, got {self.alpha}")
+
+    @property
+    def size(self) -> int:
+        """Number of chips in the axis group."""
+        return math.prod(self.ring_sizes)
+
+    @property
+    def directions(self) -> int:
+        """Concurrent send directions per ring (2 on a torus, 1 on a mesh)."""
+        return 2 if self.wrap else 1
+
+    # -- collective times ----------------------------------------------------
+
+    def allreduce(self, num_bytes: float) -> float:
+        """Dimension-ordered ring all-reduce of `num_bytes` per chip.
+
+        Reduce-scatter sweeps each ring in order (the shard shrinks by the
+        ring size after each sweep), then all-gather sweeps back; both ring
+        directions carry half the traffic on a torus.
+        """
+        _validate(num_bytes, self.link_bandwidth)
+        bandwidth = self.directions * self.link_bandwidth
+        total = 0.0
+        shard = num_bytes
+        for n in self._rings():
+            total += (n - 1) / n * shard / bandwidth
+            shard /= n
+        for n in reversed(self._rings()):
+            shard *= n
+            total += (n - 1) / n * shard / bandwidth
+        return total + self.alpha * self.num_steps()
+
+    def reduce_scatter(self, num_bytes: float) -> float:
+        """Reduce-scatter of `num_bytes` per chip down to 1/size shards."""
+        _validate(num_bytes, self.link_bandwidth)
+        bandwidth = self.directions * self.link_bandwidth
+        total = 0.0
+        shard = num_bytes
+        for n in self._rings():
+            total += (n - 1) / n * shard / bandwidth
+            shard /= n
+        return total + self.alpha * self.num_steps() / 2
+
+    def allgather(self, num_bytes: float) -> float:
+        """All-gather whose *result* is `num_bytes` per chip.
+
+        Symmetric to reduce-scatter: the shard grows by each ring size.
+        """
+        return self.reduce_scatter(num_bytes)
+
+    def alltoall(self, num_bytes: float) -> float:
+        """All-to-all where each chip exchanges `num_bytes` total.
+
+        Bisection-limited: the cut across the longest ring carries
+        N^2/4 pair-transfers over 2N/n_max links per direction (half
+        that without wraparound), giving N * n_max / 8 effective
+        per-pair serialization.
+        """
+        _validate(num_bytes, self.link_bandwidth)
+        n = self.size
+        if n < 2:
+            return 0.0
+        per_pair = num_bytes / (n - 1)
+        n_max = max(self._rings(), default=1)
+        factor = 8.0 if self.wrap else 4.0
+        serial = n * n_max / factor
+        return serial * per_pair / self.link_bandwidth + self.alpha
+
+    def permute(self, num_bytes: float) -> float:
+        """Neighbor exchange (pipeline send/recv) of `num_bytes`."""
+        _validate(num_bytes, self.link_bandwidth)
+        return num_bytes / self.link_bandwidth + self.alpha
+
+    def broadcast(self, num_bytes: float) -> float:
+        """One-to-all broadcast: pipelined around the rings."""
+        _validate(num_bytes, self.link_bandwidth)
+        bandwidth = self.directions * self.link_bandwidth
+        return num_bytes / bandwidth + self.alpha * self.num_steps() / 2
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _rings(self) -> list[int]:
+        return [n for n in self.ring_sizes if n >= 2]
+
+    def num_steps(self) -> int:
+        """Ring steps of a full all-reduce (latency term)."""
+        return sum(2 * (n - 1) for n in self._rings())
+
+
+class CollectiveCostModel:
+    """Prices collectives per mesh axis for the graph scheduler.
+
+    Args:
+        axes: mesh axis name -> :class:`AxisGeometry`.
+    """
+
+    def __init__(self, axes: dict[str, AxisGeometry]) -> None:
+        if not axes:
+            raise ConfigurationError("cost model needs at least one axis")
+        self.axes = dict(axes)
+
+    def geometry(self, axis: str) -> AxisGeometry:
+        """Geometry of one mesh axis; raises for unknown names."""
+        if axis not in self.axes:
+            raise ConfigurationError(
+                f"unknown mesh axis {axis!r}; have {sorted(self.axes)}")
+        return self.axes[axis]
+
+    def time(self, kind: str, axis: str, num_bytes: float) -> float:
+        """Time of one collective `kind` on `axis` moving `num_bytes`."""
+        geometry = self.geometry(axis)
+        pricing = {
+            "all_reduce": geometry.allreduce,
+            "reduce_scatter": geometry.reduce_scatter,
+            "all_gather": geometry.allgather,
+            "all_to_all": geometry.alltoall,
+            "permute": geometry.permute,
+            "broadcast": geometry.broadcast,
+        }
+        if kind not in pricing:
+            raise ConfigurationError(
+                f"unknown collective kind {kind!r}; have {sorted(pricing)}")
+        return pricing[kind](num_bytes)

@@ -1,0 +1,79 @@
+"""Max-min fair rate allocation (progressive filling).
+
+Given flows that each traverse a set of capacity-limited links, the
+max-min fair allocation repeatedly saturates the most-constrained link,
+freezes its flows at the bottleneck fair share, and recurses on the rest.
+This is the standard fluid model for congestion-controlled networks and is
+what the flow simulator recomputes whenever the flow set changes.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Mapping, Sequence
+
+from repro.errors import SimulationError
+
+LinkId = Hashable
+
+
+def max_min_fair_rates(
+    flow_routes: Sequence[Sequence[LinkId]],
+    capacities: Mapping[LinkId, float],
+) -> list[float]:
+    """Compute the max-min fair rate for each flow.
+
+    Args:
+        flow_routes: per flow, the links it traverses (loop-free; a flow
+            using a link twice counts it twice).
+        capacities: per-link capacity; every referenced link must appear.
+
+    Returns one rate per flow, in input order.  Flows with empty routes
+    (src == dst, purely local) get infinite rate represented as
+    ``float('inf')``.
+
+    >>> max_min_fair_rates([["a"], ["a"], ["a", "b"]], {"a": 3.0, "b": 0.5})
+    [1.25, 1.25, 0.5]
+    """
+    remaining = {}
+    usage_count: dict[LinkId, dict[int, int]] = {}
+    for flow_id, route in enumerate(flow_routes):
+        for link in route:
+            if link not in capacities:
+                raise SimulationError(f"flow {flow_id} uses unknown link {link}")
+            remaining.setdefault(link, float(capacities[link]))
+            usage_count.setdefault(link, {})
+            usage_count[link][flow_id] = usage_count[link].get(flow_id, 0) + 1
+
+    for link, capacity in remaining.items():
+        if capacity < 0:
+            raise SimulationError(f"link {link} has negative capacity")
+
+    rates = [0.0] * len(flow_routes)
+    active = {flow_id for flow_id, route in enumerate(flow_routes) if route}
+    for flow_id, route in enumerate(flow_routes):
+        if not route:
+            rates[flow_id] = float("inf")
+
+    while active:
+        # Find the tightest link: smallest fair share for its active flows.
+        bottleneck_share = None
+        bottleneck_link = None
+        for link, flows_on_link in usage_count.items():
+            weight = sum(mult for fid, mult in flows_on_link.items()
+                         if fid in active)
+            if weight == 0:
+                continue
+            share = remaining[link] / weight
+            if bottleneck_share is None or share < bottleneck_share:
+                bottleneck_share = share
+                bottleneck_link = link
+        if bottleneck_link is None:
+            break  # remaining active flows traverse no congested link
+        frozen = [fid for fid in usage_count[bottleneck_link] if fid in active]
+        for flow_id in frozen:
+            rates[flow_id] = bottleneck_share
+            active.discard(flow_id)
+            # Charge this flow's rate against every link traversal.
+            for link in flow_routes[flow_id]:
+                remaining[link] = max(remaining[link] - bottleneck_share, 0.0)
+    return rates

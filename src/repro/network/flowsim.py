@@ -1,0 +1,166 @@
+"""A fluid flow-level network simulator.
+
+Flows carry bytes along fixed routes; active flows share links max-min
+fairly; whenever the flow set changes the rates are recomputed and the next
+completion is scheduled on the discrete-event kernel.  Completion callbacks
+can inject follow-up flows, which is how collective schedules (e.g. the
+steps of a ring all-reduce) express dependencies.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Hashable, Optional, Sequence
+
+from repro.errors import SimulationError
+from repro.network.fairshare import max_min_fair_rates
+from repro.sim.events import Simulator
+
+LinkId = Hashable
+
+
+@dataclass
+class Flow:
+    """One transfer: `size` bytes along `route` (a sequence of link ids)."""
+
+    flow_id: int
+    route: tuple[LinkId, ...]
+    size: float
+    remaining: float
+    start_time: float
+    on_complete: Optional[Callable[["Flow"], None]] = None
+    finish_time: Optional[float] = None
+    rate: float = 0.0
+
+    @property
+    def done(self) -> bool:
+        """True once all bytes are delivered."""
+        return self.finish_time is not None
+
+
+class FlowSim:
+    """Max-min fair fluid simulation over a static link-capacity map."""
+
+    def __init__(self, capacities: dict[LinkId, float],
+                 latency: float = 0.0) -> None:
+        """Args:
+            capacities: link id -> bytes/second.
+            latency: fixed per-flow latency added before bytes flow
+                (models propagation + fixed message overhead).
+        """
+        for link, capacity in capacities.items():
+            if capacity <= 0:
+                raise SimulationError(f"link {link} capacity must be > 0")
+        self.capacities = dict(capacities)
+        self.latency = latency
+        self.sim = Simulator()
+        self.flows: list[Flow] = []
+        self._active: list[Flow] = []
+        self._pending_event = None
+        self._last_update = 0.0
+
+    # -- public API -------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self.sim.now
+
+    def add_flow(self, route: Sequence[LinkId], size: float, *,
+                 delay: float = 0.0,
+                 on_complete: Callable[[Flow], None] | None = None) -> Flow:
+        """Inject a flow `delay` seconds from now; returns its handle."""
+        if size < 0:
+            raise SimulationError(f"flow size must be >= 0, got {size}")
+        flow = Flow(flow_id=len(self.flows), route=tuple(route), size=size,
+                    remaining=size, start_time=self.sim.now + delay,
+                    on_complete=on_complete)
+        self.flows.append(flow)
+        self.sim.schedule(delay + self.latency, lambda: self._start(flow))
+        return flow
+
+    def run(self, max_events: int | None = 1_000_000) -> float:
+        """Run to completion; returns the final simulation time."""
+        self.sim.run(max_events=max_events)
+        stuck = [f for f in self.flows if not f.done]
+        if stuck:
+            raise SimulationError(
+                f"{len(stuck)} flows never completed (zero-rate routes?)")
+        return self.sim.now
+
+    def completion_time(self, flow: Flow) -> float:
+        """Finish time of a completed flow."""
+        if flow.finish_time is None:
+            raise SimulationError(f"flow {flow.flow_id} has not finished")
+        return flow.finish_time
+
+    # -- internals ------------------------------------------------------------------
+
+    def _start(self, flow: Flow) -> None:
+        self._advance_progress()
+        if flow.size == 0 or not flow.route:
+            flow.finish_time = self.sim.now
+            if flow.on_complete:
+                flow.on_complete(flow)
+            self._reschedule()
+            return
+        self._active.append(flow)
+        self._reschedule()
+
+    def _advance_progress(self) -> None:
+        """Drain bytes at current rates for the elapsed interval."""
+        elapsed = self.sim.now - self._last_update
+        if elapsed > 0:
+            for flow in self._active:
+                flow.remaining = max(flow.remaining - flow.rate * elapsed, 0.0)
+        self._last_update = self.sim.now
+
+    def _reschedule(self) -> None:
+        """Recompute fair rates and schedule the next completion event."""
+        if self._pending_event is not None:
+            self._pending_event.cancel()
+            self._pending_event = None
+        if not self._active:
+            return
+        rates = max_min_fair_rates([f.route for f in self._active],
+                                   self.capacities)
+        soonest = math.inf
+        for flow, rate in zip(self._active, rates):
+            flow.rate = rate
+            if rate <= 0:
+                raise SimulationError(
+                    f"flow {flow.flow_id} got zero rate; check capacities")
+            soonest = min(soonest, flow.remaining / rate)
+        self._pending_event = self.sim.schedule(soonest, self._complete_due)
+
+    def _complete_due(self) -> None:
+        self._advance_progress()
+        finished = [f for f in self._active if f.remaining <= 1e-9]
+        self._active = [f for f in self._active if f.remaining > 1e-9]
+        self._pending_event = None
+        for flow in finished:
+            flow.remaining = 0.0
+            flow.finish_time = self.sim.now
+        # Callbacks may add flows; run them before rescheduling.
+        for flow in finished:
+            if flow.on_complete:
+                flow.on_complete(flow)
+        self._reschedule()
+
+
+def topology_capacities(topology, link_bandwidth: float) -> dict[LinkId, float]:
+    """Directed link-capacity map for a repro topology.
+
+    Parallel links appear as one directed link id with summed capacity.
+    """
+    capacities: dict[LinkId, float] = {}
+    for u, v, mult in topology.edges():
+        capacities[(u, v)] = mult * link_bandwidth
+        capacities[(v, u)] = mult * link_bandwidth
+    return capacities
+
+
+def route_links(path: Sequence) -> list[tuple]:
+    """Convert a node path into the directed link ids FlowSim expects."""
+    return [(u, v) for u, v in zip(path, path[1:])]

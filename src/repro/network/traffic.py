@@ -1,0 +1,41 @@
+"""Traffic patterns used by the paper's microbenchmarks and workloads."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.sim.rng import make_rng
+
+
+def alltoall_pairs(nodes: Sequence) -> list[tuple]:
+    """Every ordered (src, dst) pair, src != dst (uniform all-to-all)."""
+    return [(src, dst) for src in nodes for dst in nodes if src != dst]
+
+
+def permutation_pairs(nodes: Sequence, seed: int = 0) -> list[tuple]:
+    """A random permutation traffic pattern (each node sends to one peer)."""
+    rng = make_rng(seed)
+    nodes = list(nodes)
+    targets = list(nodes)
+    # Re-draw until derangement-ish: no self pairs (bounded retries).
+    for _ in range(100):
+        rng.shuffle(targets)
+        if all(s != t for s, t in zip(nodes, targets)):
+            break
+    return [(s, t) for s, t in zip(nodes, targets) if s != t]
+
+
+def neighbor_exchange_pairs(topology) -> list[tuple]:
+    """Each node exchanges with every direct neighbor (halo pattern)."""
+    pairs = []
+    for node in topology.nodes:
+        for neighbor in topology.unique_neighbors(node):
+            pairs.append((node, neighbor))
+    return pairs
+
+
+def hotspot_pairs(nodes: Sequence, hotspot_index: int = 0) -> list[tuple]:
+    """All nodes send to one hot node (worst-case incast)."""
+    nodes = list(nodes)
+    hot = nodes[hotspot_index]
+    return [(src, hot) for src in nodes if src != hot]

@@ -1,0 +1,38 @@
+"""Circulator accounting.
+
+Optical circulators let one fiber carry light in both directions, so a
+bidirectional link consumes *one* OCS port per switch traversal instead of
+two, "halving the number of required ports and cables" (Section 2.1).
+
+These helpers quantify that saving; the fabric model always assumes
+circulators (as deployed).
+"""
+
+from __future__ import annotations
+
+from repro.errors import OCSError
+
+
+def fibers_required(num_links: int, *, with_circulators: bool = True) -> int:
+    """Fibers needed to carry `num_links` bidirectional links.
+
+    >>> fibers_required(96), fibers_required(96, with_circulators=False)
+    (96, 192)
+    """
+    if num_links < 0:
+        raise OCSError(f"link count must be non-negative, got {num_links}")
+    return num_links if with_circulators else 2 * num_links
+
+
+def ports_required(num_links: int, *, with_circulators: bool = True) -> int:
+    """OCS ports consumed when `num_links` bidirectional links transit a switch.
+
+    Each fiber terminates on one port; each link transits the switch once
+    (entering on the source-side fiber's port and leaving on the
+    destination-side fiber's port), so a link costs 2 ports with
+    circulators and 4 without.
+
+    >>> ports_required(64), ports_required(64, with_circulators=False)
+    (128, 256)
+    """
+    return 2 * fibers_required(num_links, with_circulators=with_circulators)

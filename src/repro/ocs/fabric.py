@@ -1,0 +1,124 @@
+"""The 48-switch OCS fabric joining 64 blocks (paper Figure 1).
+
+Wiring law: a 4x4x4 block exposes 16 links on each of its 6 faces.  The
+"+"-face link and the "-"-face link with the same dimension and face index
+connect to the *same* OCS, so a machine needs 3 dimensions x 16 face
+positions = 48 switches.  Each switch sees every block twice (its "+" fiber
+and its "-" fiber): 64 blocks x 2 = 128 ports — exactly the Palomar's
+usable port count.
+
+Port convention on switch (dim, face_index):
+    port(block, '+') = block_id          (0..63)
+    port(block, '-') = 64 + block_id     (64..127)
+
+Connecting block A's "+" port to block B's "-" port realizes the directed
+adjacency "A is the -side neighbor of B along dim" for that face position
+(i.e. chips on A's high face link to chips on B's low face).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.errors import OCSError
+from repro.ocs.switch import OpticalCircuitSwitch
+
+FACE_SIDE = 4
+FACE_LINKS = FACE_SIDE * FACE_SIDE  # 16 links per block face
+NUM_DIMS = 3
+NUM_OCS = NUM_DIMS * FACE_LINKS  # 48
+DEFAULT_NUM_BLOCKS = 64
+
+
+class OCSFabric:
+    """All 48 OCSes of one TPU v4 supercomputer plus the wiring law."""
+
+    def __init__(self, num_blocks: int = DEFAULT_NUM_BLOCKS) -> None:
+        if num_blocks < 1:
+            raise OCSError(f"need at least one block, got {num_blocks}")
+        self.num_blocks = num_blocks
+        self.switches: dict[tuple[int, int], OpticalCircuitSwitch] = {}
+        for dim in range(NUM_DIMS):
+            for face_index in range(FACE_LINKS):
+                name = f"ocs-d{dim}-f{face_index:02d}"
+                self.switches[(dim, face_index)] = OpticalCircuitSwitch(name)
+
+    # -- wiring law -------------------------------------------------------------
+
+    def switch_for(self, dim: int, face_index: int) -> OpticalCircuitSwitch:
+        """The OCS serving a (dimension, face position) pair."""
+        key = (dim, face_index)
+        if key not in self.switches:
+            raise OCSError(f"no switch for dim={dim}, face_index={face_index}")
+        return self.switches[key]
+
+    def port_for(self, block_id: int, side: str) -> int:
+        """Palomar port used by a block's '+' or '-' fiber on any switch."""
+        if not 0 <= block_id < self.num_blocks:
+            raise OCSError(f"block {block_id} outside 0..{self.num_blocks - 1}")
+        if side == "+":
+            return block_id
+        if side == "-":
+            return self.num_blocks + block_id
+        raise OCSError(f"side must be '+' or '-', got {side!r}")
+
+    # -- circuit management -------------------------------------------------------
+
+    def connect_blocks(self, dim: int, face_index: int,
+                       low_block: int, high_block: int) -> None:
+        """Link `low_block`'s high face to `high_block`'s low face.
+
+        The chip on low_block's "+" face (x=3 plane for dim 0) gains a link
+        to the matching chip on high_block's "-" face (x=0 plane).
+        low_block == high_block is legal: that is the wraparound of a
+        dimension spanning a single block.
+        """
+        switch = self.switch_for(dim, face_index)
+        switch.connect(self.port_for(low_block, "+"),
+                       self.port_for(high_block, "-"))
+
+    def clear(self) -> None:
+        """Tear down every circuit on every switch."""
+        for switch in self.switches.values():
+            switch.clear()
+
+    def total_circuits(self) -> int:
+        """Live circuits across all switches."""
+        return sum(s.num_circuits for s in self.switches.values())
+
+    def circuits(self) -> Iterator[tuple[int, int, int, int]]:
+        """Yield (dim, face_index, low_block, high_block) per live circuit."""
+        for (dim, face_index), switch in sorted(self.switches.items()):
+            for port_a, port_b in switch.circuits():
+                low = min(port_a, port_b)
+                high = max(port_a, port_b)
+                if low >= self.num_blocks or high < self.num_blocks:
+                    raise OCSError(
+                        f"{switch.name}: circuit ({port_a},{port_b}) does not "
+                        f"pair a '+' port with a '-' port")
+                yield dim, face_index, low, high - self.num_blocks
+
+    # -- capacity sanity -----------------------------------------------------------
+
+    def ports_per_switch_needed(self) -> int:
+        """Ports each switch must offer to serve every block (both sides)."""
+        return 2 * self.num_blocks
+
+    def validate_capacity(self) -> None:
+        """Check every switch can terminate all blocks' fibers."""
+        needed = self.ports_per_switch_needed()
+        for switch in self.switches.values():
+            if switch.usable_ports < needed:
+                raise OCSError(
+                    f"{switch.name}: {switch.usable_ports} usable ports "
+                    f"< {needed} needed for {self.num_blocks} blocks")
+
+    def optical_link_budget(self) -> dict[str, int]:
+        """Fiber/port totals for the full machine (Section 2.10 inputs)."""
+        links_per_block = 2 * NUM_DIMS * FACE_LINKS  # 96: 6 faces x 16
+        return {
+            "switches": len(self.switches),
+            "fibers": self.num_blocks * links_per_block,
+            "transceiver_ends": self.num_blocks * links_per_block,
+            "max_circuits": len(self.switches) * self.num_blocks,
+        }

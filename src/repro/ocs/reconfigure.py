@@ -1,0 +1,171 @@
+"""Realize a slice topology by programming the OCS fabric.
+
+A slice's chip-level torus (or twisted torus) decomposes into:
+
+* electrical links — the mesh inside each 4x4x4 block (never change);
+* optical links — every inter-block and wraparound link, each one an OCS
+  circuit on the switch serving its (dimension, face position).
+
+Because the paper's twists skew by multiples of 4, all 16 chip links of a
+block face always target the *same* destination block, and the face
+position is preserved end-to-end — which is exactly why twisting is "mostly
+reprogramming of routing in the OCS" (Section 2.8) and why each of the 48
+switches can be programmed independently.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import OCSError, TopologyError
+from repro.ocs.fabric import FACE_SIDE, OCSFabric
+from repro.topology.base import Topology
+from repro.topology.builder import build_topology, is_block_multiple
+from repro.topology.coords import Coord
+
+BlockCoord = tuple[int, int, int]
+
+
+def block_of(chip: Coord) -> BlockCoord:
+    """The block-grid coordinate containing a chip."""
+    return (chip[0] // FACE_SIDE, chip[1] // FACE_SIDE, chip[2] // FACE_SIDE)
+
+
+def is_electrical(u: Coord, v: Coord) -> bool:
+    """True for links carried by the in-rack electrical mesh."""
+    if block_of(u) != block_of(v):
+        return False
+    return sum(abs(a - b) for a, b in zip(u, v)) == 1
+
+
+@dataclass
+class Circuit:
+    """One programmed OCS circuit realizing one chip-level optical link."""
+
+    dim: int
+    face_index: int
+    low_block: int   # physical block id whose '+' face feeds the circuit
+    high_block: int  # physical block id whose '-' face receives it
+    chip_link: tuple[Coord, Coord]
+
+
+@dataclass
+class SliceWiring:
+    """The complete wiring record for one realized slice."""
+
+    shape: tuple[int, int, int]
+    twisted: bool
+    placement: dict[BlockCoord, int]
+    topology: Topology
+    circuits: list[Circuit] = field(default_factory=list)
+    num_electrical_links: int = 0
+
+    @property
+    def num_optical_links(self) -> int:
+        """Chip-level links carried by OCS circuits."""
+        return len(self.circuits)
+
+    def verify(self) -> None:
+        """Cross-check the wiring against the slice topology."""
+        expected_total = self.topology.num_links
+        actual = self.num_optical_links + self.num_electrical_links
+        if actual != expected_total:
+            raise OCSError(
+                f"wiring covers {actual} links but topology has "
+                f"{expected_total}")
+
+
+def default_placement(shape: tuple[int, int, int]) -> dict[BlockCoord, int]:
+    """Identity placement: block-grid coords to row-major physical ids."""
+    blocks_per_dim = tuple(d // FACE_SIDE for d in shape)
+    placement: dict[BlockCoord, int] = {}
+    next_id = 0
+    for bx in range(blocks_per_dim[0]):
+        for by in range(blocks_per_dim[1]):
+            for bz in range(blocks_per_dim[2]):
+                placement[(bx, by, bz)] = next_id
+                next_id += 1
+    return placement
+
+
+def _face_position(chip: Coord, dim: int) -> int:
+    """Index 0..15 of a chip's link on its block face for `dim`."""
+    others = [d for d in range(3) if d != dim]
+    return (chip[others[0]] % FACE_SIDE) * FACE_SIDE + (chip[others[1]] % FACE_SIDE)
+
+
+def realize_slice(fabric: OCSFabric, shape: tuple[int, int, int], *,
+                  twisted: bool = False,
+                  placement: dict[BlockCoord, int] | None = None) -> SliceWiring:
+    """Program `fabric` with every circuit needed for the slice.
+
+    Args:
+        fabric: the machine's OCS fabric; circuits are created on it.
+        shape: slice shape in chips.  Sub-block (mesh) shapes yield a wiring
+            with zero circuits — they live entirely on electrical links.
+        twisted: request the twisted-torus variant.
+        placement: block-grid coordinate -> physical block id.  Defaults to
+            the identity placement.  This is the scheduler's degree of
+            freedom: ANY healthy blocks can host the slice (Section 2.5).
+
+    Returns the :class:`SliceWiring`, already verified.
+    """
+    topology = build_topology(shape, twisted=twisted)
+    if not is_block_multiple(shape):
+        wiring = SliceWiring(shape=shape, twisted=twisted, placement={},
+                             topology=topology,
+                             num_electrical_links=topology.num_links)
+        wiring.verify()
+        return wiring
+
+    if placement is None:
+        placement = default_placement(shape)
+    blocks_needed = (shape[0] // FACE_SIDE) * (shape[1] // FACE_SIDE) * \
+        (shape[2] // FACE_SIDE)
+    if len(placement) != blocks_needed:
+        raise OCSError(
+            f"placement covers {len(placement)} blocks, slice needs "
+            f"{blocks_needed}")
+    if len(set(placement.values())) != blocks_needed:
+        raise OCSError("placement maps two block coords to one physical block")
+
+    wiring = SliceWiring(shape=shape, twisted=twisted, placement=dict(placement),
+                         topology=topology)
+    for u, v, mult in topology.edges():
+        if mult != 1:
+            raise TopologyError(
+                f"slice link ({u}, {v}) has multiplicity {mult}; block-"
+                f"multiple shapes never produce parallel links")
+        if is_electrical(u, v):
+            wiring.num_electrical_links += 1
+            continue
+        dim = topology.edge_dim(u, v)
+        if u[dim] % FACE_SIDE == FACE_SIDE - 1 and v[dim] % FACE_SIDE == 0:
+            plus, minus = u, v
+        elif v[dim] % FACE_SIDE == FACE_SIDE - 1 and u[dim] % FACE_SIDE == 0:
+            plus, minus = v, u
+        else:
+            raise OCSError(
+                f"optical link ({u}, {v}) does not join a '+' face to a "
+                f"'-' face in dim {dim}")
+        face_index = _face_position(plus, dim)
+        if face_index != _face_position(minus, dim):
+            raise OCSError(
+                f"optical link ({u}, {v}) changes face position; twists "
+                f"must skew by multiples of {FACE_SIDE}")
+        low_id = placement[block_of(plus)]
+        high_id = placement[block_of(minus)]
+        fabric.connect_blocks(dim, face_index, low_id, high_id)
+        wiring.circuits.append(Circuit(dim=dim, face_index=face_index,
+                                       low_block=low_id, high_block=high_id,
+                                       chip_link=(u, v)))
+    wiring.verify()
+    return wiring
+
+
+def release_slice(fabric: OCSFabric, wiring: SliceWiring) -> None:
+    """Tear down every circuit a slice holds on the fabric."""
+    for circuit in wiring.circuits:
+        switch = fabric.switch_for(circuit.dim, circuit.face_index)
+        switch.disconnect(fabric.port_for(circuit.low_block, "+"))
+    wiring.circuits.clear()

@@ -1,0 +1,26 @@
+"""Parallelism: partitioning specs, torus mapping, LLM cost model, search.
+
+Reproduces Section 4: tailoring the TPU topology to the DNN (Table 3's
+2.3x LLM and 1.2x GPT-3 gains) and PA-NAS rebalancing of SparseCore vs
+TensorCore work for DLRM0 (Figure 10).
+"""
+
+from repro.parallelism.spec import PartitionSpec, Sharding
+from repro.parallelism.mapping import AxisMapping, map_axes_to_torus
+from repro.parallelism.costmodel import (LLMCostParams, LLMStepCost,
+                                         llm_step_cost)
+from repro.parallelism.search import (SearchResult, TABLE3_LLM, TABLE3_GPT3,
+                                      CaseStudy, search_best_configuration)
+from repro.parallelism.panas import (PanasPoint, dlrm0_panas_search,
+                                     original_dlrm0_balance)
+from repro.parallelism.ablation import (AblationOutcome, topology_ablation)
+
+__all__ = [
+    "PartitionSpec", "Sharding",
+    "AxisMapping", "map_axes_to_torus",
+    "LLMCostParams", "LLMStepCost", "llm_step_cost",
+    "SearchResult", "CaseStudy", "TABLE3_LLM", "TABLE3_GPT3",
+    "search_best_configuration",
+    "PanasPoint", "dlrm0_panas_search", "original_dlrm0_balance",
+    "AblationOutcome", "topology_ablation",
+]

@@ -1,0 +1,13 @@
+"""Discrete-event simulation substrate.
+
+A deliberately small kernel: an event queue with a monotonic clock
+(:mod:`repro.sim.events`) and seeded random-number helpers
+(:mod:`repro.sim.rng`).  The flow-level network simulator in
+:mod:`repro.network.flowsim` and the availability Monte Carlo in
+:mod:`repro.core.availability` are built on top of it.
+"""
+
+from repro.sim.events import Event, EventQueue, Simulator
+from repro.sim.rng import make_rng, spawn_rngs
+
+__all__ = ["Event", "EventQueue", "Simulator", "make_rng", "spawn_rngs"]

@@ -1,0 +1,134 @@
+"""A minimal discrete-event simulation kernel.
+
+Events are (time, sequence, callback) triples kept in a binary heap.  The
+sequence number makes the ordering of same-time events deterministic
+(insertion order), which keeps every simulation in the library reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.errors import SimulationError
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.
+
+    Attributes:
+        time: simulation time at which the event fires.
+        seq: tie-breaker preserving insertion order for equal times.
+        action: zero-argument callable run when the event fires.
+        cancelled: cancelled events stay in the heap but are skipped.
+    """
+
+    time: float
+    seq: int
+    action: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the queue skips it when popped."""
+        self.cancelled = True
+
+
+class EventQueue:
+    """A deterministic priority queue of :class:`Event` objects."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+
+    def __len__(self) -> int:
+        return sum(1 for event in self._heap if not event.cancelled)
+
+    def push(self, time: float, action: Callable[[], None]) -> Event:
+        """Schedule `action` at absolute time `time` and return the event."""
+        event = Event(time=time, seq=next(self._counter), action=action)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self) -> Optional[Event]:
+        """Remove and return the earliest live event, or None if empty."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if not event.cancelled:
+                return event
+        return None
+
+    def peek_time(self) -> Optional[float]:
+        """Return the firing time of the earliest live event, if any."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None
+
+
+class Simulator:
+    """Runs an :class:`EventQueue` while advancing a monotonic clock."""
+
+    def __init__(self) -> None:
+        self.queue = EventQueue()
+        self.now = 0.0
+        self._events_fired = 0
+
+    @property
+    def events_fired(self) -> int:
+        """Number of events executed so far."""
+        return self._events_fired
+
+    def schedule(self, delay: float, action: Callable[[], None]) -> Event:
+        """Schedule `action` to run `delay` seconds after the current time."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past: {delay}")
+        return self.queue.push(self.now + delay, action)
+
+    def schedule_at(self, time: float, action: Callable[[], None]) -> Event:
+        """Schedule `action` at absolute simulation time `time`."""
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule at {time} before current time {self.now}")
+        return self.queue.push(time, action)
+
+    def step(self) -> bool:
+        """Fire the next event.  Returns False when the queue is empty."""
+        event = self.queue.pop()
+        if event is None:
+            return False
+        if event.time < self.now:
+            raise SimulationError(
+                f"event time {event.time} precedes clock {self.now}")
+        self.now = event.time
+        self._events_fired += 1
+        event.action()
+        return True
+
+    def run(self, until: float | None = None,
+            max_events: int | None = None) -> None:
+        """Run until the queue drains, `until` is reached, or a budget hits.
+
+        Args:
+            until: stop (and advance the clock to this time) once the next
+                event would fire later than `until`.
+            max_events: safety valve against runaway simulations.
+        """
+        fired = 0
+        while True:
+            if max_events is not None and fired >= max_events:
+                raise SimulationError(
+                    f"exceeded event budget of {max_events} events")
+            next_time = self.queue.peek_time()
+            if next_time is None:
+                break
+            if until is not None and next_time > until:
+                self.now = until
+                break
+            self.step()
+            fired += 1
+
+
+Action = Callable[[], None]
+AnyEvent = Any

@@ -1,0 +1,97 @@
+"""Optimizers for embedding tables.
+
+Production embedding training overwhelmingly uses Adagrad-family
+optimizers (per-row adaptive rates suit power-law id frequencies); SGD
+and FTRL are provided for completeness.  All updates are sparse: only
+touched rows change, duplicate ids accumulate first — the same semantics
+the SC's Flush unit implements in hardware.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.sparsecore.table import EmbeddingTable
+
+
+def _accumulate_duplicates(ids: np.ndarray,
+                           grads: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Sum gradients of duplicate ids; returns (unique_ids, summed)."""
+    unique, inverse = np.unique(ids, return_inverse=True)
+    summed = np.zeros((len(unique), grads.shape[1]))
+    np.add.at(summed, inverse, grads)
+    return unique, summed
+
+
+@dataclass
+class SGD:
+    """Plain sparse SGD."""
+
+    learning_rate: float = 0.01
+
+    def apply(self, table: EmbeddingTable, ids: np.ndarray,
+              grads: np.ndarray) -> None:
+        """Update the touched rows in place."""
+        unique, summed = _accumulate_duplicates(np.asarray(ids, np.int64),
+                                                np.asarray(grads, float))
+        table.weights[unique] -= self.learning_rate * summed
+
+
+@dataclass
+class Adagrad:
+    """Per-row Adagrad, the production default (delegates to the table)."""
+
+    learning_rate: float = 0.01
+
+    def apply(self, table: EmbeddingTable, ids: np.ndarray,
+              grads: np.ndarray) -> None:
+        """Update via the table's fused Adagrad path."""
+        table.apply_gradients(ids, grads, learning_rate=self.learning_rate)
+
+
+@dataclass
+class FTRL:
+    """Follow-the-regularized-leader with L1, the ads-models classic.
+
+    Sparse state (z, n) per row is kept lazily in side arrays; rows whose
+    |z| stays under `l1` snap to exactly zero — the sparsity-inducing
+    behaviour that keeps giant tables compact.
+    """
+
+    learning_rate: float = 0.05
+    l1: float = 0.001
+    l2: float = 0.1
+    _z: dict[int, np.ndarray] = field(default_factory=dict, repr=False)
+    _n: dict[int, np.ndarray] = field(default_factory=dict, repr=False)
+
+    def _state(self, table: EmbeddingTable) -> tuple[np.ndarray, np.ndarray]:
+        key = id(table)
+        if key not in self._z:
+            self._z[key] = np.zeros_like(table.weights)
+            self._n[key] = np.zeros_like(table.weights)
+        return self._z[key], self._n[key]
+
+    def apply(self, table: EmbeddingTable, ids: np.ndarray,
+              grads: np.ndarray) -> None:
+        """FTRL-proximal update on the touched rows."""
+        if self.learning_rate <= 0:
+            raise ConfigurationError("learning_rate must be > 0")
+        unique, summed = _accumulate_duplicates(np.asarray(ids, np.int64),
+                                                np.asarray(grads, float))
+        z, n = self._state(table)
+        g2 = summed**2
+        sigma = (np.sqrt(n[unique] + g2) - np.sqrt(n[unique])) \
+            / self.learning_rate
+        z[unique] += summed - sigma * table.weights[unique]
+        n[unique] += g2
+        z_rows = z[unique]
+        mask = np.abs(z_rows) > self.l1
+        denominator = ((self.l2 + np.sqrt(n[unique])) / self.learning_rate)
+        new_rows = np.where(
+            mask,
+            -(z_rows - np.sign(z_rows) * self.l1) / denominator,
+            0.0)
+        table.weights[unique] = new_rows

@@ -1,0 +1,137 @@
+"""Embedding-table partitioning across chips (Section 3.3).
+
+Three model-parallel strategies plus replication:
+
+* ROW      — split the vocabulary: id i lives on chip i % num_chips;
+* COLUMN   — split the width: chip c owns dim columns [c*d/N, (c+1)*d/N);
+* TABLE    — whole tables placed on single chips (round robin);
+* REPLICATED — every chip holds a copy (data parallelism; best for small
+  tables).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+import numpy as np
+
+from repro.errors import ShardingError
+from repro.sparsecore.table import EmbeddingTable
+
+
+class ShardingStrategy(Enum):
+    """How one table spreads over the slice."""
+
+    ROW = "row"
+    COLUMN = "column"
+    TABLE = "table"
+    REPLICATED = "replicated"
+
+
+SMALL_TABLE_REPLICATION_BYTES = 4 << 20  # replicate tables under 4 MiB
+
+
+@dataclass
+class ShardingPlan:
+    """Placement decisions for a set of tables over `num_chips` chips."""
+
+    num_chips: int
+    strategies: dict[str, ShardingStrategy] = field(default_factory=dict)
+    table_home: dict[str, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.num_chips < 1:
+            raise ShardingError("need at least one chip")
+
+    def strategy_of(self, table_name: str) -> ShardingStrategy:
+        """Strategy assigned to a table."""
+        if table_name not in self.strategies:
+            raise ShardingError(f"no strategy for table {table_name!r}")
+        return self.strategies[table_name]
+
+    # -- placement queries ---------------------------------------------------
+
+    def owner_of_row(self, table_name: str, row_id: int) -> int:
+        """Chip owning a row (ROW/TABLE/REPLICATED strategies)."""
+        strategy = self.strategy_of(table_name)
+        if strategy is ShardingStrategy.ROW:
+            return row_id % self.num_chips
+        if strategy is ShardingStrategy.TABLE:
+            return self.table_home[table_name]
+        if strategy is ShardingStrategy.REPLICATED:
+            return -1  # every chip
+        raise ShardingError(
+            f"{table_name}: column shards own partial rows, not whole rows")
+
+    def owners_of_ids(self, table_name: str, ids: np.ndarray) -> np.ndarray:
+        """Vectorized owner computation for ROW sharding."""
+        strategy = self.strategy_of(table_name)
+        ids = np.asarray(ids, dtype=np.int64)
+        if strategy is ShardingStrategy.ROW:
+            return ids % self.num_chips
+        if strategy is ShardingStrategy.TABLE:
+            return np.full(len(ids), self.table_home[table_name],
+                           dtype=np.int64)
+        raise ShardingError(
+            f"{table_name}: owners_of_ids applies to ROW/TABLE strategies")
+
+    def local_rows(self, table: EmbeddingTable, chip: int) -> np.ndarray:
+        """Global row ids resident on a chip under the plan."""
+        strategy = self.strategy_of(table.name)
+        if strategy is ShardingStrategy.ROW:
+            return np.arange(chip, table.vocab_size, self.num_chips)
+        if strategy is ShardingStrategy.TABLE:
+            if self.table_home[table.name] != chip:
+                return np.arange(0)
+            return np.arange(table.vocab_size)
+        if strategy is ShardingStrategy.REPLICATED:
+            return np.arange(table.vocab_size)
+        raise ShardingError(f"{table.name}: column shards hold all rows")
+
+    def column_range(self, table: EmbeddingTable,
+                     chip: int) -> tuple[int, int]:
+        """Column interval a chip owns under COLUMN sharding."""
+        if self.strategy_of(table.name) is not ShardingStrategy.COLUMN:
+            raise ShardingError(f"{table.name}: not column-sharded")
+        per_chip = table.dim / self.num_chips
+        lo = int(round(chip * per_chip))
+        hi = int(round((chip + 1) * per_chip))
+        return lo, hi
+
+    def memory_per_chip(self, tables: list[EmbeddingTable]) -> list[float]:
+        """Bytes of table storage per chip under the plan."""
+        usage = [0.0] * self.num_chips
+        for table in tables:
+            strategy = self.strategy_of(table.name)
+            if strategy is ShardingStrategy.REPLICATED:
+                for chip in range(self.num_chips):
+                    usage[chip] += table.bytes
+            elif strategy is ShardingStrategy.TABLE:
+                usage[self.table_home[table.name]] += table.bytes
+            else:  # ROW or COLUMN split evenly
+                for chip in range(self.num_chips):
+                    usage[chip] += table.bytes / self.num_chips
+        return usage
+
+
+def plan_for_tables(tables: list[EmbeddingTable], num_chips: int, *,
+                    replicate_small: bool = True,
+                    default: ShardingStrategy = ShardingStrategy.ROW
+                    ) -> ShardingPlan:
+    """Heuristic plan: replicate small tables, ROW-shard the rest.
+
+    Mirrors the paper's guidance: "for small embedding tables, replication
+    across all chips is better for performance" (Section 3.3).
+    """
+    plan = ShardingPlan(num_chips=num_chips)
+    next_home = 0
+    for table in tables:
+        if replicate_small and table.bytes <= SMALL_TABLE_REPLICATION_BYTES:
+            plan.strategies[table.name] = ShardingStrategy.REPLICATED
+            continue
+        plan.strategies[table.name] = default
+        if default is ShardingStrategy.TABLE:
+            plan.table_home[table.name] = next_home
+            next_home = (next_home + 1) % num_chips
+    return plan

@@ -1,0 +1,18 @@
+"""Dense-compute substrate: TensorCore timing (MXU, VPU, memory system).
+
+A TPU v4 TensorCore has four 128x128 MXUs and a VPU of 128 lanes x 16 ALUs
+with 16 MiB VMEM; the two TensorCores share the 128 MiB CMEM scratchpad
+(paper Section 2.2, Table 4).
+"""
+
+from repro.tensorcore.mxu import MXU, matmul_cycles
+from repro.tensorcore.vpu import VPU
+from repro.tensorcore.memory import MemorySystem, TransferTime
+from repro.tensorcore.tensorcore import TensorCore, TensorCoreTiming
+
+__all__ = [
+    "MXU", "matmul_cycles",
+    "VPU",
+    "MemorySystem", "TransferTime",
+    "TensorCore", "TensorCoreTiming",
+]

@@ -1,0 +1,60 @@
+"""The 128x128 systolic matrix-multiply unit.
+
+Each MXU retires one 128x128 x 128xN multiply-accumulate wave per cycle
+column once the pipeline fills.  Small matrices waste lanes: a dimension of
+size d occupies ceil(d/128) tiles but only d/128 of the lanes do useful
+work — the source of the paper's Section 7.5 note that 128x128 operands
+are reused 128x (vs 4x on the A100's 4x4 tiles).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+MXU_DIM = 128
+
+
+def matmul_cycles(m: int, k: int, n: int, *, mxu_dim: int = MXU_DIM) -> int:
+    """Cycles for one MXU to compute an (m x k) @ (k x n) product.
+
+    The systolic array processes tiles of mxu_dim^2; each k-tile pass
+    streams max(n_tile rows) cycles.  Pipeline fill (~2*mxu_dim) is
+    amortized once per call.
+    """
+    if min(m, k, n) < 1:
+        raise ConfigurationError(f"matmul dims must be >= 1: {(m, k, n)}")
+    m_tiles = math.ceil(m / mxu_dim)
+    k_tiles = math.ceil(k / mxu_dim)
+    n_tiles = math.ceil(n / mxu_dim)
+    streaming = m_tiles * k_tiles * n_tiles * mxu_dim
+    fill = 2 * mxu_dim
+    return streaming + fill
+
+
+@dataclass(frozen=True)
+class MXU:
+    """One systolic array with its clock."""
+
+    clock_hz: float = 1050e6
+    dim: int = MXU_DIM
+
+    @property
+    def peak_flops(self) -> float:
+        """2 * dim^2 MACs per cycle at the clock."""
+        return 2.0 * self.dim * self.dim * self.clock_hz
+
+    def matmul_time(self, m: int, k: int, n: int) -> float:
+        """Seconds to run one matmul on this MXU."""
+        return matmul_cycles(m, k, n, mxu_dim=self.dim) / self.clock_hz
+
+    def matmul_efficiency(self, m: int, k: int, n: int) -> float:
+        """Achieved / peak FLOPS for one matmul (tile-quantization loss)."""
+        flops = 2.0 * m * k * n
+        return flops / (self.matmul_time(m, k, n) * self.peak_flops)
+
+    def input_reuse(self) -> int:
+        """Times each loaded operand row is reused inside the array."""
+        return self.dim

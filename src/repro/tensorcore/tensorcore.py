@@ -1,0 +1,79 @@
+"""TensorCore-level op timing: roofline of MXU compute vs memory traffic."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.tensorcore.memory import MemorySystem
+from repro.tensorcore.mxu import MXU
+from repro.tensorcore.vpu import VPU
+
+MXUS_PER_TENSORCORE = 4
+
+
+@dataclass(frozen=True)
+class TensorCoreTiming:
+    """Breakdown of one op's time on a TensorCore."""
+
+    compute_seconds: float
+    memory_seconds: float
+    served_by: str
+
+    @property
+    def seconds(self) -> float:
+        """Op time: compute and memory overlap; the slower one wins."""
+        return max(self.compute_seconds, self.memory_seconds)
+
+    @property
+    def memory_bound(self) -> bool:
+        """True when HBM/CMEM traffic dominates."""
+        return self.memory_seconds > self.compute_seconds
+
+
+@dataclass
+class TensorCore:
+    """One of the chip's two dense cores."""
+
+    clock_hz: float = 1050e6
+    num_mxus: int = MXUS_PER_TENSORCORE
+    memory: MemorySystem = field(default_factory=MemorySystem)
+
+    def __post_init__(self) -> None:
+        if self.num_mxus < 1:
+            raise ConfigurationError("a TensorCore needs at least one MXU")
+        self.mxu = MXU(clock_hz=self.clock_hz)
+        self.vpu = VPU(clock_hz=self.clock_hz)
+
+    @property
+    def peak_flops(self) -> float:
+        """MXU peak across the core."""
+        return self.num_mxus * self.mxu.peak_flops
+
+    def matmul(self, m: int, k: int, n: int, *,
+               bytes_per_element: int = 2) -> TensorCoreTiming:
+        """Time an (m x k) @ (k x n) matmul including operand traffic.
+
+        The n dimension splits across the core's MXUs; traffic counts both
+        operands and the result once each.
+        """
+        n_per_mxu = max(1, (n + self.num_mxus - 1) // self.num_mxus)
+        compute = self.mxu.matmul_time(m, k, n_per_mxu)
+        traffic = bytes_per_element * (m * k + k * n + m * n)
+        working_set = bytes_per_element * max(m * k, k * n, m * n)
+        transfer = self.memory.transfer_time(traffic, working_set)
+        return TensorCoreTiming(compute_seconds=compute,
+                                memory_seconds=transfer.seconds,
+                                served_by=transfer.served_by)
+
+    def elementwise(self, num_elements: int, *,
+                    bytes_per_element: int = 2,
+                    ops_per_element: float = 1.0) -> TensorCoreTiming:
+        """Time an elementwise op (read + write traffic)."""
+        compute = self.vpu.elementwise_time(num_elements, ops_per_element)
+        traffic = 2 * bytes_per_element * num_elements
+        transfer = self.memory.transfer_time(traffic,
+                                             bytes_per_element * num_elements)
+        return TensorCoreTiming(compute_seconds=compute,
+                                memory_seconds=transfer.seconds,
+                                served_by=transfer.served_by)

@@ -1,0 +1,44 @@
+"""The vector processing unit: 128 lanes x 16 ALUs (Table 4 discussion)."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class VPU:
+    """Elementwise/reduction engine of a TensorCore."""
+
+    clock_hz: float = 1050e6
+    lanes: int = 128
+    alus_per_lane: int = 16
+
+    @property
+    def ops_per_cycle(self) -> int:
+        """Scalar ALU operations per cycle."""
+        return self.lanes * self.alus_per_lane
+
+    @property
+    def peak_ops(self) -> float:
+        """Scalar ops/second."""
+        return self.ops_per_cycle * self.clock_hz
+
+    def elementwise_time(self, num_elements: int,
+                         ops_per_element: float = 1.0) -> float:
+        """Seconds for an elementwise pass over `num_elements`."""
+        if num_elements < 0:
+            raise ConfigurationError("num_elements must be >= 0")
+        cycles = math.ceil(num_elements * ops_per_element
+                           / self.ops_per_cycle)
+        return cycles / self.clock_hz
+
+    def reduction_time(self, num_elements: int) -> float:
+        """Seconds for a tree reduction (lane-parallel, log tail)."""
+        if num_elements <= 1:
+            return 0.0
+        sweep = self.elementwise_time(num_elements)
+        tail_cycles = math.ceil(math.log2(self.lanes))
+        return sweep + tail_cycles / self.clock_hz

@@ -1,0 +1,30 @@
+"""3D mesh (torus without wraparound).
+
+Slices smaller than one 4x4x4 block only have the electrically-cabled mesh
+links; the OCS wraparound is unavailable, so they cannot form tori
+(paper Section 2.9: 29% of slices are sub-block and "can only use a 2D
+mesh").
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.topology.base import Topology
+from repro.topology.coords import Coord, iter_coords
+
+
+class Mesh3D(Topology):
+    """A rectangular 3D mesh; degenerate dimensions are allowed."""
+
+    kind = "mesh"
+    vertex_transitive = False
+
+    def _edges(self) -> Iterator[tuple[Coord, Coord, int]]:
+        for node in iter_coords(self.shape):
+            for dim in range(3):
+                if node[dim] + 1 >= self.shape[dim]:
+                    continue
+                succ = list(node)
+                succ[dim] = node[dim] + 1
+                yield node, (succ[0], succ[1], succ[2]), dim

@@ -1,0 +1,54 @@
+"""Tests for the roofline model (Figure 16)."""
+
+import numpy as np
+import pytest
+
+from repro.chips import (A100, IPU_BOW, TPUV3, TPUV4, MODEL_INTENSITIES,
+                         attainable_flops, ridge_point, roofline_curve)
+from repro.chips.roofline import place_models
+from repro.errors import ConfigurationError
+
+
+class TestRoofline:
+    def test_memory_bound_region_linear(self):
+        low = attainable_flops(TPUV4, 1.0)
+        assert low == pytest.approx(TPUV4.hbm_bandwidth)
+        assert attainable_flops(TPUV4, 2.0) == pytest.approx(2 * low)
+
+    def test_compute_bound_region_flat(self):
+        assert attainable_flops(TPUV4, 1e4) == TPUV4.peak_bf16_flops
+        assert attainable_flops(TPUV4, 1e5) == TPUV4.peak_bf16_flops
+
+    def test_ridge_points_ordering(self):
+        # A100's huge HBM bandwidth gives it the lowest ridge point.
+        assert ridge_point(A100) < ridge_point(TPUV4)
+        assert ridge_point(TPUV3) < ridge_point(TPUV4)
+
+    def test_ridge_point_value(self):
+        assert ridge_point(TPUV4) == pytest.approx(275e12 / 1200e9, rel=1e-6)
+
+    def test_ipu_has_no_memory_roof(self):
+        assert attainable_flops(IPU_BOW, 0.1) == IPU_BOW.peak_bf16_flops
+        assert ridge_point(IPU_BOW) == 0.0
+
+    def test_curve_monotone(self):
+        ois, roofs = roofline_curve(TPUV4)
+        assert np.all(np.diff(roofs) >= -1e-6)
+        assert roofs[-1] == TPUV4.peak_bf16_flops
+
+    def test_invalid_oi(self):
+        with pytest.raises(ConfigurationError):
+            attainable_flops(TPUV4, 0.0)
+
+    def test_place_models_flags_memory_bound(self):
+        points = {p.model: p for p in place_models(TPUV4)}
+        assert points["DLRM0"].memory_bound        # OI 10 << ridge 229
+        assert not points["LLM0"].memory_bound     # OI 400 >> ridge
+
+    def test_tpuv4_beats_v3_everywhere(self):
+        for oi in MODEL_INTENSITIES.values():
+            assert attainable_flops(TPUV4, oi) > attainable_flops(TPUV3, oi)
+
+    def test_a100_wins_low_oi_loses_nothing_high(self):
+        # Below TPU v4's ridge the A100's bandwidth advantage shows.
+        assert attainable_flops(A100, 50) > attainable_flops(TPUV4, 50)

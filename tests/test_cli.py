@@ -1,0 +1,38 @@
+"""Tests for the `python -m repro` command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestCLI:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "figure6" in out and "table3" in out
+
+    def test_run_single(self, capsys):
+        assert main(["run", "table4"]) == 0
+        out = capsys.readouterr().out
+        assert "TPU v4" in out
+        assert "paper vs measured" in out
+
+    def test_run_multiple(self, capsys):
+        assert main(["run", "table1", "section76"]) == 0
+        out = capsys.readouterr().out
+        assert "table1" in out and "section76" in out
+
+    def test_help(self, capsys):
+        assert main([]) == 0
+        assert "experiments:" in capsys.readouterr().out
+
+    def test_run_without_target(self):
+        assert main(["run"]) == 2
+
+    def test_unknown_command(self):
+        assert main(["frobnicate"]) == 2
+
+    def test_unknown_experiment_raises(self):
+        from repro.errors import ConfigurationError
+        with pytest.raises(ConfigurationError):
+            main(["run", "figure99"])

@@ -1,0 +1,153 @@
+"""Tests for slice packing and the Figure 4 goodput models."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (PlacementPolicy, SliceScheduler, TPUv4Supercomputer,
+                        analytic_ocs_goodput, simulate_goodput)
+from repro.core.availability import balanced_block_shape, spares_staircase
+from repro.errors import SchedulingError
+
+
+def all_healthy(n=64):
+    return [True] * n
+
+
+class TestScheduler:
+    def test_ocs_pack_counts(self):
+        scheduler = SliceScheduler(all_healthy())
+        outcome = scheduler.pack((8, 8, 16), PlacementPolicy.OCS)
+        assert outcome.num_slices == 4  # 16 blocks each
+        assert outcome.goodput == 1.0
+
+    def test_static_pack_counts_full_health(self):
+        scheduler = SliceScheduler(all_healthy())
+        outcome = scheduler.pack((8, 8, 16), PlacementPolicy.STATIC)
+        assert outcome.num_slices == 4
+        assert outcome.goodput == 1.0
+
+    def test_ocs_ignores_fragmentation(self):
+        healthy = all_healthy()
+        # Kill a scattered pattern that breaks every 2x2x4 cuboid's corner.
+        for block in range(0, 64, 16):
+            healthy[block] = False
+        ocs = SliceScheduler(healthy).pack((8, 8, 16), PlacementPolicy.OCS)
+        static = SliceScheduler(healthy).pack((8, 8, 16), PlacementPolicy.STATIC)
+        assert ocs.num_slices >= static.num_slices
+        assert ocs.num_slices == 3  # 60 healthy // 16
+
+    def test_static_requires_contiguity(self):
+        healthy = all_healthy(8)
+        healthy[0] = False
+        # 2x2x2 grid of 8 blocks; an 8-block slice no longer fits.
+        scheduler = SliceScheduler(healthy, grid=(2, 2, 2))
+        outcome = scheduler.pack((8, 8, 8), PlacementPolicy.STATIC)
+        assert outcome.num_slices == 0
+        ocs = SliceScheduler(healthy, grid=(2, 2, 2)).pack(
+            (8, 8, 8), PlacementPolicy.OCS)
+        assert ocs.num_slices == 0  # needs 8 blocks, only 7 healthy
+
+    def test_static_orientation_freedom(self):
+        # A 1x1x4 column can stand along any axis of the 4x4x4 grid.
+        healthy = [False] * 64
+        for x in range(4):
+            healthy[x * 16] = True  # column along grid x at (y=0, z=0)
+        scheduler = SliceScheduler(healthy)
+        outcome = scheduler.pack((4, 4, 16), PlacementPolicy.STATIC)
+        assert outcome.num_slices == 1
+
+    def test_no_overlap_in_placements(self):
+        scheduler = SliceScheduler(all_healthy())
+        outcome = scheduler.pack((4, 4, 8), PlacementPolicy.STATIC)
+        used = [b for placement in outcome.placements for b in placement]
+        assert len(used) == len(set(used))
+
+    def test_sub_block_shape_packs_per_block(self):
+        scheduler = SliceScheduler(all_healthy())
+        outcome = scheduler.pack((2, 2, 4), PlacementPolicy.OCS)
+        assert outcome.num_slices == 64
+
+    def test_non_cubic_grid_rejected(self):
+        with pytest.raises(SchedulingError):
+            SliceScheduler(all_healthy(10))
+
+    def test_from_machine(self):
+        machine = TPUv4Supercomputer()
+        machine.blocks[0].fail_host(0)
+        scheduler = SliceScheduler.from_machine(machine)
+        assert scheduler.healthy.count(False) == 1
+
+    @given(st.integers(0, 2**16 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_ocs_always_at_least_static(self, pattern):
+        healthy = [(pattern >> (i % 16)) & 1 == 1 or i % 3 == 0
+                   for i in range(64)]
+        ocs = SliceScheduler(healthy).pack((8, 8, 8), PlacementPolicy.OCS)
+        static = SliceScheduler(healthy).pack((8, 8, 8), PlacementPolicy.STATIC)
+        assert ocs.num_slices >= static.num_slices
+
+
+class TestBalancedShape:
+    def test_figure4_shapes(self):
+        assert balanced_block_shape(64) == (4, 4, 4)
+        assert balanced_block_shape(128) == (4, 4, 8)
+        assert balanced_block_shape(256) == (4, 8, 8)
+        assert balanced_block_shape(512) == (8, 8, 8)
+        assert balanced_block_shape(1024) == (8, 8, 16)
+        assert balanced_block_shape(2048) == (8, 16, 16)
+        assert balanced_block_shape(4096) == (16, 16, 16)
+
+    def test_rejects_bad_sizes(self):
+        with pytest.raises(SchedulingError):
+            balanced_block_shape(32)
+        with pytest.raises(SchedulingError):
+            balanced_block_shape(100)
+
+
+class TestGoodput:
+    def test_spares_staircase(self):
+        # Paper: 3 slices of 1K occupy 75%; one 2K slice 50%; one 3K 75%;
+        # a 4K slice cannot be scheduled once anything is down.
+        assert spares_staircase(1024) == 0.75
+        assert spares_staircase(2048) == 0.50
+        assert spares_staircase(3072) == 0.75
+        assert spares_staircase(4096) == 0.0
+
+    def test_quarter_machine_75_percent(self):
+        # Paper: "At 1/4 of the 4K chips, goodput for both 99.0% and 99.5%
+        # is 75%".
+        for avail in (0.99, 0.995):
+            result = simulate_goodput(1024, avail, use_ocs=True, trials=60,
+                                      seed=2)
+            assert result.mean_goodput == pytest.approx(0.75, abs=0.02)
+
+    def test_half_machine_50_percent(self):
+        result = simulate_goodput(2048, 0.99, use_ocs=True, trials=60, seed=2)
+        assert result.mean_goodput == pytest.approx(0.50, abs=0.02)
+
+    def test_static_needs_high_availability(self):
+        low = simulate_goodput(1024, 0.99, use_ocs=False, trials=60, seed=3)
+        high = simulate_goodput(1024, 0.999, use_ocs=False, trials=60, seed=3)
+        assert high.mean_goodput > low.mean_goodput + 0.3
+
+    def test_ocs_dominates_static(self):
+        for chips in (256, 1024, 2048):
+            ocs = simulate_goodput(chips, 0.995, use_ocs=True, trials=40,
+                                   seed=4)
+            static = simulate_goodput(chips, 0.995, use_ocs=False, trials=40,
+                                      seed=4)
+            assert ocs.mean_goodput >= static.mean_goodput - 1e-9
+
+    def test_analytic_matches_simulation(self):
+        analytic = analytic_ocs_goodput(1024, 0.995)
+        sim = simulate_goodput(1024, 0.995, use_ocs=True, trials=400, seed=5)
+        assert sim.mean_goodput == pytest.approx(analytic, abs=0.03)
+
+    def test_goodput_monotone_in_availability(self):
+        values = [analytic_ocs_goodput(512, a)
+                  for a in (0.98, 0.99, 0.995, 0.999)]
+        assert values == sorted(values)
+
+    def test_invalid_availability(self):
+        with pytest.raises(SchedulingError):
+            simulate_goodput(64, 0.0)

@@ -1,0 +1,122 @@
+"""Tests for slice-shape rules, labels, and classification (Table 2)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.slicing import (blocks_needed, block_grid, canonical_shape,
+                                classify_slice, is_legal_shape,
+                                legal_block_shapes, parse_shape, slice_label)
+from repro.errors import SchedulingError
+
+
+class TestCanonical:
+    def test_sorts(self):
+        assert canonical_shape((8, 4, 4)) == (4, 4, 8)
+
+    def test_rejects_bad(self):
+        with pytest.raises(SchedulingError):
+            canonical_shape((0, 4, 4))
+
+
+class TestLegality:
+    def test_table2_shapes_legal(self):
+        table2 = [(1, 1, 1), (1, 1, 2), (1, 2, 2), (2, 2, 2), (2, 2, 4),
+                  (2, 4, 4), (4, 4, 4), (4, 4, 8), (4, 8, 8), (4, 4, 12),
+                  (4, 4, 16), (4, 8, 12), (8, 8, 8), (4, 8, 16), (4, 4, 32),
+                  (8, 8, 16), (4, 16, 16), (4, 4, 64), (4, 8, 32),
+                  (8, 8, 12), (8, 12, 16), (4, 4, 96), (8, 8, 24),
+                  (8, 16, 16), (12, 16, 16), (4, 4, 192)]
+        for shape in table2:
+            assert is_legal_shape(shape), shape
+
+    def test_illegal_shapes(self):
+        for shape in [(3, 4, 4), (4, 4, 6), (1, 3, 4), (2, 2, 8), (1, 1, 8)]:
+            assert not is_legal_shape(shape), shape
+
+    @given(st.tuples(st.integers(1, 4), st.integers(1, 4), st.integers(1, 4)))
+    def test_sub_block_rule(self, shape):
+        legal = is_legal_shape(shape)
+        expected = all(d in (1, 2, 4) for d in shape)
+        assert legal == expected
+
+
+class TestBlocksNeeded:
+    def test_sub_block_uses_one(self):
+        assert blocks_needed((2, 2, 4)) == 1
+
+    def test_block_multiples(self):
+        assert blocks_needed((4, 4, 4)) == 1
+        assert blocks_needed((4, 4, 8)) == 2
+        assert blocks_needed((12, 16, 16)) == 48
+        assert blocks_needed((16, 16, 16)) == 64
+
+    def test_block_grid(self):
+        assert block_grid((8, 8, 16)) == (2, 2, 4)
+        with pytest.raises(SchedulingError):
+            block_grid((2, 2, 2))
+
+
+class TestLabels:
+    def test_regular(self):
+        assert slice_label((8, 8, 8)) == "8x8x8"
+
+    def test_twistable_needs_choice(self):
+        with pytest.raises(SchedulingError):
+            slice_label((4, 4, 8))
+        assert slice_label((4, 4, 8), twisted=True) == "4x4x8_T"
+        assert slice_label((4, 4, 8), twisted=False) == "4x4x8_NT"
+
+    def test_untwistable_cannot_twist(self):
+        with pytest.raises(SchedulingError):
+            slice_label((8, 8, 8), twisted=True)
+
+    def test_parse_roundtrip(self):
+        for label in ["4x4x8_T", "4x8x8_NT", "8x8x8", "1x2x2", "8x16x16_T"]:
+            shape, twisted = parse_shape(label)
+            rebuilt = slice_label(
+                shape, twisted if label.endswith(("_T", "_NT")) else None)
+            assert rebuilt == label
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(SchedulingError):
+            parse_shape("4x4")
+        with pytest.raises(SchedulingError):
+            parse_shape("axbxc")
+        with pytest.raises(SchedulingError):
+            parse_shape("8x8x8_T")  # untwistable tagged twisted
+
+
+class TestClassification:
+    def test_sub_block(self):
+        info = classify_slice((2, 2, 2))
+        assert info.category == "sub-block mesh"
+        assert info.chips == 8
+
+    def test_twisted(self):
+        assert classify_slice((4, 4, 8), twisted=True).category == "twisted torus"
+
+    def test_twistable_untwisted(self):
+        assert classify_slice((4, 4, 8)).category == "twistable untwisted"
+
+    def test_regular(self):
+        assert classify_slice((8, 8, 8)).category == "regular torus"
+
+    def test_cannot_twist_cube(self):
+        with pytest.raises(SchedulingError):
+            classify_slice((8, 8, 8), twisted=True)
+
+
+class TestLegalBlockShapes:
+    def test_two_blocks(self):
+        assert legal_block_shapes(2) == [(4, 4, 8)]
+
+    def test_eight_blocks(self):
+        shapes = legal_block_shapes(8)
+        assert (8, 8, 8) in shapes
+        assert (4, 4, 32) in shapes
+        assert (4, 8, 16) in shapes
+        assert all(a <= b <= c for a, b, c in shapes)
+
+    def test_chip_counts_consistent(self):
+        for shape in legal_block_shapes(16):
+            assert shape[0] * shape[1] * shape[2] == 16 * 64

@@ -1,0 +1,56 @@
+"""Tests for the 50-day checkpoint/restore training-run model."""
+
+import pytest
+
+from repro.core.trainingrun import (TrainingRunParams, palm_style_summary,
+                                    simulate_training_run)
+from repro.errors import ConfigurationError
+
+
+class TestTrainingRun:
+    def test_palm_class_sustained_mfu(self):
+        """Abstract: LLMs train at ~60% of peak; PaLM sustained 57.8%."""
+        summary = palm_style_summary(seed=0)
+        assert summary["ocs_sustained_mfu"] == pytest.approx(0.578,
+                                                             abs=0.05)
+
+    def test_ocs_beats_static_recovery(self):
+        summary = palm_style_summary(seed=0)
+        assert summary["ocs_sustained_mfu"] > \
+            2 * summary["static_sustained_mfu"]
+
+    def test_reproducible(self):
+        first = simulate_training_run(seed=4)
+        second = simulate_training_run(seed=4)
+        assert first.interruptions == second.interruptions
+        assert first.lost_seconds == second.lost_seconds
+
+    def test_interruption_count_scale(self):
+        # 768 hosts x 50 days / 120-day MTBF ~= 320 interruptions.
+        outcome = simulate_training_run(seed=0)
+        assert 250 <= outcome.interruptions <= 400
+
+    def test_no_failures_only_checkpoint_tax(self):
+        params = TrainingRunParams(host_mtbf_days=1e12)
+        outcome = simulate_training_run(params, seed=0)
+        assert outcome.interruptions == 0
+        expected = params.step_mfu * (1 - 30.0 / (30 * 60))
+        assert outcome.sustained_mfu == pytest.approx(expected)
+
+    def test_availability_clamped(self):
+        params = TrainingRunParams(host_mtbf_days=0.05)  # failure storm
+        outcome = simulate_training_run(params, with_ocs=False, seed=0)
+        assert outcome.availability >= 0.0
+        assert outcome.sustained_mfu >= 0.0
+
+    def test_longer_checkpoint_interval_trades_rework(self):
+        frequent = TrainingRunParams(checkpoint_interval=5 * 60)
+        rare = TrainingRunParams(checkpoint_interval=4 * 3600)
+        # Frequent checkpoints: higher tax but less rework per failure.
+        frequent_run = simulate_training_run(frequent, seed=1)
+        rare_run = simulate_training_run(rare, seed=1)
+        assert frequent_run.lost_seconds < rare_run.lost_seconds
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            simulate_training_run(TrainingRunParams(num_chips=0))

@@ -1,0 +1,43 @@
+"""Run the doctests embedded in module docstrings."""
+
+import doctest
+
+import pytest
+
+import repro.chips.energy
+import repro.chips.roofline
+import repro.core.slicing
+import repro.network.fairshare
+import repro.ocs.circulator
+import repro.reporting.tables
+import repro.sim.rng
+import repro.sparsecore.dedup
+import repro.topology.builder
+import repro.topology.coords
+import repro.topology.dor
+import repro.topology.twisted
+import repro.units
+
+DOCTESTED_MODULES = [
+    repro.units,
+    repro.sim.rng,
+    repro.topology.coords,
+    repro.topology.twisted,
+    repro.topology.builder,
+    repro.topology.dor,
+    repro.ocs.circulator,
+    repro.core.slicing,
+    repro.network.fairshare,
+    repro.sparsecore.dedup,
+    repro.chips.roofline,
+    repro.chips.energy,
+    repro.reporting.tables,
+]
+
+
+@pytest.mark.parametrize("module", DOCTESTED_MODULES,
+                         ids=lambda m: m.__name__)
+def test_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, f"{module.__name__}: {results.failed} failed"
+    assert results.attempted > 0, f"{module.__name__} has no doctests"

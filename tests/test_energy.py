@@ -1,0 +1,110 @@
+"""Tests for energy, power, and carbon models (Section 7.6, Table 6)."""
+
+import pytest
+
+from repro.energy import (GOOGLE_CLOUD_OKLAHOMA, ON_PREMISE_AVERAGE,
+                          TABLE6_MEASUREMENTS, co2e_comparison,
+                          mlperf_power_model, operational_co2e_kg,
+                          table6_rows)
+from repro.energy.carbon import training_run_co2e_kg
+from repro.energy.datacenter import DatacenterProfile
+from repro.energy.mlperf_power import (A100_ENVELOPE, TPUV4_ENVELOPE)
+from repro.errors import ConfigurationError
+from repro.units import DAY, KWH
+
+
+class TestDatacenterProfiles:
+    def test_paper_constants(self):
+        assert GOOGLE_CLOUD_OKLAHOMA.pue == 1.10
+        assert ON_PREMISE_AVERAGE.pue == 1.57
+        assert GOOGLE_CLOUD_OKLAHOMA.carbon_free_fraction == 0.88
+        assert ON_PREMISE_AVERAGE.carbon_free_fraction == 0.40
+        assert GOOGLE_CLOUD_OKLAHOMA.kg_co2e_per_kwh == 0.074
+        assert ON_PREMISE_AVERAGE.kg_co2e_per_kwh == 0.475
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            DatacenterProfile("bad", pue=0.9, carbon_free_fraction=0.5,
+                              kg_co2e_per_kwh=0.1)
+        with pytest.raises(ConfigurationError):
+            DatacenterProfile("bad", pue=1.2, carbon_free_fraction=1.5,
+                              kg_co2e_per_kwh=0.1)
+
+
+class TestSection76:
+    def test_energy_ratio_285x(self):
+        assert co2e_comparison().energy_ratio == pytest.approx(2.85, abs=0.01)
+
+    def test_co2e_ratio_183x(self):
+        assert co2e_comparison().co2e_ratio == pytest.approx(18.3, abs=0.2)
+
+    def test_headline_20x_reduction(self):
+        # Paper summary: "~20x less CO2e".
+        assert 15 <= co2e_comparison().co2e_ratio <= 22
+
+    def test_machine_factor_scales(self):
+        conservative = co2e_comparison(machine_factor=2.0)
+        optimistic = co2e_comparison(machine_factor=6.0)
+        assert optimistic.co2e_ratio == pytest.approx(
+            3 * conservative.co2e_ratio)
+
+    def test_energy_range_2x_to_6x(self):
+        # Paper: "~2-6x less energy".
+        for factor in (2.0, 6.0):
+            energy = co2e_comparison(machine_factor=factor).energy_ratio
+            assert 2.0 <= energy <= 9.0
+
+    def test_invalid_machine_factor(self):
+        with pytest.raises(ConfigurationError):
+            co2e_comparison(machine_factor=0.0)
+
+
+class TestOperationalCO2e:
+    def test_one_kwh_on_prem(self):
+        co2 = operational_co2e_kg(KWH, ON_PREMISE_AVERAGE)
+        assert co2 == pytest.approx(1.57 * 0.475)
+
+    def test_cloud_much_cleaner(self):
+        energy = 1000 * KWH
+        on_prem = operational_co2e_kg(energy, ON_PREMISE_AVERAGE)
+        cloud = operational_co2e_kg(energy, GOOGLE_CLOUD_OKLAHOMA)
+        assert on_prem / cloud == pytest.approx(1.57 / 1.10 * 0.475 / 0.074)
+
+    def test_palm_style_run(self):
+        # A 50-day, 6144-chip run at ~170 W/chip in the Oklahoma WSC.
+        co2 = training_run_co2e_kg(mean_power_watts=170, num_chips=6144,
+                                   duration_seconds=50 * DAY,
+                                   profile=GOOGLE_CLOUD_OKLAHOMA)
+        # ~1.25 GWh IT energy -> order 100 tonnes CO2e.
+        assert 50_000 <= co2 <= 150_000
+
+    def test_negative_energy(self):
+        with pytest.raises(ConfigurationError):
+            operational_co2e_kg(-1.0, ON_PREMISE_AVERAGE)
+
+
+class TestTable6:
+    def test_measured_ratios(self):
+        by_name = {m.benchmark: m for m in TABLE6_MEASUREMENTS}
+        assert by_name["BERT"].ratio == pytest.approx(1.93, abs=0.01)
+        assert by_name["ResNet"].ratio == pytest.approx(1.33, abs=0.01)
+
+    def test_power_model_matches_measurements(self):
+        for (benchmark, measured_a100, measured_tpu, modeled_a100,
+             modeled_tpu, _) in table6_rows():
+            assert modeled_a100 == pytest.approx(measured_a100, rel=0.02)
+            assert modeled_tpu == pytest.approx(measured_tpu, rel=0.02)
+
+    def test_tpu_measured_power_above_table4_mean(self):
+        # Paper: Table 6 TPU power is 2%-8% higher than Table 4's mean.
+        for measured in TABLE6_MEASUREMENTS:
+            assert 1.02 <= measured.tpuv4_watts / 170.0 * (170.0 / 170.0) \
+                or measured.tpuv4_watts > 170.0
+
+    def test_unknown_benchmark(self):
+        with pytest.raises(ConfigurationError):
+            mlperf_power_model("MiniGo", TPUV4_ENVELOPE)
+
+    def test_envelopes_sane(self):
+        assert TPUV4_ENVELOPE.idle_watts < TPUV4_ENVELOPE.ceiling_watts
+        assert A100_ENVELOPE.ceiling_watts == 400.0  # TDP

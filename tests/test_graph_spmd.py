@@ -1,0 +1,219 @@
+"""Tests for repro.graph.spmd: GSPMD propagation and collective insertion."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.graph.graph import ComputationGraph
+from repro.graph.mesh import DeviceMesh, MeshAxis
+from repro.graph.ops import (AllGatherOp, AllReduceOp, AllToAllOp,
+                             ElementwiseOp, EmbeddingLookupOp, FusionOp,
+                             InputOp, MatMulOp, ParameterOp)
+from repro.graph.spmd import partition
+from repro.graph.tensor import ShardingSpec, TensorSpec
+
+
+def mesh():
+    return DeviceMesh((4, 4, 4), [MeshAxis("data", 4, (0,)),
+                                  MeshAxis("model", 16, (1, 2))])
+
+
+def spec(*axes):
+    return ShardingSpec(axes=tuple(axes))
+
+
+def matmul_graph(lhs_sharding, rhs_sharding):
+    """x (64, 32) @ w (32, 16) with chosen input shardings."""
+    g = ComputationGraph()
+    g.add(InputOp(name="x", output=TensorSpec((64, 32))))
+    g.add(ParameterOp(name="w", output=TensorSpec((32, 16))))
+    g.add(MatMulOp(name="y", inputs=("x", "w"), output=TensorSpec((64, 16)),
+                   m=64, k=32, n=16))
+    g.add(ElementwiseOp(name="z", inputs=("y",), output=TensorSpec((64, 16)),
+                        flops_per_element=1.0))
+    return partition(g, mesh(), {"x": lhs_sharding, "w": rhs_sharding})
+
+
+def kinds(sharded):
+    return [op.kind for op in sharded.graph.ops()]
+
+
+class TestMatMulPropagation:
+    def test_pure_data_parallel_no_comm(self):
+        sharded = matmul_graph(spec("data", None), spec(None, None))
+        assert not sharded.graph.collectives()
+        assert sharded.shardings["y"].axes == ("data", None)
+        # Local flops = global / data size.
+        assert sharded.local_flops["y"] == pytest.approx(
+            2 * 64 * 32 * 16 / 4)
+
+    def test_column_sharded_weight_shards_output(self):
+        sharded = matmul_graph(spec(None, None), spec(None, "model"))
+        assert not sharded.graph.collectives()
+        assert sharded.shardings["y"].axes == (None, "model")
+        assert sharded.local_flops["y"] == pytest.approx(
+            2 * 64 * 32 * 16 / 16)
+
+    def test_contraction_sharded_both_sides_defers_allreduce(self):
+        sharded = matmul_graph(spec(None, "model"), spec("model", None))
+        assert sharded.shardings["y"].partial == ("model",)
+        # The consumer (elementwise z) forces exactly one all-reduce.
+        ars = [op for op in sharded.graph.collectives()
+               if isinstance(op, AllReduceOp)]
+        assert len(ars) == 1
+        assert ars[0].mesh_axis == "model"
+
+    def test_one_sided_contraction_allgathers(self):
+        sharded = matmul_graph(spec(None, "model"), spec(None, None))
+        ags = [op for op in sharded.graph.collectives()
+               if isinstance(op, AllGatherOp)]
+        assert len(ags) == 1
+        assert ags[0].mesh_axis == "model"
+        assert sharded.shardings["y"].partial == ()
+
+    def test_axis_not_reused_for_n_dim(self):
+        # Output m-dim already uses "data"; weight n-dim also annotated
+        # "data" must be dropped to keep one dim per axis.
+        sharded = matmul_graph(spec("data", None), spec(None, "data"))
+        assert sharded.shardings["y"].axes == ("data", None)
+
+    def test_shared_partial_resolved_once_for_two_consumers(self):
+        g = ComputationGraph()
+        g.add(InputOp(name="x", output=TensorSpec((64, 32))))
+        g.add(ParameterOp(name="w", output=TensorSpec((32, 16))))
+        g.add(MatMulOp(name="y", inputs=("x", "w"),
+                       output=TensorSpec((64, 16)), m=64, k=32, n=16))
+        g.add(ElementwiseOp(name="z1", inputs=("y",),
+                            output=TensorSpec((64, 16))))
+        g.add(ElementwiseOp(name="z2", inputs=("y",),
+                            output=TensorSpec((64, 16))))
+        sharded = partition(g, mesh(), {"x": spec(None, "model"),
+                                        "w": spec("model", None)})
+        ars = [op for op in sharded.graph.collectives()
+               if isinstance(op, AllReduceOp)]
+        assert len(ars) == 1
+
+    def test_batch_local_matmul_no_comm(self):
+        g = ComputationGraph()
+        g.add(InputOp(name="q", output=TensorSpec((64, 128))))
+        g.add(MatMulOp(name="s", inputs=("q", "q"),
+                       output=TensorSpec((64, 128)),
+                       batch=16, m=8, k=8, n=8, batch_local=True))
+        sharded = partition(g, mesh(), {"q": spec("data", "model")})
+        assert not sharded.graph.collectives()
+        assert sharded.shardings["s"].axes == ("data", "model")
+        share = 1 / (4 * 16)
+        assert sharded.local_flops["s"] == pytest.approx(
+            2 * 16 * 8 * 8 * 8 * share)
+
+    def test_batch_local_mismatched_sharding_rejected(self):
+        g = ComputationGraph()
+        g.add(InputOp(name="a", output=TensorSpec((64, 128))))
+        g.add(InputOp(name="b", output=TensorSpec((64, 128))))
+        g.add(MatMulOp(name="s", inputs=("a", "b"),
+                       output=TensorSpec((64, 128)),
+                       batch=16, m=8, k=8, n=8, batch_local=True))
+        with pytest.raises(ConfigurationError):
+            partition(g, mesh(), {"a": spec("data", None),
+                                  "b": spec(None, "model")})
+
+
+class TestElementwisePropagation:
+    def test_inherits_first_input(self):
+        sharded = matmul_graph(spec("data", None), spec(None, "model"))
+        assert sharded.shardings["z"].axes == ("data", "model")
+
+    def test_mismatched_input_gathered(self):
+        g = ComputationGraph()
+        g.add(InputOp(name="a", output=TensorSpec((64, 16))))
+        g.add(InputOp(name="b", output=TensorSpec((64, 16))))
+        g.add(ElementwiseOp(name="c", inputs=("a", "b"),
+                            output=TensorSpec((64, 16))))
+        sharded = partition(g, mesh(), {"a": spec("data", None),
+                                        "b": spec("model", None)})
+        ags = [op for op in sharded.graph.collectives()
+               if isinstance(op, AllGatherOp)]
+        assert len(ags) == 1
+        assert ags[0].mesh_axis == "model"
+        assert sharded.shardings["c"].axes == ("data", None)
+
+    def test_replicated_input_against_sharded_target_is_free(self):
+        g = ComputationGraph()
+        g.add(InputOp(name="a", output=TensorSpec((64, 16))))
+        g.add(InputOp(name="b", output=TensorSpec((64, 16))))
+        g.add(ElementwiseOp(name="c", inputs=("a", "b"),
+                            output=TensorSpec((64, 16))))
+        sharded = partition(g, mesh(), {"a": spec("data", None),
+                                        "b": spec(None, None)})
+        assert not sharded.graph.collectives()
+
+
+class TestEmbeddingPropagation:
+    def embedding_graph(self, table_sharding):
+        g = ComputationGraph()
+        g.add(ParameterOp(name="table", output=TensorSpec((4096, 64))))
+        g.add(InputOp(name="ids", output=TensorSpec((256,), dtype_bytes=4)))
+        g.add(EmbeddingLookupOp(name="emb", inputs=("table", "ids"),
+                                output=TensorSpec((256, 64)),
+                                vocab=4096, width=64, lookups=256))
+        return partition(g, mesh(), {"table": table_sharding,
+                                     "ids": spec("data")})
+
+    def test_row_sharded_table_inserts_alltoall(self):
+        sharded = self.embedding_graph(spec("model", None))
+        a2a = [op for op in sharded.graph.collectives()
+               if isinstance(op, AllToAllOp)]
+        assert len(a2a) == 1
+        assert a2a[0].mesh_axis == "model"
+        # Vectors to exchange: the local output shard.
+        assert a2a[0].comm_bytes == pytest.approx(256 / 4 * 64 * 2)
+
+    def test_replicated_table_no_comm(self):
+        sharded = self.embedding_graph(spec(None, None))
+        assert not sharded.graph.collectives()
+
+    def test_output_sharded_on_batch(self):
+        sharded = self.embedding_graph(spec("model", None))
+        final = sharded.graph.ops()[-1]
+        assert sharded.shardings[final.name].axes == ("data", None)
+
+
+class TestFusionAndErrors:
+    def test_fusion_transpose_annotation(self):
+        g = ComputationGraph()
+        g.add(ParameterOp(name="w", output=TensorSpec((32, 16))))
+        g.add(FusionOp(name="w.T", inputs=("w",), output=TensorSpec((16, 32))))
+        sharded = partition(g, mesh(), {"w": spec(None, "model"),
+                                        "w.T": spec("model", None)})
+        assert sharded.shardings["w.T"].axes == ("model", None)
+        assert sharded.local_flops["w.T"] == 0.0
+
+    def test_bad_annotation_rank_rejected(self):
+        g = ComputationGraph()
+        g.add(InputOp(name="x", output=TensorSpec((8, 8))))
+        with pytest.raises(ConfigurationError):
+            partition(g, mesh(), {"x": spec("data")})
+
+    def test_indivisible_sharding_rejected(self):
+        g = ComputationGraph()
+        g.add(InputOp(name="x", output=TensorSpec((6, 8))))
+        with pytest.raises(ConfigurationError):
+            partition(g, mesh(), {"x": spec("data", None)})
+
+
+class TestShardedGraphAggregates:
+    def test_per_chip_flops_excludes_collectives(self):
+        sharded = matmul_graph(spec(None, "model"), spec("model", None))
+        compute = sum(
+            sharded.local_flops[op.name] for op in sharded.graph.ops()
+            if not op.is_collective)
+        assert sharded.per_chip_flops() == pytest.approx(compute)
+
+    def test_comm_bytes_by_axis(self):
+        sharded = matmul_graph(spec(None, "model"), spec("model", None))
+        by_axis = sharded.comm_bytes_by_axis()
+        assert set(by_axis) == {"model"}
+        assert by_axis["model"] > 0
+
+    def test_describe_runs(self):
+        sharded = matmul_graph(spec("data", None), spec(None, None))
+        assert "per-chip" in sharded.describe()

@@ -1,0 +1,109 @@
+"""Tests for MLPerf anchors and comparison methodology (Figs. 14-15)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.mlperf import (MLPERF_RESULTS, entries_for, equal_size_ratio,
+                          fastest_relative_to_a100, interpolate_time,
+                          scaling_series, systems_in)
+
+
+class TestResultsData:
+    def test_largest_scales_match_paper(self):
+        assert entries_for("BERT", "TPU v4")[-1].chips == 4096
+        assert entries_for("BERT", "A100")[-1].chips == 4216
+        assert entries_for("BERT", "IPU Bow")[-1].chips == 256
+
+    def test_five_benchmarks(self):
+        benchmarks = {e.benchmark for e in MLPERF_RESULTS}
+        assert benchmarks == {"BERT", "ResNet", "RetinaNet", "MaskRCNN",
+                              "DLRM"}
+
+    def test_graphcore_only_two_benchmarks(self):
+        # Paper: "Graphcore ran two of the five."
+        ipu = {e.benchmark for e in MLPERF_RESULTS if e.system == "IPU Bow"}
+        assert ipu == {"BERT", "ResNet"}
+
+    def test_tpu_small_points_from_round_10(self):
+        # Figure 15 note: TPU v4 <= 2048-chip points are MLPerf 1.0.
+        for entry in entries_for("BERT", "TPU v4"):
+            expected = "1.0" if entry.chips <= 2048 else "2.0"
+            assert entry.round == expected
+
+    def test_unknown_benchmark(self):
+        with pytest.raises(ConfigurationError):
+            entries_for("MiniGo")
+
+    def test_systems_in(self):
+        assert systems_in("BERT") == ["A100", "IPU Bow", "TPU v4"]
+
+
+class TestInterpolation:
+    def test_exact_anchor_returned(self):
+        assert interpolate_time("BERT", "TPU v4", 4096) == 0.184
+
+    def test_loglog_between_anchors(self):
+        t = interpolate_time("BERT", "TPU v4", 128)
+        lo = interpolate_time("BERT", "TPU v4", 64)
+        hi = interpolate_time("BERT", "TPU v4", 256)
+        assert hi < t < lo
+        # Log-log midpoint of 64..256 at 128: geometric mean of times.
+        assert t == pytest.approx((lo * hi) ** 0.5, rel=1e-6)
+
+    def test_extrapolation_refused(self):
+        with pytest.raises(ConfigurationError):
+            interpolate_time("BERT", "IPU Bow", 512)
+        with pytest.raises(ConfigurationError):
+            interpolate_time("BERT", "A100", 4)
+
+    def test_series_monotone(self):
+        for system in ("TPU v4", "A100", "IPU Bow"):
+            series = scaling_series("BERT", system)
+            assert list(series.minutes) == sorted(series.minutes,
+                                                  reverse=True)
+
+
+class TestFigure15Ratios:
+    def test_bert_115x_vs_a100(self):
+        ratio = equal_size_ratio("BERT", "TPU v4", "A100", 4096,
+                                 chips_b=4216)
+        assert ratio == pytest.approx(1.15, abs=0.02)
+
+    def test_resnet_167x_vs_a100(self):
+        ratio = equal_size_ratio("ResNet", "TPU v4", "A100", 4096,
+                                 chips_b=4216)
+        assert ratio == pytest.approx(1.67, abs=0.02)
+
+    def test_bert_43x_vs_ipu_at_256(self):
+        ratio = equal_size_ratio("BERT", "TPU v4", "IPU Bow", 256)
+        assert ratio == pytest.approx(4.3, abs=0.1)
+
+    def test_resnet_45x_vs_ipu_at_256(self):
+        ratio = equal_size_ratio("ResNet", "TPU v4", "IPU Bow", 256)
+        assert ratio == pytest.approx(4.5, abs=0.1)
+
+    def test_peak_flops_do_not_predict_performance(self):
+        # Section 7.1: A100 peak is 1.13x TPU v4, yet TPU v4 wins 1.15-1.67x;
+        # IPU peak is within 1.10x, yet loses 4.3-4.5x.
+        from repro.chips import A100, IPU_BOW, TPUV4
+        assert A100.peak_bf16_flops > TPUV4.peak_bf16_flops
+        assert equal_size_ratio("BERT", "TPU v4", "A100", 4096,
+                                chips_b=4216) > 1.0
+        assert TPUV4.peak_bf16_flops / IPU_BOW.peak_bf16_flops < 1.2
+        assert equal_size_ratio("BERT", "TPU v4", "IPU Bow", 256) > 4.0
+
+
+class TestFigure14:
+    def test_bert_fastest_bars(self):
+        bars = fastest_relative_to_a100("BERT")
+        assert bars["A100"] == 1.0
+        assert bars["TPU v4"] > 1.0
+        assert bars["IPU Bow"] < 0.1  # 256-chip IPU vs 4216-chip A100
+
+    def test_all_five_benchmarks_have_bars(self):
+        for benchmark in ("BERT", "ResNet", "RetinaNet", "MaskRCNN", "DLRM"):
+            bars = fastest_relative_to_a100(benchmark)
+            assert "TPU v4" in bars and bars["A100"] == 1.0
+
+    def test_resnet_tpu_fastest(self):
+        assert fastest_relative_to_a100("ResNet")["TPU v4"] > 1.5

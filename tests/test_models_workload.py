@@ -1,0 +1,91 @@
+"""Tests for workload mixes (Tables 1-2) and Section 2.9 statistics."""
+
+import pytest
+
+from repro.models import (TABLE1_MIX, TABLE2_SLICES, table1_rows, table2_rows,
+                          topology_distribution_stats)
+from repro.models.workload import transformer_share_2022
+
+
+class TestTable1:
+    def test_four_snapshots(self):
+        assert len(TABLE1_MIX) == 4
+
+    def test_2022_transformer_majority(self):
+        assert transformer_share_2022() == 0.57
+
+    def test_2022_breakdown(self):
+        mix = TABLE1_MIX["TPU v4 (10/2022, training)"]
+        assert mix["BERT"] + mix["LLM"] == pytest.approx(0.57)
+        assert mix["RNN"] == 0.02  # the paper's noted RNN collapse
+        assert mix["MLP/DLRM"] == 0.24
+
+    def test_tpu_v1_had_no_transformers(self):
+        mix = TABLE1_MIX["TPU v1 (7/2016, inference)"]
+        assert mix["Transformer"] == 0.0
+        assert mix["MLP/DLRM"] == 0.61
+
+    def test_rows_accessor(self):
+        rows = table1_rows()
+        assert len(rows) == 4
+        assert all(isinstance(r[1], dict) for r in rows)
+
+    def test_main_shares_sum_near_one(self):
+        # BERT/LLM are Transformer subtypes and excluded from the sum.
+        for snapshot, mix in TABLE1_MIX.items():
+            total = sum(v for k, v in mix.items() if k not in ("BERT", "LLM"))
+            assert 0.90 <= total <= 1.0, snapshot
+
+
+class TestTable2:
+    def test_shares_cover_distribution(self):
+        # Table 2 includes every slice >= 0.1%; the shares sum to ~97.5%.
+        total = sum(u.share for u in TABLE2_SLICES)
+        assert total == pytest.approx(0.975, abs=0.01)
+
+    def test_most_popular_is_twisted_448(self):
+        top = max(TABLE2_SLICES, key=lambda u: u.share)
+        assert top.label == "4x4x8_T"
+        assert top.share == pytest.approx(0.16)
+
+    def test_categories_re_derived(self):
+        categories = {label: category for label, _, category in table2_rows()}
+        assert categories["4x4x8_T"] == "twisted torus"
+        assert categories["4x4x8_NT"] == "twistable untwisted"
+        assert categories["8x8x8"] == "regular torus"
+        assert categories["2x2x4"] == "sub-block mesh"
+
+    def test_half_of_slices_cubes_of_4_or_8(self):
+        # Paper: "Half of the slices have x, y, and z as either 4 or 8."
+        from repro.core.slicing import parse_shape
+        share = sum(u.share for u in TABLE2_SLICES
+                    if all(d in (4, 8) for d in parse_shape(u.label)[0]))
+        assert share >= 0.45
+
+
+class TestSection29:
+    @pytest.fixture(scope="class")
+    def stats(self):
+        return topology_distribution_stats()
+
+    def test_29_percent_sub_block(self, stats):
+        assert stats["sub_block"] == pytest.approx(0.29, abs=0.02)
+
+    def test_33_percent_twistable(self, stats):
+        assert stats["twistable"] == pytest.approx(0.33, abs=0.02)
+
+    def test_28_percent_twisted(self, stats):
+        assert stats["twisted"] == pytest.approx(0.28, abs=0.02)
+
+    def test_86_percent_of_twistable_twisted(self, stats):
+        assert stats["twisted_among_twistable"] == pytest.approx(0.86,
+                                                                 abs=0.03)
+
+    def test_40_percent_of_block_sized_twisted(self, stats):
+        assert stats["twisted_among_block_sized"] == pytest.approx(0.40,
+                                                                   abs=0.03)
+
+    def test_48_percent_of_block_sized_twistable(self, stats):
+        # Paper: twistable shapes are "33% (48% of 71%)".
+        assert stats["twistable_among_block_sized"] == pytest.approx(
+            0.48, abs=0.03)

@@ -1,0 +1,72 @@
+"""Tests for max-min fair allocation."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import SimulationError
+from repro.network import max_min_fair_rates
+
+
+class TestMaxMinFair:
+    def test_single_flow_gets_capacity(self):
+        assert max_min_fair_rates([["a"]], {"a": 10.0}) == [10.0]
+
+    def test_equal_split(self):
+        rates = max_min_fair_rates([["a"], ["a"]], {"a": 10.0})
+        assert rates == [5.0, 5.0]
+
+    def test_classic_bottleneck(self):
+        # Flow 2 is pinned by link b; flows 0/1 split the leftovers of a.
+        rates = max_min_fair_rates([["a"], ["a"], ["a", "b"]],
+                                   {"a": 3.0, "b": 0.5})
+        assert rates == [1.25, 1.25, 0.5]
+
+    def test_empty_route_is_infinite(self):
+        rates = max_min_fair_rates([[], ["a"]], {"a": 1.0})
+        assert math.isinf(rates[0])
+        assert rates[1] == 1.0
+
+    def test_multi_traversal_counts_twice(self):
+        # A flow crossing the link twice gets half the single-pass share.
+        rates = max_min_fair_rates([["a", "a"]], {"a": 10.0})
+        assert rates == [5.0]
+
+    def test_unknown_link_raises(self):
+        with pytest.raises(SimulationError):
+            max_min_fair_rates([["zzz"]], {"a": 1.0})
+
+    def test_negative_capacity_raises(self):
+        with pytest.raises(SimulationError):
+            max_min_fair_rates([["a"]], {"a": -1.0})
+
+    def test_parking_lot_fairness(self):
+        # Chain topology: long flow through all links, short flows each.
+        routes = [["l0", "l1", "l2"], ["l0"], ["l1"], ["l2"]]
+        caps = {"l0": 1.0, "l1": 1.0, "l2": 1.0}
+        rates = max_min_fair_rates(routes, caps)
+        assert rates[0] == pytest.approx(0.5)
+        assert rates[1:] == pytest.approx([0.5, 0.5, 0.5])
+
+    @given(st.integers(1, 6), st.integers(1, 5))
+    @settings(max_examples=30, deadline=None)
+    def test_no_link_oversubscribed(self, num_flows, num_links):
+        links = [f"l{i}" for i in range(num_links)]
+        caps = {link: 1.0 + i for i, link in enumerate(links)}
+        routes = [[links[(i + j) % num_links] for j in range((i % num_links) + 1)]
+                  for i in range(num_flows)]
+        rates = max_min_fair_rates(routes, caps)
+        usage = {link: 0.0 for link in links}
+        for route, rate in zip(routes, rates):
+            for link in route:
+                usage[link] += rate
+        for link in links:
+            assert usage[link] <= caps[link] + 1e-6
+
+    @given(st.integers(2, 8))
+    @settings(max_examples=10, deadline=None)
+    def test_symmetric_flows_equal_rates(self, n):
+        routes = [["shared"] for _ in range(n)]
+        rates = max_min_fair_rates(routes, {"shared": 7.0})
+        assert all(r == pytest.approx(7.0 / n) for r in rates)

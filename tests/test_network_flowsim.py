@@ -1,0 +1,110 @@
+"""Tests for the fluid flow simulator."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.network import FlowSim
+from repro.network.flowsim import route_links, topology_capacities
+from repro.topology import Torus3D
+
+
+class TestFlowSim:
+    def test_single_flow_time(self):
+        sim = FlowSim({"a": 10.0})
+        flow = sim.add_flow(["a"], 100.0)
+        assert sim.run() == pytest.approx(10.0)
+        assert flow.finish_time == pytest.approx(10.0)
+
+    def test_two_flows_share_then_speed_up(self):
+        # Both flows share (rate 5) until the short one finishes, then the
+        # long one gets the full link.
+        sim = FlowSim({"a": 10.0})
+        short = sim.add_flow(["a"], 50.0)
+        long = sim.add_flow(["a"], 150.0)
+        sim.run()
+        assert short.finish_time == pytest.approx(10.0)
+        # Long flow: 50 bytes by t=10 (rate 5), then 100 at rate 10 -> t=20.
+        assert long.finish_time == pytest.approx(20.0)
+
+    def test_staggered_start(self):
+        sim = FlowSim({"a": 10.0})
+        first = sim.add_flow(["a"], 100.0)
+        second = sim.add_flow(["a"], 100.0, delay=5.0)
+        sim.run()
+        # First runs alone 5s (50 bytes), shares 10s (50 bytes) -> t=15.
+        assert first.finish_time == pytest.approx(15.0)
+        # Second: shares 10s (50), alone 5s (50) -> t=20.
+        assert second.finish_time == pytest.approx(20.0)
+
+    def test_zero_size_completes_immediately(self):
+        sim = FlowSim({"a": 1.0})
+        flow = sim.add_flow(["a"], 0.0)
+        sim.run()
+        assert flow.finish_time == pytest.approx(0.0)
+
+    def test_dependency_chaining(self):
+        sim = FlowSim({"a": 10.0})
+        order = []
+
+        def second_stage(done_flow):
+            order.append("first-done")
+            sim.add_flow(["a"], 100.0,
+                         on_complete=lambda f: order.append("second-done"))
+
+        sim.add_flow(["a"], 100.0, on_complete=second_stage)
+        total = sim.run()
+        assert order == ["first-done", "second-done"]
+        assert total == pytest.approx(20.0)
+
+    def test_latency_applies_before_bytes(self):
+        sim = FlowSim({"a": 10.0}, latency=1.0)
+        flow = sim.add_flow(["a"], 100.0)
+        sim.run()
+        assert flow.finish_time == pytest.approx(11.0)
+
+    def test_negative_size_rejected(self):
+        sim = FlowSim({"a": 1.0})
+        with pytest.raises(SimulationError):
+            sim.add_flow(["a"], -1.0)
+
+    def test_bad_capacity_rejected(self):
+        with pytest.raises(SimulationError):
+            FlowSim({"a": 0.0})
+
+    def test_disjoint_flows_run_in_parallel(self):
+        sim = FlowSim({"a": 10.0, "b": 10.0})
+        fa = sim.add_flow(["a"], 100.0)
+        fb = sim.add_flow(["b"], 100.0)
+        sim.run()
+        assert fa.finish_time == pytest.approx(10.0)
+        assert fb.finish_time == pytest.approx(10.0)
+
+    def test_unfinished_flow_query_raises(self):
+        sim = FlowSim({"a": 1.0})
+        flow = sim.add_flow(["a"], 10.0)
+        with pytest.raises(SimulationError):
+            sim.completion_time(flow)
+
+
+class TestTopologyIntegration:
+    def test_capacities_include_multiplicity(self):
+        torus = Torus3D((4, 1, 1))
+        caps = topology_capacities(torus, 50.0)
+        assert caps[((0, 0, 0), (1, 0, 0))] == 50.0
+        assert len(caps) == 2 * torus.num_links
+
+    def test_route_links(self):
+        path = [(0, 0, 0), (1, 0, 0), (2, 0, 0)]
+        assert route_links(path) == [((0, 0, 0), (1, 0, 0)),
+                                     ((1, 0, 0), (2, 0, 0))]
+
+    def test_neighbor_exchange_on_ring(self):
+        from repro.network.traffic import neighbor_exchange_pairs
+        from repro.topology.routing import shortest_path
+        torus = Torus3D((4, 1, 1))
+        caps = topology_capacities(torus, 10.0)
+        sim = FlowSim(caps)
+        for src, dst in neighbor_exchange_pairs(torus):
+            sim.add_flow(route_links(shortest_path(torus, src, dst)), 100.0)
+        # Each direction of each link carries exactly one flow: 10 s.
+        assert sim.run() == pytest.approx(10.0)

@@ -1,0 +1,165 @@
+"""Tests for the 48-switch fabric and slice realization (Figure 1)."""
+
+import pytest
+
+from repro.errors import OCSError
+from repro.ocs import FACE_LINKS, NUM_OCS, OCSFabric, realize_slice, release_slice
+from repro.ocs.fabric import FACE_SIDE
+from repro.ocs.reconfigure import block_of, default_placement, is_electrical
+from repro.topology import Torus3D
+
+
+@pytest.fixture
+def fabric():
+    return OCSFabric()
+
+
+class TestFabricStructure:
+    def test_figure1_switch_count(self, fabric):
+        # 6 faces x 16 links / 2 (+/- pairs share a switch) = 48 OCSes.
+        assert NUM_OCS == 48
+        assert len(fabric.switches) == 48
+
+    def test_capacity_matches_palomar(self, fabric):
+        # 64 blocks x 2 ports = 128 = Palomar usable ports.
+        assert fabric.ports_per_switch_needed() == 128
+        fabric.validate_capacity()  # should not raise
+
+    def test_oversized_machine_rejected(self):
+        fabric = OCSFabric(num_blocks=65)
+        with pytest.raises(OCSError):
+            fabric.validate_capacity()
+
+    def test_port_convention(self, fabric):
+        assert fabric.port_for(0, "+") == 0
+        assert fabric.port_for(63, "-") == 127
+        with pytest.raises(OCSError):
+            fabric.port_for(64, "+")
+        with pytest.raises(OCSError):
+            fabric.port_for(0, "x")
+
+    def test_unknown_switch(self, fabric):
+        with pytest.raises(OCSError):
+            fabric.switch_for(3, 0)
+
+    def test_link_budget(self, fabric):
+        budget = fabric.optical_link_budget()
+        assert budget["switches"] == 48
+        assert budget["fibers"] == 64 * 96
+        assert budget["max_circuits"] == 48 * 64
+
+
+class TestConnectBlocks:
+    def test_self_wraparound_allowed(self, fabric):
+        fabric.connect_blocks(0, 0, 5, 5)
+        assert fabric.total_circuits() == 1
+        circuits = list(fabric.circuits())
+        assert circuits == [(0, 0, 5, 5)]
+
+    def test_port_conflict_detected(self, fabric):
+        fabric.connect_blocks(0, 0, 1, 2)
+        with pytest.raises(OCSError):
+            fabric.connect_blocks(0, 0, 1, 3)  # block 1's '+' reused
+
+    def test_clear(self, fabric):
+        fabric.connect_blocks(1, 5, 0, 1)
+        fabric.clear()
+        assert fabric.total_circuits() == 0
+
+
+class TestHelpers:
+    def test_block_of(self):
+        assert block_of((0, 0, 0)) == (0, 0, 0)
+        assert block_of((3, 4, 11)) == (0, 1, 2)
+
+    def test_is_electrical(self):
+        assert is_electrical((0, 0, 0), (0, 0, 1))
+        assert not is_electrical((0, 0, 3), (0, 0, 4))  # crosses blocks
+        assert not is_electrical((0, 0, 0), (0, 0, 3))  # not adjacent
+
+    def test_default_placement(self):
+        placement = default_placement((4, 4, 8))
+        assert placement == {(0, 0, 0): 0, (0, 0, 1): 1}
+
+
+class TestRealizeSlice:
+    def test_single_block_torus(self, fabric):
+        wiring = realize_slice(fabric, (4, 4, 4))
+        # All wraparound links are optical: 3 dims x 16 rings = 48.
+        assert wiring.num_optical_links == 48
+        assert wiring.num_electrical_links == 3 * 48
+        assert fabric.total_circuits() == 48
+
+    def test_mesh_slice_uses_no_circuits(self, fabric):
+        wiring = realize_slice(fabric, (2, 2, 2))
+        assert wiring.num_optical_links == 0
+        assert fabric.total_circuits() == 0
+        assert wiring.num_electrical_links == wiring.topology.num_links
+
+    def test_two_block_slice(self, fabric):
+        wiring = realize_slice(fabric, (4, 4, 8))
+        # z-links: 16 rings x 2 crossings optical; x/y wraps: 16 each x 2 dims.
+        assert wiring.num_optical_links == 16 * 2 + 2 * 32
+        wiring.verify()
+
+    def test_twisted_same_circuit_count(self):
+        plain = realize_slice(OCSFabric(), (4, 4, 8))
+        twisted = realize_slice(OCSFabric(), (4, 4, 8), twisted=True)
+        assert twisted.num_optical_links == plain.num_optical_links
+        assert twisted.num_electrical_links == plain.num_electrical_links
+
+    def test_twist_changes_only_wraparound_targets(self):
+        plain = realize_slice(OCSFabric(), (4, 4, 8))
+        twisted = realize_slice(OCSFabric(), (4, 4, 8), twisted=True)
+        plain_keys = {(c.dim, c.face_index, c.low_block, c.high_block)
+                      for c in plain.circuits}
+        twisted_keys = {(c.dim, c.face_index, c.low_block, c.high_block)
+                        for c in twisted.circuits}
+        assert plain_keys != twisted_keys  # the OCS reprogramming
+
+    def test_custom_placement_anywhere(self, fabric):
+        # Scheduling benefit: ANY blocks can host the slice (Section 2.5).
+        placement = {(0, 0, 0): 17, (0, 0, 1): 42}
+        wiring = realize_slice(fabric, (4, 4, 8), placement=placement)
+        used_blocks = {c.low_block for c in wiring.circuits} | \
+            {c.high_block for c in wiring.circuits}
+        assert used_blocks == {17, 42}
+
+    def test_bad_placement_size(self, fabric):
+        with pytest.raises(OCSError):
+            realize_slice(fabric, (4, 4, 8), placement={(0, 0, 0): 0})
+
+    def test_duplicate_physical_block(self, fabric):
+        with pytest.raises(OCSError):
+            realize_slice(fabric, (4, 4, 8),
+                          placement={(0, 0, 0): 3, (0, 0, 1): 3})
+
+    def test_two_slices_coexist(self, fabric):
+        realize_slice(fabric, (4, 4, 8), placement={(0, 0, 0): 0, (0, 0, 1): 1})
+        realize_slice(fabric, (4, 4, 8), placement={(0, 0, 0): 2, (0, 0, 1): 3})
+        assert fabric.total_circuits() == 2 * (16 * 2 + 2 * 32)
+
+    def test_block_reuse_across_slices_rejected(self, fabric):
+        realize_slice(fabric, (4, 4, 8), placement={(0, 0, 0): 0, (0, 0, 1): 1})
+        with pytest.raises(OCSError):
+            realize_slice(fabric, (4, 4, 8),
+                          placement={(0, 0, 0): 1, (0, 0, 1): 2})
+
+    def test_release_slice(self, fabric):
+        wiring = realize_slice(fabric, (4, 4, 4))
+        release_slice(fabric, wiring)
+        assert fabric.total_circuits() == 0
+        # The blocks are reusable afterwards.
+        realize_slice(fabric, (4, 4, 4))
+
+    def test_full_machine(self, fabric):
+        wiring = realize_slice(fabric, (16, 16, 16))
+        # Every switch fully loaded: 48 x 64 circuits.
+        assert fabric.total_circuits() == 48 * 64
+        assert wiring.topology.num_nodes == 4096
+
+    def test_topology_edge_dims_consistent(self, fabric):
+        wiring = realize_slice(fabric, (4, 8, 8), twisted=True)
+        for circuit in wiring.circuits:
+            u, v = circuit.chip_link
+            assert wiring.topology.edge_dim(u, v) == circuit.dim

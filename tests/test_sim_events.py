@@ -1,0 +1,140 @@
+"""Tests for the discrete-event kernel."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import SimulationError
+from repro.sim import EventQueue, Simulator
+
+
+class TestEventQueue:
+    def test_orders_by_time(self):
+        queue = EventQueue()
+        fired = []
+        queue.push(2.0, lambda: fired.append("b"))
+        queue.push(1.0, lambda: fired.append("a"))
+        queue.push(3.0, lambda: fired.append("c"))
+        while (event := queue.pop()) is not None:
+            event.action()
+        assert fired == ["a", "b", "c"]
+
+    def test_same_time_preserves_insertion_order(self):
+        queue = EventQueue()
+        fired = []
+        for name in "abcde":
+            queue.push(1.0, lambda n=name: fired.append(n))
+        while (event := queue.pop()) is not None:
+            event.action()
+        assert fired == list("abcde")
+
+    def test_cancel_skips_event(self):
+        queue = EventQueue()
+        fired = []
+        event = queue.push(1.0, lambda: fired.append("x"))
+        queue.push(2.0, lambda: fired.append("y"))
+        event.cancel()
+        assert len(queue) == 1
+        while (e := queue.pop()) is not None:
+            e.action()
+        assert fired == ["y"]
+
+    def test_peek_time_skips_cancelled(self):
+        queue = EventQueue()
+        first = queue.push(1.0, lambda: None)
+        queue.push(5.0, lambda: None)
+        first.cancel()
+        assert queue.peek_time() == 5.0
+
+    def test_empty_pop_returns_none(self):
+        assert EventQueue().pop() is None
+        assert EventQueue().peek_time() is None
+
+    @given(st.lists(st.floats(min_value=0, max_value=1e6), min_size=1,
+                    max_size=50))
+    def test_pop_order_is_sorted(self, times):
+        queue = EventQueue()
+        for t in times:
+            queue.push(t, lambda: None)
+        popped = []
+        while (event := queue.pop()) is not None:
+            popped.append(event.time)
+        assert popped == sorted(times)
+
+
+class TestSimulator:
+    def test_clock_advances(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(1.5, lambda: seen.append(sim.now))
+        sim.schedule(0.5, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [0.5, 1.5]
+        assert sim.now == 1.5
+        assert sim.events_fired == 2
+
+    def test_nested_scheduling(self):
+        sim = Simulator()
+        seen = []
+
+        def first():
+            seen.append("first")
+            sim.schedule(1.0, lambda: seen.append("second"))
+
+        sim.schedule(1.0, first)
+        sim.run()
+        assert seen == ["first", "second"]
+        assert sim.now == 2.0
+
+    def test_run_until_stops_clock(self):
+        sim = Simulator()
+        sim.schedule(10.0, lambda: None)
+        sim.run(until=5.0)
+        assert sim.now == 5.0
+        sim.run()
+        assert sim.now == 10.0
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule(-1.0, lambda: None)
+
+    def test_schedule_at_past_rejected(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule_at(0.5, lambda: None)
+
+    def test_event_budget_guard(self):
+        sim = Simulator()
+
+        def rearm():
+            sim.schedule(1.0, rearm)
+
+        sim.schedule(1.0, rearm)
+        with pytest.raises(SimulationError):
+            sim.run(max_events=100)
+
+
+class TestRng:
+    def test_same_seed_same_stream(self):
+        from repro.sim import make_rng
+        assert make_rng(7).integers(0, 1000) == make_rng(7).integers(0, 1000)
+
+    def test_generator_passthrough(self):
+        import numpy as np
+        from repro.sim import make_rng
+        gen = np.random.default_rng(3)
+        assert make_rng(gen) is gen
+
+    def test_spawned_streams_differ(self):
+        from repro.sim import spawn_rngs
+        streams = spawn_rngs(0, 3)
+        draws = [rng.integers(0, 2**30) for rng in streams]
+        assert len(set(draws)) == 3
+
+    def test_spawned_streams_reproducible(self):
+        from repro.sim import spawn_rngs
+        first = [rng.integers(0, 2**30) for rng in spawn_rngs(5, 4)]
+        second = [rng.integers(0, 2**30) for rng in spawn_rngs(5, 4)]
+        assert first == second

@@ -1,0 +1,184 @@
+"""Tests for the distributed embedding engine and step-time model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShardingError
+from repro.sparsecore import (CategoricalFeature, DistributedEmbedding,
+                              EmbeddingTable, FeatureBatch, ShardingPlan,
+                              ShardingStrategy, embedding_step_time,
+                              plan_for_tables, synthetic_batch)
+from repro.sparsecore.executor import EmbeddingWorkload
+from repro.sparsecore.timing import TPUV3_SC, TPUV4_SC
+
+
+def build_engine(num_chips=4, strategy=ShardingStrategy.ROW):
+    tables = {
+        "words": EmbeddingTable("words", vocab_size=500, dim=8),
+        "sites": EmbeddingTable("sites", vocab_size=300, dim=4),
+    }
+    plan = ShardingPlan(num_chips=num_chips,
+                        strategies={"words": strategy, "sites": strategy})
+    if strategy is ShardingStrategy.TABLE:
+        plan.table_home = {"words": 0, "sites": 1}
+    features = {"query": "words", "site": "sites"}
+    return DistributedEmbedding(tables=tables, feature_to_table=features,
+                                plan=plan)
+
+
+def build_batches(seed=0, batch=32):
+    query = CategoricalFeature("query", vocab_size=500, avg_valency=5)
+    site = CategoricalFeature("site", vocab_size=300)
+    return {
+        "query": synthetic_batch(query, batch, seed=seed),
+        "site": synthetic_batch(site, batch, seed=seed + 1),
+    }
+
+
+class TestDistributedForward:
+    def test_matches_reference_lookup(self):
+        engine = build_engine()
+        batches = build_batches()
+        outputs = engine.forward(batches)
+        for name, batch in batches.items():
+            table = engine.tables[engine.feature_to_table[name]]
+            np.testing.assert_allclose(outputs[name], table.lookup(batch))
+
+    def test_traffic_recorded(self):
+        engine = build_engine()
+        engine.forward(build_batches())
+        stats = engine.last_traffic
+        assert stats is not None
+        assert stats.rows_gathered.sum() > 0
+        assert stats.alltoall_bytes.sum() > 0
+        assert stats.lookups_after_dedup <= stats.lookups_before_dedup
+        assert stats.dedup_savings >= 0
+
+    def test_replicated_no_alltoall(self):
+        engine = build_engine(strategy=ShardingStrategy.REPLICATED)
+        engine.forward(build_batches())
+        assert engine.last_traffic.alltoall_bytes.sum() == 0
+
+    def test_table_sharding_imbalanced(self):
+        engine = build_engine(strategy=ShardingStrategy.TABLE)
+        engine.forward(build_batches())
+        stats = engine.last_traffic
+        # Only chips 0 and 1 host tables; others gather nothing.
+        assert stats.rows_gathered[2] == 0
+        assert stats.load_imbalance > 1.5
+
+    def test_row_sharding_balanced(self):
+        engine = build_engine(strategy=ShardingStrategy.ROW)
+        engine.forward(build_batches())
+        assert engine.last_traffic.load_imbalance < 1.5
+
+    def test_unknown_feature_table(self):
+        with pytest.raises(ShardingError):
+            DistributedEmbedding(tables={}, feature_to_table={"f": "ghost"},
+                                 plan=ShardingPlan(num_chips=1))
+
+
+class TestDistributedBackward:
+    def test_updates_touched_rows_only(self):
+        engine = build_engine()
+        batches = build_batches()
+        before = {name: t.weights.copy() for name, t in engine.tables.items()}
+        engine.forward(batches)
+        grads = {name: np.ones((b.batch_size,
+                                engine.tables[engine.feature_to_table[name]].dim))
+                 for name, b in batches.items()}
+        engine.backward(batches, grads)
+        touched = set(batches["query"].ids.tolist())
+        words = engine.tables["words"]
+        for row in range(words.vocab_size):
+            changed = not np.allclose(words.weights[row],
+                                      before["words"][row])
+            assert changed == (row in touched)
+
+    def test_training_reduces_loss(self):
+        """A tiny regression: embeddings should fit a fixed target."""
+        engine = build_engine(num_chips=2)
+        batches = build_batches(batch=16)
+        target = {name: np.zeros((16, engine.tables[t].dim))
+                  for name, t in engine.feature_to_table.items()}
+
+        def loss_and_grads():
+            outputs = engine.forward(batches)
+            loss = 0.0
+            grads = {}
+            for name, out in outputs.items():
+                diff = out - target[name]
+                loss += float((diff**2).mean())
+                grads[name] = 2 * diff / diff.size
+            return loss, grads
+
+        first, grads = loss_and_grads()
+        for _ in range(30):
+            _, grads = loss_and_grads()
+            engine.backward(batches, grads, learning_rate=0.5)
+        final, _ = loss_and_grads()
+        assert final < first * 0.5
+
+    def test_grad_shape_validation(self):
+        engine = build_engine()
+        batches = build_batches()
+        with pytest.raises(ShardingError):
+            engine.backward(batches, {"query": np.zeros((1, 1)),
+                                      "site": np.zeros((1, 1))})
+
+
+class TestStepTimeModel:
+    """Figure 8: speedup attributable to the 3D-vs-2D bisection change.
+
+    The paper isolates the topology effect: "the TPUv3/v4 bisection
+    bandwidth ratio is 2-4x higher at a given chip count and accelerates
+    embeddings by 1.1x-2.0x.  At 1024 chips, SC overheads start to
+    dominate, so bisection bandwidth is less important."
+    """
+
+    def _bisection_speedup(self, chips, global_batch=4096):
+        workload = EmbeddingWorkload(global_batch=global_batch)
+        torus_3d = embedding_step_time(workload, chips, torus_dims=3)
+        torus_2d = embedding_step_time(workload, chips, torus_dims=2)
+        return torus_2d.seconds / torus_3d.seconds
+
+    def test_figure8_band(self):
+        for chips in (64, 256, 1024, 4096):
+            speedup = self._bisection_speedup(chips)
+            assert 1.1 <= speedup <= 2.0, (chips, speedup)
+
+    def test_bisection_matters_less_at_scale(self):
+        # Overheads grow relative to network; the gain tapers past 256.
+        assert self._bisection_speedup(4096) < self._bisection_speedup(256)
+
+    def test_overheads_dominate_at_1024(self):
+        """Paper: 'At 1024 chips, SC overheads start to dominate'."""
+        workload = EmbeddingWorkload(global_batch=4096)
+        step = embedding_step_time(workload, 1024)
+        assert step.overhead_seconds > max(step.gather_seconds,
+                                           step.network_seconds)
+
+    def test_full_v3_to_v4_speedup_exceeds_bisection_alone(self):
+        """Generation change (2x SCs, gather engine) adds to topology."""
+        workload = EmbeddingWorkload(global_batch=4096)
+        v3 = embedding_step_time(workload, 128, sc=TPUV3_SC, torus_dims=2,
+                                 link_bandwidth=70e9)
+        v4 = embedding_step_time(workload, 128, sc=TPUV4_SC, torus_dims=3,
+                                 link_bandwidth=50e9)
+        assert v3.seconds / v4.seconds > self._bisection_speedup(128)
+
+    def test_bottleneck_is_network_mid_scale(self):
+        workload = EmbeddingWorkload(global_batch=32 * 512)
+        step = embedding_step_time(workload, 512)
+        assert step.bottleneck == "network"
+
+    def test_single_chip_no_network(self):
+        workload = EmbeddingWorkload(global_batch=128)
+        step = embedding_step_time(workload, 1)
+        assert step.network_seconds == 0.0
+
+    def test_forward_only_cheaper(self):
+        workload = EmbeddingWorkload(global_batch=32 * 256)
+        full = embedding_step_time(workload, 256)
+        fwd = embedding_step_time(workload, 256, include_backward=False)
+        assert fwd.seconds < full.seconds

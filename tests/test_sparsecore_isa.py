@@ -1,0 +1,136 @@
+"""Tests for repro.sparsecore.isa: the CISC sequencer model."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.sparsecore.isa import (EmbeddingStepShape, Instruction, Opcode,
+                                  SequencerModel, TPUV4_SEQUENCER,
+                                  generate_step_program,
+                                  step_overhead_seconds)
+
+
+class TestInstruction:
+    def test_issue_cycles_by_opcode(self):
+        gather = Instruction(Opcode.GATHER, operands=128)
+        barrier = Instruction(Opcode.BARRIER)
+        assert gather.issue_cycles > barrier.issue_cycles
+
+    def test_rejects_negative_operands(self):
+        with pytest.raises(ConfigurationError):
+            Instruction(Opcode.GATHER, operands=-1)
+
+    def test_every_opcode_has_issue_cost(self):
+        for opcode in Opcode:
+            assert Instruction(opcode).issue_cycles > 0
+
+
+class TestStepShape:
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(ConfigurationError):
+            EmbeddingStepShape(num_tables=0)
+        with pytest.raises(ConfigurationError):
+            EmbeddingStepShape(num_tables=1, features_per_table=0)
+
+    def test_fractional_ids_allowed(self):
+        shape = EmbeddingStepShape(num_tables=4, ids_per_feature=0.5)
+        assert generate_step_program(shape)
+
+
+class TestProgramGeneration:
+    def test_length_scales_with_tables_not_batch(self):
+        small_batch = EmbeddingStepShape(num_tables=26, ids_per_feature=16)
+        large_batch = EmbeddingStepShape(num_tables=26, ids_per_feature=4096)
+        assert len(generate_step_program(small_batch)) == \
+            len(generate_step_program(large_batch))
+        more_tables = EmbeddingStepShape(num_tables=150, ids_per_feature=16)
+        assert len(generate_step_program(more_tables)) > \
+            len(generate_step_program(small_batch))
+
+    def test_univalent_skips_combiner(self):
+        multi = EmbeddingStepShape(num_tables=4, multivalent=True)
+        uni = EmbeddingStepShape(num_tables=4, multivalent=False)
+        multi_ops = [i.opcode for i in generate_step_program(multi)]
+        uni_ops = [i.opcode for i in generate_step_program(uni)]
+        assert Opcode.SEGMENT_SUM in multi_ops
+        assert Opcode.SEGMENT_SUM not in uni_ops
+
+    def test_backward_adds_scatter_updates(self):
+        fwd = EmbeddingStepShape(num_tables=4, backward=False)
+        full = EmbeddingStepShape(num_tables=4, backward=True)
+        fwd_ops = [i.opcode for i in generate_step_program(fwd)]
+        full_ops = [i.opcode for i in generate_step_program(full)]
+        assert Opcode.SCATTER_UPDATE not in fwd_ops
+        assert full_ops.count(Opcode.SCATTER_UPDATE) == 4
+
+    def test_single_barrier_per_step(self):
+        program = generate_step_program(EmbeddingStepShape(num_tables=8))
+        assert sum(1 for i in program
+                   if i.opcode is Opcode.BARRIER) == 1
+
+    def test_instructions_tagged_with_table(self):
+        program = generate_step_program(EmbeddingStepShape(num_tables=3))
+        tables = {i.table for i in program if i.table >= 0}
+        assert tables == {0, 1, 2}
+
+
+class TestSequencerModel:
+    def test_issue_time_is_batch_independent(self):
+        small = EmbeddingStepShape(num_tables=26, ids_per_feature=16)
+        large = EmbeddingStepShape(num_tables=26, ids_per_feature=4096)
+        seq = SequencerModel()
+        assert seq.issue_seconds(generate_step_program(small)) == \
+            seq.issue_seconds(generate_step_program(large))
+
+    def test_fixed_overhead_includes_hbm_latency(self):
+        shape = EmbeddingStepShape(num_tables=10)
+        seq = SequencerModel(hbm_latency=1e-6)
+        program = generate_step_program(shape)
+        overhead = seq.fixed_overhead_seconds(program)
+        assert overhead == pytest.approx(
+            seq.issue_seconds(program) + 10 * 1e-6)
+
+    def test_wider_issue_is_faster(self):
+        shape = EmbeddingStepShape(num_tables=26)
+        program = generate_step_program(shape)
+        narrow = SequencerModel(issue_width=1)
+        wide = SequencerModel(issue_width=4)
+        assert wide.issue_seconds(program) == pytest.approx(
+            narrow.issue_seconds(program) / 4)
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SequencerModel(clock_hz=0)
+        with pytest.raises(ConfigurationError):
+            SequencerModel(issue_width=0)
+
+    def test_step_overhead_helper_matches(self):
+        shape = EmbeddingStepShape(num_tables=26)
+        assert step_overhead_seconds(shape) == pytest.approx(
+            TPUV4_SEQUENCER.fixed_overhead_seconds(
+                generate_step_program(shape)))
+
+    def test_production_overhead_order_of_magnitude(self):
+        # ~150 tables -> a couple thousand instructions -> O(100 us):
+        # the right scale for the Section 7.9 argument.
+        overhead = step_overhead_seconds(
+            EmbeddingStepShape(num_tables=150, features_per_table=2))
+        assert 20e-6 < overhead < 1e-3
+
+
+@given(st.integers(1, 200), st.booleans(), st.booleans())
+def test_program_length_formula(tables, multivalent, backward):
+    """Program length is an exact affine function of table count."""
+    shape = EmbeddingStepShape(num_tables=tables, multivalent=multivalent,
+                               backward=backward)
+    # fetch, sort, unique, partition, exchange, gather, exchange = 7.
+    per_table = 7 + (1 if multivalent else 0) + (2 if backward else 0)
+    assert len(generate_step_program(shape)) == tables * per_table + 1
+
+
+@given(st.integers(1, 100))
+def test_overhead_monotonic_in_tables(tables):
+    """More tables never costs less sequencer time."""
+    one = step_overhead_seconds(EmbeddingStepShape(num_tables=tables))
+    more = step_overhead_seconds(EmbeddingStepShape(num_tables=tables + 1))
+    assert more > one

@@ -1,0 +1,100 @@
+"""Tests for embedding optimizers and the serving-path model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.models.dlrm import DLRM0_2022
+from repro.models.serving import chips_for_qps, serving_estimate
+from repro.sparsecore import EmbeddingTable
+from repro.sparsecore.optimizers import SGD, Adagrad, FTRL
+
+
+def fresh_table(dim=4):
+    return EmbeddingTable("t", vocab_size=10, dim=dim,
+                          weights=np.ones((10, dim)))
+
+
+class TestSGD:
+    def test_updates_touched_rows(self):
+        table = fresh_table()
+        SGD(learning_rate=0.5).apply(table, np.array([2]),
+                                     np.ones((1, 4)))
+        np.testing.assert_allclose(table.weights[2], 0.5)
+        np.testing.assert_allclose(table.weights[3], 1.0)
+
+    def test_duplicates_accumulate(self):
+        table = fresh_table()
+        SGD(learning_rate=0.1).apply(table, np.array([2, 2]),
+                                     np.ones((2, 4)))
+        np.testing.assert_allclose(table.weights[2], 1.0 - 0.2)
+
+
+class TestAdagrad:
+    def test_adaptive_rate_decays(self):
+        table = fresh_table()
+        opt = Adagrad(learning_rate=0.5)
+        opt.apply(table, np.array([1]), np.ones((1, 4)))
+        first_step = 1.0 - table.weights[1][0]
+        before = table.weights[1][0]
+        opt.apply(table, np.array([1]), np.ones((1, 4)))
+        second_step = before - table.weights[1][0]
+        assert 0 < second_step < first_step
+
+
+class TestFTRL:
+    def test_l1_induces_exact_zeros(self):
+        table = fresh_table()
+        opt = FTRL(learning_rate=0.1, l1=1e6)  # absurd L1: everything zeroes
+        opt.apply(table, np.array([0]), np.ones((1, 4)))
+        np.testing.assert_allclose(table.weights[0], 0.0)
+
+    def test_moves_against_gradient_when_active(self):
+        table = fresh_table()
+        opt = FTRL(learning_rate=0.5, l1=0.0)
+        for _ in range(5):
+            opt.apply(table, np.array([0]), np.ones((1, 4)))
+        assert np.all(table.weights[0] < 0)
+
+    def test_state_per_table(self):
+        a, b = fresh_table(), fresh_table()
+        opt = FTRL()
+        opt.apply(a, np.array([0]), np.ones((1, 4)))
+        np.testing.assert_allclose(b.weights[0], 1.0)  # b untouched
+
+    def test_bad_learning_rate(self):
+        opt = FTRL(learning_rate=0.0)
+        with pytest.raises(ConfigurationError):
+            opt.apply(fresh_table(), np.array([0]), np.ones((1, 4)))
+
+
+class TestServing:
+    def test_qps_scales_with_chips(self):
+        small = serving_estimate(DLRM0_2022, 8)
+        large = serving_estimate(DLRM0_2022, 64)
+        assert large.qps > 5 * small.qps
+
+    def test_production_requirement_met(self):
+        # Section 3.1: "well over one hundred thousand requests/second".
+        estimate = serving_estimate(DLRM0_2022, 64)
+        assert estimate.qps > 100_000
+
+    def test_latency_budget(self):
+        estimate = serving_estimate(DLRM0_2022, 8)
+        assert estimate.meets_latency(10e-3)
+        assert not estimate.meets_latency(1e-9)
+
+    def test_chips_for_qps_monotone(self):
+        few = chips_for_qps(DLRM0_2022, 1e5)
+        many = chips_for_qps(DLRM0_2022, 1e8)
+        assert many >= few
+
+    def test_unreachable_target(self):
+        with pytest.raises(ConfigurationError):
+            chips_for_qps(DLRM0_2022, 1e15, max_chips=64)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            serving_estimate(DLRM0_2022, 0)
+        with pytest.raises(ConfigurationError):
+            chips_for_qps(DLRM0_2022, -1.0)
