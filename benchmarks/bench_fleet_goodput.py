@@ -1,0 +1,12 @@
+"""Benchmark: fleet-scale goodput, OCS vs static on one failure trace."""
+
+
+def test_fleet_goodput(run_report):
+    result = run_report("fleet")
+    assert result.measured["OCS goodput beats static under same failures"] \
+        == "yes"
+    assert result.measured["OCS goodput"] > result.measured["static goodput"]
+    # Under the tiny preset's ~1.1x offered load and live failure
+    # injection, reconfigurable placement must keep a clearly usable
+    # machine while static wiring fragments.
+    assert result.measured["OCS goodput"] > 0.6

@@ -25,7 +25,11 @@ introduces and everything they stand on:
   models, parallelism search, MLPerf comparisons, and energy/carbon
   accounting (:mod:`repro.chips`, :mod:`repro.models`,
   :mod:`repro.parallelism`, :mod:`repro.mlperf`, :mod:`repro.energy`),
-  wired into per-table/figure experiments (:mod:`repro.experiments`).
+  wired into per-table/figure experiments (:mod:`repro.experiments`);
+* the **fleet simulator** — a multi-pod cluster as one discrete-event
+  run: Table 2 job streams, priorities and preemption, failure injection
+  with checkpoint-restart, and OCS-vs-static goodput telemetry
+  (:mod:`repro.fleet`).
 
 Quickstart::
 
@@ -47,6 +51,7 @@ from repro.sparsecore import (DistributedEmbedding, EmbeddingTable,
                               SparseCore, synthetic_batch)
 from repro.chips import A100, IPU_BOW, TPUV3, TPUV4
 from repro.experiments import list_experiments, run as run_experiment
+from repro.fleet import FleetConfig, FleetSimulator, compare_policies
 
 __version__ = "1.0.0"
 
@@ -59,5 +64,6 @@ __all__ = [
     "EmbeddingTable", "DistributedEmbedding", "SparseCore", "synthetic_batch",
     "TPUV4", "TPUV3", "A100", "IPU_BOW",
     "list_experiments", "run_experiment",
+    "FleetConfig", "FleetSimulator", "compare_policies",
     "__version__",
 ]

@@ -97,7 +97,41 @@ class SliceScheduler:
                         (anchor[0] + dx, anchor[1] + dy, anchor[2] + dz)))
         return blocks
 
+    @staticmethod
+    def _static_orientations(dims: SliceShape) -> list[tuple[int, int, int]]:
+        """Distinct axis orientations of a shape's block-grid extent."""
+        extent = block_grid(dims) if is_block_multiple(dims) else (1, 1, 1)
+        return sorted(set(itertools.permutations(extent)))
+
+    def _first_static_fit(self, free: Sequence[bool],
+                          orientations: Sequence[tuple[int, int, int]]
+                          ) -> list[int] | None:
+        """First fully-free contiguous cuboid in any orientation."""
+        for anchor in itertools.product(*(range(g) for g in self.grid)):
+            for orientation in orientations:
+                blocks = self._cuboid_blocks(anchor, orientation)
+                if blocks is not None and all(free[b] for b in blocks):
+                    return blocks
+        return None
+
     # -- packing -----------------------------------------------------------------
+
+    def place_one(self, shape: SliceShape,
+                  policy: PlacementPolicy) -> list[int] | None:
+        """Blocks for a single `shape` slice, or None when it cannot fit.
+
+        The fleet scheduler's fast path: unlike :meth:`pack` it stops at
+        the first placement instead of filling the machine.
+        """
+        dims = canonical_shape(shape)
+        if not is_legal_shape(dims):
+            raise SchedulingError(f"illegal slice shape {dims}")
+        if policy is PlacementPolicy.OCS:
+            per_slice = blocks_needed(dims)
+            pool = [i for i, ok in enumerate(self.healthy) if ok]
+            return pool[:per_slice] if len(pool) >= per_slice else None
+        return self._first_static_fit(self.healthy,
+                                      self._static_orientations(dims))
 
     def pack(self, shape: SliceShape,
              policy: PlacementPolicy) -> ScheduleOutcome:
@@ -117,21 +151,11 @@ class SliceScheduler:
             return outcome
 
         # Static: contiguous cuboids, any axis orientation, no wraparound.
-        extent = block_grid(dims) if is_block_multiple(dims) else (1, 1, 1)
-        orientations = sorted(set(itertools.permutations(extent)))
-        placed = True
-        while placed:
-            placed = False
-            for anchor in itertools.product(*(range(g) for g in self.grid)):
-                for orientation in orientations:
-                    blocks = self._cuboid_blocks(anchor, orientation)
-                    if blocks is None or not all(free[b] for b in blocks):
-                        continue
-                    for b in blocks:
-                        free[b] = False
-                    outcome.placements.append(blocks)
-                    placed = True
-                    break
-                if placed:
-                    break
-        return outcome
+        orientations = self._static_orientations(dims)
+        while True:
+            blocks = self._first_static_fit(free, orientations)
+            if blocks is None:
+                return outcome
+            for b in blocks:
+                free[b] = False
+            outcome.placements.append(blocks)

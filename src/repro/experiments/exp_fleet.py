@@ -1,0 +1,65 @@
+"""Fleet-level experiment: OCS vs static placement over one failure trace.
+
+The fleet-scale composition of the paper's operational claims: slices
+"picked from anywhere in the supercomputer" (Section 2.5) keep goodput
+high under host failures (Figure 4), measured here end to end — a
+Table 2 job stream with serving residencies, queueing, preemption, and
+checkpoint-restart replayed under both placement policies on an
+identical block-outage trace.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.base import ExperimentResult
+from repro.fleet.presets import preset_config
+from repro.fleet.simulator import compare_policies
+from repro.units import HOUR
+
+
+def run_fleet_experiment(preset: str = "tiny",
+                         seed: int = 0) -> ExperimentResult:
+    """Run one preset under both policies and compare telemetry.
+
+    (Named to avoid colliding with :func:`repro.fleet.run_fleet`, the
+    single-policy library entry point.)
+    """
+    config = preset_config(preset)
+    reports = compare_policies(config, seed=seed)
+    result = ExperimentResult(
+        experiment_id="fleet",
+        title="Fleet simulation: goodput under failures, OCS vs static",
+        columns=["metric", "OCS", "static"],
+    )
+    ocs, static = reports["ocs"].summary, reports["static"].summary
+    for key, scale, unit in [
+        ("jobs_submitted", 1.0, ""), ("jobs_completed", 1.0, ""),
+        ("goodput", 1.0, ""), ("utilization", 1.0, ""),
+        ("mean_queue_wait", 1 / HOUR, "h"),
+        ("p95_queue_wait", 1 / HOUR, "h"),
+        ("block_failures", 1.0, ""), ("job_interruptions", 1.0, ""),
+        ("job_preemptions", 1.0, ""), ("replay_fraction", 1.0, ""),
+        ("restore_fraction", 1.0, ""),
+    ]:
+        result.rows.append([
+            key + (f" ({unit})" if unit else ""),
+            round(ocs[key] * scale, 4), round(static[key] * scale, 4)])
+
+    result.paper["OCS goodput beats static under same failures"] = "yes"
+    result.measured["OCS goodput beats static under same failures"] = \
+        "yes" if ocs["goodput"] > static["goodput"] else "NO"
+    result.paper["slices picked from anywhere (Sec 2.5)"] = \
+        "higher goodput"
+    result.measured["slices picked from anywhere (Sec 2.5)"] = (
+        f"{(ocs['goodput'] / static['goodput'] - 1):+.1%} goodput"
+        if static["goodput"] > 0 else "static did no useful work")
+    result.measured["OCS goodput"] = round(ocs["goodput"], 3)
+    result.measured["static goodput"] = round(static["goodput"], 3)
+    result.notes.append(
+        f"preset {preset!r}, seed {seed}: {config.num_pods} pods x "
+        f"{config.blocks_per_pod} blocks, "
+        f"{config.horizon_seconds / HOUR:.0f}h horizon, identical job "
+        f"stream and outage trace for both policies")
+    result.notes.append(
+        "absolute goodput depends on offered load; the reproduced claim "
+        "is the OCS-over-static gap of Figure 4, not its y-axis")
+    return result

@@ -6,8 +6,8 @@ from typing import Callable
 
 from repro.errors import ConfigurationError
 from repro.experiments.base import ExperimentResult
-from repro.experiments import exp_graph, exp_mlperf, exp_network, exp_ocs, \
-    exp_perf, exp_sparse, exp_tables
+from repro.experiments import exp_fleet, exp_graph, exp_mlperf, \
+    exp_network, exp_ocs, exp_perf, exp_sparse, exp_tables
 
 Runner = Callable[[], ExperimentResult]
 
@@ -38,6 +38,7 @@ EXPERIMENTS: dict[str, Runner] = {
     "section76": exp_mlperf.run_section76,
     "section79": exp_graph.run_section79,
     "section710": exp_graph.run_section710,
+    "fleet": exp_fleet.run_fleet_experiment,
 }
 
 

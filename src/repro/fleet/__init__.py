@@ -1,0 +1,40 @@
+"""Fleet simulator: a multi-pod TPU v4 cluster as one discrete-event run.
+
+The operational layer above single-machine scheduling: job streams
+sampled from the measured Table 2 slice mix (plus Section 3.1 serving
+residencies), a fleet-wide priority scheduler with preemption, block
+failures and repairs replayed identically across placement policies,
+and checkpoint-restart accounting — producing the goodput, utilization,
+and queue-wait telemetry behind the paper's Section 2.5/Figure 4
+operational claims.
+
+Quickstart::
+
+    from repro.fleet import compare_policies, preset_config
+    reports = compare_policies(preset_config("small"), seed=0)
+    print(reports["ocs"].render())
+    assert reports["ocs"].summary["goodput"] > \
+        reports["static"].summary["goodput"]
+"""
+
+from repro.fleet.config import FleetConfig
+from repro.fleet.cluster import FleetState, Pod
+from repro.fleet.failures import BlockOutage, build_failure_trace
+from repro.fleet.presets import PRESETS, preset_config, preset_names
+from repro.fleet.scheduler import ActiveJob, FleetScheduler
+from repro.fleet.simulator import (FleetReport, FleetSimulator,
+                                   compare_policies, run_fleet)
+from repro.fleet.telemetry import FleetTelemetry, JobRecord
+from repro.fleet.workload import (FleetJob, generate_jobs, model_type_mix,
+                                  serving_shape, truncated_slice_mix)
+
+__all__ = [
+    "FleetConfig", "FleetState", "Pod",
+    "BlockOutage", "build_failure_trace",
+    "PRESETS", "preset_config", "preset_names",
+    "ActiveJob", "FleetScheduler",
+    "FleetReport", "FleetSimulator", "compare_policies", "run_fleet",
+    "FleetTelemetry", "JobRecord",
+    "FleetJob", "generate_jobs", "model_type_mix", "serving_shape",
+    "truncated_slice_mix",
+]

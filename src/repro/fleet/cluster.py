@@ -1,0 +1,115 @@
+"""Fleet inventory: pods of blocks with health and occupancy state.
+
+A :class:`Pod` is the scheduling view of one TPU v4 machine — a cubic
+grid of 4x4x4 blocks where each block is either up or down (failure
+state) and either free or owned by a job.  Placement itself is delegated
+to :class:`repro.core.scheduler.SliceScheduler` so the fleet uses the
+exact OCS-vs-static packing rules of Section 2.5.
+"""
+
+from __future__ import annotations
+
+from repro.core.scheduler import PlacementPolicy, SliceScheduler
+from repro.core.slicing import SliceShape
+from repro.errors import SchedulingError
+
+
+class Pod:
+    """One pod's block state: up/down, free/owned, and placement."""
+
+    def __init__(self, pod_id: int, num_blocks: int) -> None:
+        self.pod_id = pod_id
+        self.num_blocks = num_blocks
+        self.up = [True] * num_blocks
+        self.owner: dict[int, int] = {}  # block id -> job id
+
+    # -- state queries -----------------------------------------------------------
+
+    def is_free(self, block: int) -> bool:
+        """True when the block is healthy and unowned."""
+        return self.up[block] and block not in self.owner
+
+    def free_mask(self) -> list[bool]:
+        """Per-block availability, the SliceScheduler health map."""
+        return [self.is_free(b) for b in range(self.num_blocks)]
+
+    @property
+    def num_free(self) -> int:
+        """Healthy, unowned blocks."""
+        return sum(1 for b in range(self.num_blocks) if self.is_free(b))
+
+    @property
+    def num_busy(self) -> int:
+        """Blocks currently owned by jobs."""
+        return len(self.owner)
+
+    @property
+    def num_down(self) -> int:
+        """Blocks currently failed."""
+        return self.up.count(False)
+
+    def jobs_on(self) -> set[int]:
+        """Ids of jobs holding any block of this pod."""
+        return set(self.owner.values())
+
+    # -- placement ---------------------------------------------------------------
+
+    def find_placement(self, shape: SliceShape,
+                       policy: PlacementPolicy) -> list[int] | None:
+        """Blocks for one slice under `policy`, or None if it cannot fit."""
+        scheduler = SliceScheduler(self.free_mask())
+        return scheduler.place_one(shape, policy)
+
+    def assign(self, blocks: list[int], job_id: int) -> None:
+        """Give `blocks` to `job_id`."""
+        for block in blocks:
+            if not self.is_free(block):
+                raise SchedulingError(
+                    f"pod {self.pod_id} block {block} is not free")
+        for block in blocks:
+            self.owner[block] = job_id
+
+    def release(self, job_id: int) -> list[int]:
+        """Free every block `job_id` holds; returns the freed blocks."""
+        freed = [b for b, owner in self.owner.items() if owner == job_id]
+        for block in freed:
+            del self.owner[block]
+        return sorted(freed)
+
+    # -- failures -----------------------------------------------------------------
+
+    def block_down(self, block: int) -> int | None:
+        """Fail a block; returns the interrupted job id, if any."""
+        self.up[block] = False
+        return self.owner.get(block)
+
+    def block_up(self, block: int) -> None:
+        """Repair a block."""
+        self.up[block] = True
+
+
+class FleetState:
+    """All pods of the fleet plus aggregate occupancy accounting."""
+
+    def __init__(self, num_pods: int, blocks_per_pod: int) -> None:
+        self.pods = [Pod(pod_id, blocks_per_pod)
+                     for pod_id in range(num_pods)]
+
+    @property
+    def total_blocks(self) -> int:
+        """Blocks across all pods."""
+        return sum(pod.num_blocks for pod in self.pods)
+
+    @property
+    def busy_blocks(self) -> int:
+        """Blocks owned by jobs right now."""
+        return sum(pod.num_busy for pod in self.pods)
+
+    @property
+    def down_blocks(self) -> int:
+        """Blocks currently failed."""
+        return sum(pod.num_down for pod in self.pods)
+
+    def pods_by_space(self) -> list[Pod]:
+        """Pods ordered most-free first (ties by id, deterministic)."""
+        return sorted(self.pods, key=lambda p: (-p.num_free, p.pod_id))

@@ -1,0 +1,126 @@
+"""Configuration for a multi-pod fleet simulation.
+
+A fleet is several TPU v4 pods (each a grid of 4x4x4 blocks joined by an
+OCS fabric, Section 2.2) run as one discrete-event simulation: jobs
+arrive, queue, get placed, fail, checkpoint-restart, and finish.  All
+stochastic inputs derive from one integer seed through independent
+:func:`repro.sim.rng.spawn_rngs` streams, so a run is reproducible and
+the failure trace is identical across placement policies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.units import DAY, HOUR, MINUTE
+
+#: RNG stream indices carved out of the config seed (see spawn_rngs).
+STREAM_ARRIVALS = 0
+STREAM_SHAPES = 1
+STREAM_FAILURES = 2
+
+
+@dataclass(frozen=True)
+class FleetConfig:
+    """Everything that defines one fleet scenario.
+
+    Attributes:
+        num_pods: pods in the fleet; each pod schedules independently but
+            shares the arrival queue.
+        blocks_per_pod: 4x4x4 blocks per pod; must be a perfect cube so
+            the static-wiring baseline has a physical block grid.
+        horizon_seconds: simulated wall-clock length of the run.
+        arrival_window_seconds: jobs stop arriving after this point so
+            late arrivals do not dominate the unfinished-job count.
+        mean_interarrival_seconds: exponential job inter-arrival time.
+        mean_job_seconds: mean useful work per training job (exponential).
+        max_job_blocks: cap on sampled slice size, in blocks; the Table 2
+            distribution is truncated and renormalized to shapes at or
+            under the cap (and whose block-grid extent fits the pod's
+            cubic grid) so every job can in principle fit a pod under
+            either placement policy.
+        serving_fraction: share of arrivals that are serving deployments
+            (forward-only DLRM residencies, Section 3.1) instead of
+            training jobs.
+        prod_fraction: share of training arrivals in the production
+            priority band (the rest are best-effort batch).
+        serving_qps: fleet QPS target used to size each serving slice via
+            :func:`repro.models.serving.chips_for_qps`.
+        mean_serving_seconds: mean residency of one serving deployment.
+        host_mtbf_seconds: per-host MTBF; a block (16 hosts) fails at
+            16x this rate, the Section 1 "everything must work" regime.
+        mean_repair_seconds: exponential block repair time.
+        checkpoint_seconds: cost of writing one checkpoint.
+        restore_seconds: detect + reschedule + reload after a failure.
+        preempt_priority: jobs at or above this priority may preempt
+            lower-priority running jobs when no free placement exists.
+    """
+
+    num_pods: int = 2
+    blocks_per_pod: int = 64
+    horizon_seconds: float = 2 * DAY
+    arrival_window_seconds: float = 1.5 * DAY
+    mean_interarrival_seconds: float = 8 * MINUTE
+    mean_job_seconds: float = 6 * HOUR
+    max_job_blocks: int = 16
+    serving_fraction: float = 0.1
+    prod_fraction: float = 0.3
+    serving_qps: float = 2e7
+    mean_serving_seconds: float = 1 * DAY
+    host_mtbf_seconds: float = 120 * DAY
+    mean_repair_seconds: float = 4 * HOUR
+    checkpoint_seconds: float = 30.0
+    restore_seconds: float = 8 * MINUTE
+    preempt_priority: int = 2
+
+    def __post_init__(self) -> None:
+        side = round(self.blocks_per_pod ** (1 / 3))
+        if side ** 3 != self.blocks_per_pod:
+            raise ConfigurationError(
+                f"blocks_per_pod must be a perfect cube, got "
+                f"{self.blocks_per_pod}")
+        if self.num_pods < 1:
+            raise ConfigurationError("need at least one pod")
+        if self.horizon_seconds <= 0 or self.arrival_window_seconds <= 0:
+            raise ConfigurationError("horizon and arrival window must be > 0")
+        if self.arrival_window_seconds > self.horizon_seconds:
+            raise ConfigurationError(
+                "arrival window cannot outlive the horizon")
+        if self.mean_interarrival_seconds <= 0 or self.mean_job_seconds <= 0:
+            raise ConfigurationError("timing means must be > 0")
+        if not 0.0 <= self.serving_fraction <= 1.0:
+            raise ConfigurationError("serving_fraction must be in [0, 1]")
+        if not 0.0 <= self.prod_fraction <= 1.0:
+            raise ConfigurationError("prod_fraction must be in [0, 1]")
+        if self.max_job_blocks < 1 or self.max_job_blocks > self.blocks_per_pod:
+            raise ConfigurationError(
+                f"max_job_blocks must be in [1, {self.blocks_per_pod}]")
+        if self.host_mtbf_seconds <= 0 or self.mean_repair_seconds <= 0:
+            raise ConfigurationError("MTBF and repair time must be > 0")
+        if self.checkpoint_seconds <= 0:
+            raise ConfigurationError(
+                "checkpoint_seconds must be > 0 (Young/Daly needs a "
+                "finite optimal interval)")
+        if self.restore_seconds < 0:
+            raise ConfigurationError("restore_seconds must be >= 0")
+        if self.serving_fraction > 0 and self.serving_qps <= 0:
+            raise ConfigurationError("serving_qps must be > 0")
+        if self.mean_serving_seconds <= 0:
+            raise ConfigurationError("mean_serving_seconds must be > 0")
+
+    @property
+    def total_blocks(self) -> int:
+        """Blocks across every pod."""
+        return self.num_pods * self.blocks_per_pod
+
+    @property
+    def pod_grid_side(self) -> int:
+        """Side of a pod's cubic block grid (4 for a 64-block pod)."""
+        return round(self.blocks_per_pod ** (1 / 3))
+
+    @property
+    def block_mtbf_seconds(self) -> float:
+        """MTBF of one block: any of its 16 hosts down takes it out."""
+        from repro.core.block import HOSTS_PER_BLOCK
+        return self.host_mtbf_seconds / HOSTS_PER_BLOCK

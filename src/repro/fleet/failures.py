@@ -1,0 +1,62 @@
+"""Precomputed block failure/repair traces for fleet runs.
+
+Failure times are drawn *before* the simulation starts, from a dedicated
+RNG stream, so the exact same outage trace can be replayed against the
+OCS and static placement policies — the apples-to-apples comparison
+behind Figure 4.  Each block alternates exponential up-times (MTBF =
+host MTBF / 16, since any of a block's 16 hosts takes it down) and
+exponential repair times, the regime Section 1 calls the compounding
+reliability problem of everything-must-work training.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.fleet.config import FleetConfig
+
+
+@dataclass(frozen=True)
+class BlockOutage:
+    """One contiguous down-time of one block."""
+
+    pod_id: int
+    block_id: int
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        """Seconds the block is out."""
+        return self.end - self.start
+
+
+def build_failure_trace(config: FleetConfig,
+                        rng: np.random.Generator) -> list[BlockOutage]:
+    """Every outage inside the horizon, sorted by start time.
+
+    Draws are made block-by-block in (pod, block) order so the trace
+    depends only on the config and the RNG state, never on scheduling.
+    """
+    outages: list[BlockOutage] = []
+    for pod_id in range(config.num_pods):
+        for block_id in range(config.blocks_per_pod):
+            clock = 0.0
+            while True:
+                clock += float(rng.exponential(config.block_mtbf_seconds))
+                if clock >= config.horizon_seconds:
+                    break
+                repair = float(rng.exponential(config.mean_repair_seconds))
+                end = min(clock + repair, config.horizon_seconds)
+                outages.append(BlockOutage(pod_id=pod_id, block_id=block_id,
+                                           start=clock, end=end))
+                clock = end
+    outages.sort(key=lambda o: (o.start, o.pod_id, o.block_id))
+    return outages
+
+
+def downtime_block_seconds(outages: list[BlockOutage]) -> float:
+    """Total block-seconds of capacity lost to the trace."""
+    return sum(outage.duration for outage in outages)

@@ -1,0 +1,63 @@
+"""Named fleet scenarios for the CLI, experiments, and tests.
+
+Presets trade fidelity for runtime: `tiny` keeps unit tests fast,
+`small` is the CLI/CI smoke scenario, `medium` stresses queueing across
+four pods, and `serving` skews the mix toward Section 3.1 serving
+residencies to exercise preemption.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.fleet.config import FleetConfig
+from repro.units import DAY, HOUR, MINUTE
+
+PRESETS: dict[str, FleetConfig] = {
+    # One pod, one simulated day: fast enough for unit tests.
+    "tiny": FleetConfig(
+        num_pods=1, blocks_per_pod=64,
+        horizon_seconds=1 * DAY, arrival_window_seconds=18 * HOUR,
+        mean_interarrival_seconds=6 * MINUTE, mean_job_seconds=3 * HOUR,
+        max_job_blocks=8, serving_fraction=0.1,
+        mean_serving_seconds=12 * HOUR,
+        host_mtbf_seconds=60 * DAY, mean_repair_seconds=2 * HOUR),
+    # Two pods, two days, heavier jobs: the CI smoke scenario.
+    "small": FleetConfig(
+        num_pods=2, blocks_per_pod=64,
+        horizon_seconds=2 * DAY, arrival_window_seconds=1.5 * DAY,
+        mean_interarrival_seconds=7 * MINUTE, mean_job_seconds=6 * HOUR,
+        max_job_blocks=16, serving_fraction=0.1,
+        host_mtbf_seconds=120 * DAY, mean_repair_seconds=4 * HOUR),
+    # Four pods, a simulated week, shapes up to a half pod.
+    "medium": FleetConfig(
+        num_pods=4, blocks_per_pod=64,
+        horizon_seconds=7 * DAY, arrival_window_seconds=6 * DAY,
+        mean_interarrival_seconds=7 * MINUTE, mean_job_seconds=10 * HOUR,
+        max_job_blocks=32, serving_fraction=0.1,
+        host_mtbf_seconds=120 * DAY, mean_repair_seconds=4 * HOUR),
+    # Serving-heavy mix: long residencies plus background training.
+    "serving": FleetConfig(
+        num_pods=2, blocks_per_pod=64,
+        horizon_seconds=3 * DAY, arrival_window_seconds=2 * DAY,
+        mean_interarrival_seconds=8 * MINUTE, mean_job_seconds=4 * HOUR,
+        max_job_blocks=16, serving_fraction=0.4,
+        mean_serving_seconds=1 * DAY,
+        host_mtbf_seconds=120 * DAY, mean_repair_seconds=4 * HOUR),
+}
+
+
+def preset_config(name: str) -> FleetConfig:
+    """Look up a preset by name.
+
+    >>> preset_config('tiny').num_pods
+    1
+    """
+    if name not in PRESETS:
+        raise ConfigurationError(
+            f"unknown fleet preset {name!r}; have {sorted(PRESETS)}")
+    return PRESETS[name]
+
+
+def preset_names() -> list[str]:
+    """Available preset names, sorted."""
+    return sorted(PRESETS)

@@ -1,0 +1,305 @@
+"""The fleet-level scheduler: queueing, priorities, and preemption.
+
+Wraps :class:`repro.core.scheduler.SliceScheduler` placement (Section
+2.5's OCS-vs-static packing rules) with the operational layer a real
+fleet needs: a shared priority queue across pods, backfill past stuck
+heads, serving-tier preemption of batch work, and checkpoint-restart
+bookkeeping (Young/Daly cadence from :mod:`repro.core.checkpoint`)
+whenever a failure or preemption interrupts a training job.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.core.block import HOSTS_PER_BLOCK
+from repro.core.checkpoint import CheckpointParams, optimal_interval
+from repro.core.scheduler import PlacementPolicy, SliceScheduler
+from repro.errors import SchedulingError
+from repro.fleet.cluster import FleetState, Pod
+from repro.fleet.config import FleetConfig
+from repro.fleet.telemetry import FleetTelemetry
+from repro.fleet.workload import FleetJob
+from repro.sim.events import AnyEvent, Simulator
+
+_EPSILON = 1e-9
+
+
+@dataclass
+class ActiveJob:
+    """Mutable runtime state of one job inside the scheduler."""
+
+    job: FleetJob
+    remaining: float
+    submitted_at: float
+    pending_restore: float = 0.0
+    pod_id: int | None = None
+    blocks: list[int] = field(default_factory=list)
+    started_at: float = 0.0
+    interval: float = math.inf   # checkpoint cadence; inf for serving
+    overhead: float = 1.0        # wall-clock per useful second
+    completion: AnyEvent = None
+
+    @property
+    def running(self) -> bool:
+        """True while the job holds blocks."""
+        return self.pod_id is not None
+
+
+class FleetScheduler:
+    """Places a shared job queue onto the fleet under one policy."""
+
+    def __init__(self, config: FleetConfig, policy: PlacementPolicy,
+                 sim: Simulator, state: FleetState,
+                 telemetry: FleetTelemetry) -> None:
+        self.config = config
+        self.policy = policy
+        self.sim = sim
+        self.state = state
+        self.telemetry = telemetry
+        self.queue: list[ActiveJob] = []
+        self.running: dict[int, ActiveJob] = {}
+
+    # -- queue discipline --------------------------------------------------------
+
+    def _queue_order(self, active: ActiveJob) -> tuple:
+        return (-active.job.priority, active.submitted_at, active.job.job_id)
+
+    def submit(self, job: FleetJob) -> None:
+        """Accept a new arrival and try to run it."""
+        self.telemetry.record_for(job)
+        self.queue.append(ActiveJob(job=job, remaining=job.work_seconds,
+                                    submitted_at=self.sim.now))
+        self.dispatch()
+
+    def dispatch(self) -> None:
+        """Run placement passes until nothing else fits (with backfill).
+
+        One pass considers every queued job, so a second pass can only
+        help when an eviction happened — it requeues the victims and may
+        leave victim blocks the preemptor's placement did not consume.
+        """
+        while self._dispatch_pass():
+            pass
+
+    def _dispatch_pass(self) -> bool:
+        """One placement sweep; returns True when a re-pass could help."""
+        evicted_any = False
+        # Within a pass, free space only shrinks and (because the queue
+        # is priority-sorted) no preemptible job starts before a
+        # preemptor is considered — so both a failed placement and a
+        # failed preemption attempt stay failed for identical later
+        # requests, until an eviction actually frees blocks.
+        failed_shapes: set = set()
+        failed_preemptions: set = set()
+        for active in sorted(self.queue, key=self._queue_order):
+            shape = active.job.shape
+            can_preempt = active.job.priority >= self.config.preempt_priority
+            placement = None
+            if shape not in failed_shapes:
+                placement = self._find_anywhere(active.job)
+                if placement is None:
+                    failed_shapes.add(shape)
+            if placement is None and can_preempt:
+                key = (shape, active.job.priority)
+                if key not in failed_preemptions:
+                    placement = self._preempt_for(active)
+                    if placement is not None:  # eviction freed blocks
+                        evicted_any = True
+                        failed_shapes.clear()
+                        failed_preemptions.clear()
+                    else:
+                        failed_preemptions.add(key)
+            if placement is None:
+                continue  # backfill: later (smaller) jobs may still fit
+            pod, blocks = placement
+            self._start(active, pod, blocks)
+        return evicted_any
+
+    def _find_anywhere(self, job: FleetJob) -> tuple[Pod, list[int]] | None:
+        for pod in self.state.pods_by_space():
+            blocks = pod.find_placement(job.shape, self.policy)
+            if blocks is not None:
+                return pod, blocks
+        return None
+
+    # -- preemption ---------------------------------------------------------------
+
+    def _preempt_for(self, active: ActiveJob
+                     ) -> tuple[Pod, list[int]] | None:
+        """Evict lower-priority work to make room, if that can succeed.
+
+        Victims are considered hypothetically first — lowest priority,
+        then least progress lost (most recently started) — and evicted
+        only once a victim set that actually yields a placement is
+        found, and then only the victims whose blocks that placement
+        uses, so neither static-fragmentation dead ends nor bystanders
+        in the considered set suffer pointless churn.
+        """
+        for pod in self.state.pods_by_space():
+            victims = sorted(
+                (self.running[job_id] for job_id in pod.jobs_on()
+                 if self.running[job_id].job.priority < active.job.priority),
+                key=lambda a: (a.job.priority, -a.started_at, a.job.job_id))
+            if not victims:
+                continue
+            mask = pod.free_mask()
+            considered: list[ActiveJob] = []
+            for victim in victims:
+                for block, owner in pod.owner.items():
+                    if owner == victim.job.job_id:
+                        mask[block] = True
+                considered.append(victim)
+                blocks = SliceScheduler(mask).place_one(active.job.shape,
+                                                        self.policy)
+                if blocks is None:
+                    continue
+                needed = set(blocks)
+                for candidate in considered:
+                    held = {b for b, owner in pod.owner.items()
+                            if owner == candidate.job.job_id}
+                    if held & needed:
+                        self._interrupt(candidate, preempted=True)
+                return pod, blocks
+        return None
+
+    # -- job lifecycle -----------------------------------------------------------
+
+    def _start(self, active: ActiveJob, pod: Pod,
+               blocks: list[int]) -> None:
+        job = active.job
+        pod.assign(blocks, job.job_id)
+        self.queue.remove(active)
+        self.running[job.job_id] = active
+        active.pod_id = pod.pod_id
+        active.blocks = list(blocks)
+        active.started_at = self.sim.now
+
+        record = self.telemetry.record_for(job)
+        record.queue_waits.append(self.sim.now - active.submitted_at)
+        if record.first_start is None:
+            record.first_start = self.sim.now
+
+        if not job.is_serving:
+            active.interval = optimal_interval(CheckpointParams(
+                num_hosts=job.blocks * HOSTS_PER_BLOCK,
+                host_mtbf_seconds=self.config.host_mtbf_seconds,
+                checkpoint_seconds=self.config.checkpoint_seconds,
+                restore_seconds=self.config.restore_seconds))
+            active.overhead = 1.0 + \
+                self.config.checkpoint_seconds / active.interval
+        wall = active.pending_restore + active.remaining * active.overhead
+        active.completion = self.sim.schedule(
+            wall, lambda a=active: self._complete(a))
+
+    def _segment_progress(self, active: ActiveJob,
+                          elapsed: float) -> tuple[float, float, float]:
+        """Split an elapsed run segment into (restore, run_wall, progressed).
+
+        The single source of the accounting identity every segment path
+        relies on: elapsed = restore + run_wall, and progressed useful
+        work is run_wall discounted by the checkpoint-write overhead.
+        """
+        restore = min(elapsed, active.pending_restore)
+        run_wall = elapsed - restore
+        return restore, run_wall, run_wall / active.overhead
+
+    def _complete(self, active: ActiveJob) -> None:
+        job = active.job
+        elapsed = self.sim.now - active.started_at
+        restore, run_wall, _ = self._segment_progress(active, elapsed)
+        useful = active.remaining
+        writes = max(0.0, run_wall - useful)
+        self._account_segment(active, elapsed, restore, useful, 0.0, writes)
+        self._release(active)
+        active.remaining = 0.0
+        self.telemetry.record_for(job).completed_at = self.sim.now
+        self.dispatch()
+
+    def _interrupt(self, active: ActiveJob, *, preempted: bool) -> None:
+        """Stop a running job (failure or eviction) and requeue it."""
+        job = active.job
+        if not active.running:
+            raise SchedulingError(f"job {job.job_id} is not running")
+        if active.completion is not None:
+            active.completion.cancel()
+            active.completion = None
+        elapsed = self.sim.now - active.started_at
+        restore, run_wall, progressed = self._segment_progress(active,
+                                                               elapsed)
+        if job.is_serving:
+            # Stateless forward-only residency: elapsed time counts.
+            saved, replay = progressed, 0.0
+        else:
+            saved = math.floor(progressed / active.interval) * active.interval
+            replay = progressed - saved
+        writes = max(0.0, run_wall - progressed)
+        self._account_segment(active, elapsed, restore, saved, replay,
+                              writes)
+        self._release(active)
+        active.remaining = max(0.0, active.remaining - saved)
+
+        record = self.telemetry.record_for(job)
+        if preempted:
+            record.preemptions += 1
+        else:
+            record.interruptions += 1
+        if active.remaining <= _EPSILON:
+            record.completed_at = self.sim.now
+            return
+        active.pending_restore = self.config.restore_seconds
+        active.submitted_at = self.sim.now
+        self.queue.append(active)
+
+    def _release(self, active: ActiveJob) -> None:
+        pod = self.state.pods[active.pod_id]
+        pod.release(active.job.job_id)
+        del self.running[active.job.job_id]
+        active.pod_id = None
+        active.blocks = []
+
+    def _account_segment(self, active: ActiveJob, elapsed: float,
+                         restore: float, useful: float, replay: float,
+                         writes: float) -> None:
+        blocks = active.job.blocks
+        self.telemetry.record_for(active.job).useful_seconds += useful
+        self.telemetry.busy_block_seconds += elapsed * blocks
+        self.telemetry.useful_block_seconds += useful * blocks
+        self.telemetry.restore_block_seconds += restore * blocks
+        self.telemetry.replay_block_seconds += replay * blocks
+        self.telemetry.checkpoint_block_seconds += writes * blocks
+
+    # -- failure hooks -----------------------------------------------------------
+
+    def on_block_down(self, pod_id: int, block_id: int) -> None:
+        """A block failed; interrupt whatever job holds it."""
+        pod = self.state.pods[pod_id]
+        victim = pod.block_down(block_id)
+        self.telemetry.block_failures += 1
+        if victim is not None:
+            self._interrupt(self.running[victim], preempted=False)
+        self.dispatch()
+
+    def on_block_up(self, pod_id: int, block_id: int) -> None:
+        """A block came back; queued work may now fit."""
+        self.state.pods[pod_id].block_up(block_id)
+        self.dispatch()
+
+    # -- end of run --------------------------------------------------------------
+
+    def finalize(self, horizon: float) -> None:
+        """Credit in-flight work at the horizon without penalizing it.
+
+        Running jobs get their progressed (not just checkpointed) work
+        counted as useful — the run is ongoing, nothing is lost — which
+        treats both placement policies identically.
+        """
+        for active in list(self.running.values()):
+            elapsed = horizon - active.started_at
+            restore, run_wall, progressed = self._segment_progress(active,
+                                                                   elapsed)
+            progressed = min(active.remaining, progressed)
+            writes = max(0.0, run_wall - progressed)
+            self._account_segment(active, elapsed, restore, progressed,
+                                  0.0, writes)

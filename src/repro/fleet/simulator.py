@@ -1,0 +1,133 @@
+"""The fleet simulator: one discrete-event run of a multi-pod fleet.
+
+Ties the subsystem together on the :mod:`repro.sim.events` kernel: a
+seeded job stream (:mod:`repro.fleet.workload`) arrives into the
+priority scheduler (:mod:`repro.fleet.scheduler`) while a precomputed
+outage trace (:mod:`repro.fleet.failures`) knocks blocks out and
+repairs them.  Because workload and failures come from independent RNG
+streams spawned off one seed, the same trace can be replayed under the
+OCS and static placement policies — the fleet-scale version of the
+Figure 4 comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.scheduler import PlacementPolicy
+from repro.fleet.cluster import FleetState
+from repro.fleet.config import (FleetConfig, STREAM_ARRIVALS,
+                                STREAM_FAILURES, STREAM_SHAPES)
+from repro.fleet.failures import (BlockOutage, build_failure_trace,
+                                  downtime_block_seconds)
+from repro.fleet.scheduler import FleetScheduler
+from repro.fleet.telemetry import FleetTelemetry
+from repro.fleet.workload import FleetJob, generate_jobs
+from repro.sim.events import Simulator
+from repro.sim.rng import spawn_rngs
+from repro.units import HOUR
+
+
+@dataclass
+class FleetReport:
+    """Outcome of one fleet run under one placement policy."""
+
+    policy: PlacementPolicy
+    config: FleetConfig
+    seed: int
+    summary: dict[str, float]
+    events_fired: int
+    downtime_fraction: float
+
+    def render(self) -> str:
+        """Human-readable report block."""
+        lines = [
+            f"fleet run: policy={self.policy.value} seed={self.seed} "
+            f"pods={self.config.num_pods}x{self.config.blocks_per_pod} "
+            f"blocks horizon={self.config.horizon_seconds / HOUR:.0f}h",
+            f"  jobs: {self.summary['jobs_submitted']:.0f} submitted, "
+            f"{self.summary['jobs_completed']:.0f} completed, "
+            f"{self.summary['jobs_unfinished']:.0f} unfinished",
+            f"  goodput {self.summary['goodput']:.3f}  "
+            f"utilization {self.summary['utilization']:.3f}  "
+            f"(capacity lost to outages {self.downtime_fraction:.3f})",
+            f"  queue wait: mean {self.summary['mean_queue_wait'] / HOUR:.2f}h"
+            f"  p95 {self.summary['p95_queue_wait'] / HOUR:.2f}h",
+            f"  failures {self.summary['block_failures']:.0f}  "
+            f"interruptions {self.summary['job_interruptions']:.0f}  "
+            f"preemptions {self.summary['job_preemptions']:.0f}",
+            f"  lost fractions: replay "
+            f"{self.summary['replay_fraction']:.4f}  restore "
+            f"{self.summary['restore_fraction']:.4f}  checkpoint writes "
+            f"{self.summary['checkpoint_fraction']:.4f}",
+        ]
+        return "\n".join(lines)
+
+
+@dataclass
+class FleetSimulator:
+    """Builds and runs one fleet scenario end to end."""
+
+    config: FleetConfig
+    seed: int = 0
+    jobs: list[FleetJob] = field(init=False)
+    trace: list[BlockOutage] = field(init=False)
+
+    def __post_init__(self) -> None:
+        rngs = spawn_rngs(self.seed, 3)
+        self.jobs = generate_jobs(self.config,
+                                  arrival_rng=rngs[STREAM_ARRIVALS],
+                                  shape_rng=rngs[STREAM_SHAPES])
+        self.trace = build_failure_trace(self.config,
+                                         rngs[STREAM_FAILURES])
+
+    def run(self, policy: PlacementPolicy) -> FleetReport:
+        """Simulate the scenario under `policy` and report telemetry.
+
+        The job stream and outage trace are fixed at construction, so
+        calling `run` twice with different policies compares them on
+        identical inputs.
+        """
+        sim = Simulator()
+        state = FleetState(self.config.num_pods, self.config.blocks_per_pod)
+        telemetry = FleetTelemetry()
+        scheduler = FleetScheduler(self.config, policy, sim, state,
+                                   telemetry)
+        for job in self.jobs:
+            sim.schedule_at(job.arrival,
+                            lambda j=job: scheduler.submit(j))
+        for outage in self.trace:
+            sim.schedule_at(
+                outage.start,
+                lambda o=outage: scheduler.on_block_down(o.pod_id,
+                                                         o.block_id))
+            sim.schedule_at(
+                outage.end,
+                lambda o=outage: scheduler.on_block_up(o.pod_id,
+                                                       o.block_id))
+        sim.run(until=self.config.horizon_seconds)
+        scheduler.finalize(self.config.horizon_seconds)
+        capacity = self.config.total_blocks * self.config.horizon_seconds
+        return FleetReport(
+            policy=policy, config=self.config, seed=self.seed,
+            summary=telemetry.summary(
+                total_blocks=self.config.total_blocks,
+                horizon_seconds=self.config.horizon_seconds),
+            events_fired=sim.events_fired,
+            downtime_fraction=downtime_block_seconds(self.trace) / capacity)
+
+
+def run_fleet(config: FleetConfig, *, seed: int = 0,
+              policy: PlacementPolicy = PlacementPolicy.OCS) -> FleetReport:
+    """One-shot convenience wrapper around :class:`FleetSimulator`."""
+    return FleetSimulator(config, seed=seed).run(policy)
+
+
+def compare_policies(config: FleetConfig, *,
+                     seed: int = 0) -> dict[str, FleetReport]:
+    """OCS and static runs over the same jobs and the same outage trace."""
+    simulator = FleetSimulator(config, seed=seed)
+    return {
+        "ocs": simulator.run(PlacementPolicy.OCS),
+        "static": simulator.run(PlacementPolicy.STATIC),
+    }

@@ -1,0 +1,111 @@
+"""Per-job and fleet-wide telemetry for fleet runs.
+
+Goodput follows the paper's definition — the fraction of the machine's
+block-time doing useful work — split from plain utilization (block-time
+merely occupied) by the failure taxes: replayed work since the last
+checkpoint, restore time, and checkpoint writes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class JobRecord:
+    """Lifetime telemetry of one job."""
+
+    job_id: int
+    kind: str
+    priority: int
+    blocks: int
+    arrival: float
+    work_seconds: float
+    first_start: float | None = None
+    completed_at: float | None = None
+    useful_seconds: float = 0.0
+    queue_waits: list[float] = field(default_factory=list)
+    interruptions: int = 0
+    preemptions: int = 0
+
+    @property
+    def completed(self) -> bool:
+        """True once the job finished all its work."""
+        return self.completed_at is not None
+
+    @property
+    def first_wait(self) -> float | None:
+        """Queue wait before the job first ran."""
+        return self.queue_waits[0] if self.queue_waits else None
+
+
+def _percentile(values: list[float], fraction: float) -> float:
+    """Nearest-rank percentile of a non-empty list."""
+    return float(np.percentile(values, fraction * 100,
+                               method="inverted_cdf"))
+
+
+@dataclass
+class FleetTelemetry:
+    """Aggregate accounting over one fleet run."""
+
+    records: dict[int, JobRecord] = field(default_factory=dict)
+    busy_block_seconds: float = 0.0
+    useful_block_seconds: float = 0.0
+    replay_block_seconds: float = 0.0
+    restore_block_seconds: float = 0.0
+    checkpoint_block_seconds: float = 0.0
+    block_failures: int = 0
+
+    @property
+    def preemption_events(self) -> int:
+        """Total preemptions across jobs."""
+        return sum(r.preemptions for r in self.records.values())
+
+    def record_for(self, job) -> JobRecord:
+        """Get or create the record of a :class:`FleetJob`."""
+        if job.job_id not in self.records:
+            self.records[job.job_id] = JobRecord(
+                job_id=job.job_id, kind=job.kind, priority=job.priority,
+                blocks=job.blocks, arrival=job.arrival,
+                work_seconds=job.work_seconds)
+        return self.records[job.job_id]
+
+    def summary(self, *, total_blocks: int,
+                horizon_seconds: float) -> dict[str, float]:
+        """Fleet-wide headline metrics as a flat, stable-keyed dict."""
+        capacity = total_blocks * horizon_seconds
+        records = list(self.records.values())
+        # Every wait counts: first submissions AND requeues after
+        # failures/preemptions, so policy-induced re-placement pain
+        # (the static machine's weakness) shows up in the comparison.
+        waits = [w for r in records for w in r.queue_waits]
+        completed = [r for r in records if r.completed]
+        never_ran = [r for r in records if r.first_start is None]
+        out: dict[str, float] = {
+            "jobs_submitted": float(len(records)),
+            "jobs_completed": float(len(completed)),
+            "jobs_unfinished": float(len(records) - len(completed)),
+            "jobs_never_ran": float(len(never_ran)),
+            "job_interruptions": float(
+                sum(r.interruptions for r in records)),
+            "job_preemptions": float(
+                sum(r.preemptions for r in records)),
+            "block_failures": float(self.block_failures),
+            "utilization": self.busy_block_seconds / capacity,
+            "goodput": self.useful_block_seconds / capacity,
+            "replay_fraction": self.replay_block_seconds / capacity,
+            "restore_fraction": self.restore_block_seconds / capacity,
+            "checkpoint_fraction": self.checkpoint_block_seconds / capacity,
+        }
+        if waits:
+            out["mean_queue_wait"] = sum(waits) / len(waits)
+            out["p95_queue_wait"] = _percentile(waits, 0.95)
+            out["max_queue_wait"] = max(waits)
+        else:
+            out["mean_queue_wait"] = 0.0
+            out["p95_queue_wait"] = 0.0
+            out["max_queue_wait"] = 0.0
+        return out

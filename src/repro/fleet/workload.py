@@ -1,0 +1,175 @@
+"""Job-stream generation for the fleet simulator.
+
+Training jobs sample their slice shape from the measured Table 2
+popularity mix and their DNN type from the 2022 Table 1 snapshot;
+serving jobs are long-lived forward-only DLRM deployments sized by the
+Section 3.1 QPS requirement via :func:`repro.models.serving.chips_for_qps`.
+Arrival times come from their own RNG stream, separate from the per-job
+attribute draws (shape, type, duration, priority), so reshaping the
+workload never perturbs when jobs arrive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.slicing import SliceShape, blocks_needed, parse_shape
+from repro.errors import ConfigurationError
+from repro.fleet.config import FleetConfig
+from repro.models.dlrm import DLRMConfig
+from repro.models.serving import chips_for_qps
+from repro.models.workload import TABLE1_MIX, TABLE2_SLICES
+
+#: Priority bands: best-effort research, production training, serving.
+PRIORITY_BATCH = 0
+PRIORITY_PROD = 1
+PRIORITY_SERVING = 2
+
+#: Sub-block shapes for serving deployments under one block (64 chips).
+_SUB_BLOCK_BY_CHIPS: dict[int, SliceShape] = {
+    1: (1, 1, 1), 2: (1, 1, 2), 4: (1, 2, 2), 8: (2, 2, 2),
+    16: (2, 2, 4), 32: (2, 4, 4),
+}
+
+
+@dataclass(frozen=True)
+class FleetJob:
+    """One job offered to the fleet scheduler.
+
+    Attributes:
+        job_id: dense id in arrival order.
+        kind: 'train' or 'serve'.
+        model_type: Table 1 DNN family ('Transformer', 'MLP/DLRM', ...).
+        shape: requested slice shape in chips.
+        arrival: submission time in simulated seconds.
+        work_seconds: useful work to finish (training) or residency
+            (serving).
+        priority: scheduling band; higher preempts lower.
+    """
+
+    job_id: int
+    kind: str
+    model_type: str
+    shape: SliceShape
+    arrival: float
+    work_seconds: float
+    priority: int
+
+    @property
+    def blocks(self) -> int:
+        """4x4x4 blocks the job occupies."""
+        return blocks_needed(self.shape)
+
+    @property
+    def is_serving(self) -> bool:
+        """True for forward-only serving deployments."""
+        return self.kind == "serve"
+
+
+def truncated_slice_mix(max_blocks: int, *, grid_side: int | None = None
+                        ) -> tuple[list[SliceShape], np.ndarray]:
+    """Table 2 shapes at or under `max_blocks`, with renormalized shares.
+
+    With `grid_side`, shapes are also filtered to those whose block-grid
+    extent fits a cubic `grid_side`-block pod — elongated shapes like
+    4x4x32 (block extent 1x1x8) exist in production exactly because the
+    OCS frees slices from physical adjacency, but a fleet comparing
+    against static wiring must offer both policies geometrically
+    placeable work.
+    """
+    shapes: list[SliceShape] = []
+    weights: list[float] = []
+    for usage in TABLE2_SLICES:
+        shape, _ = parse_shape(usage.label)
+        if blocks_needed(shape) > max_blocks:
+            continue
+        if grid_side is not None and \
+                max(d // 4 for d in shape) > grid_side and \
+                blocks_needed(shape) > 1:
+            continue
+        shapes.append(shape)
+        weights.append(usage.share)
+    if not shapes:
+        raise ConfigurationError(
+            f"no Table 2 shape fits under {max_blocks} blocks")
+    probabilities = np.array(weights) / sum(weights)
+    return shapes, probabilities
+
+
+def model_type_mix(snapshot: str = "TPU v4 (10/2022, training)"
+                   ) -> tuple[list[str], np.ndarray]:
+    """One Table 1 column as (model types, normalized shares)."""
+    if snapshot not in TABLE1_MIX:
+        raise ConfigurationError(f"unknown Table 1 snapshot {snapshot!r}")
+    mix = {kind: share for kind, share in TABLE1_MIX[snapshot].items()
+           if share > 0}
+    kinds = sorted(mix)
+    probabilities = np.array([mix[kind] for kind in kinds])
+    return kinds, probabilities / probabilities.sum()
+
+
+def serving_shape(config: FleetConfig) -> SliceShape:
+    """Slice shape of one serving deployment at the config's QPS target.
+
+    Sizes the slice with the Section 3.1 latency/throughput model, then
+    rounds the chip count to the nearest legal shape: sub-block meshes
+    under 64 chips, cube-balanced block multiples above.
+    """
+    chips = chips_for_qps(DLRMConfig(), config.serving_qps)
+    if chips in _SUB_BLOCK_BY_CHIPS:
+        return _SUB_BLOCK_BY_CHIPS[chips]
+    from repro.core.availability import balanced_block_shape
+    shape = balanced_block_shape(max(chips, 64))
+    if blocks_needed(shape) > config.max_job_blocks:
+        raise ConfigurationError(
+            f"serving slice needs {blocks_needed(shape)} blocks, over the "
+            f"{config.max_job_blocks}-block cap")
+    return shape
+
+
+def generate_jobs(config: FleetConfig, *,
+                  arrival_rng: np.random.Generator,
+                  shape_rng: np.random.Generator) -> list[FleetJob]:
+    """Draw the full job stream for one fleet run.
+
+    Arrivals are a Poisson process cut at the config's arrival window;
+    everything else (shape, type, duration, priority, serving flag) is
+    drawn per-job from `shape_rng`.
+    """
+    shapes, shape_p = truncated_slice_mix(config.max_job_blocks,
+                                          grid_side=config.pod_grid_side)
+    kinds, kind_p = model_type_mix()
+    serve_shape = serving_shape(config) if config.serving_fraction > 0 \
+        else None
+
+    jobs: list[FleetJob] = []
+    clock = 0.0
+    while True:
+        clock += float(arrival_rng.exponential(
+            config.mean_interarrival_seconds))
+        if clock > config.arrival_window_seconds:
+            break
+        job_id = len(jobs)
+        if serve_shape is not None and \
+                shape_rng.random() < config.serving_fraction:
+            jobs.append(FleetJob(
+                job_id=job_id, kind="serve", model_type="MLP/DLRM",
+                shape=serve_shape, arrival=clock,
+                work_seconds=float(shape_rng.exponential(
+                    config.mean_serving_seconds)),
+                priority=PRIORITY_SERVING))
+            continue
+        shape = shapes[int(shape_rng.choice(len(shapes), p=shape_p))]
+        model = kinds[int(shape_rng.choice(len(kinds), p=kind_p))]
+        priority = PRIORITY_PROD \
+            if shape_rng.random() < config.prod_fraction \
+            else PRIORITY_BATCH
+        jobs.append(FleetJob(
+            job_id=job_id, kind="train", model_type=model, shape=shape,
+            arrival=clock,
+            work_seconds=float(shape_rng.exponential(
+                config.mean_job_seconds)),
+            priority=priority))
+    return jobs

@@ -23,32 +23,51 @@ class Event:
         time: simulation time at which the event fires.
         seq: tie-breaker preserving insertion order for equal times.
         action: zero-argument callable run when the event fires.
-        cancelled: cancelled events stay in the heap but are skipped.
+        cancelled: cancelled events stay in the heap (lazy deletion) until
+            the owning queue compacts them away.
     """
 
     time: float
     seq: int
     action: Callable[[], None] = field(compare=False)
     cancelled: bool = field(default=False, compare=False)
+    _queue: Optional["EventQueue"] = field(default=None, compare=False,
+                                           repr=False)
 
     def cancel(self) -> None:
         """Mark the event so the queue skips it when popped."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        if self._queue is not None:
+            self._queue._note_cancelled()
 
 
 class EventQueue:
-    """A deterministic priority queue of :class:`Event` objects."""
+    """A deterministic priority queue of :class:`Event` objects.
+
+    Cancellation is lazy: a cancelled event stays heap-resident and is
+    skipped on pop.  Long-running simulations that cancel most of what
+    they schedule (fleet runs rescheduling completions after every
+    failure) would grow the heap without bound, so the queue counts
+    cancellations and compacts the heap once dead events dominate.
+    """
+
+    #: Never compact below this many dead events; avoids churn on tiny heaps.
+    COMPACT_MIN_CANCELLED = 64
 
     def __init__(self) -> None:
         self._heap: list[Event] = []
         self._counter = itertools.count()
+        self._cancelled = 0
 
     def __len__(self) -> int:
-        return sum(1 for event in self._heap if not event.cancelled)
+        return len(self._heap) - self._cancelled
 
     def push(self, time: float, action: Callable[[], None]) -> Event:
         """Schedule `action` at absolute time `time` and return the event."""
-        event = Event(time=time, seq=next(self._counter), action=action)
+        event = Event(time=time, seq=next(self._counter), action=action,
+                      _queue=self)
         heapq.heappush(self._heap, event)
         return event
 
@@ -56,15 +75,32 @@ class EventQueue:
         """Remove and return the earliest live event, or None if empty."""
         while self._heap:
             event = heapq.heappop(self._heap)
+            # Detach so a later cancel() of the (no longer heap-resident)
+            # event cannot skew the dead-event counter.
+            event._queue = None
             if not event.cancelled:
                 return event
+            self._cancelled -= 1
         return None
 
     def peek_time(self) -> Optional[float]:
         """Return the firing time of the earliest live event, if any."""
         while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
+            heapq.heappop(self._heap)._queue = None
+            self._cancelled -= 1
         return self._heap[0].time if self._heap else None
+
+    def _note_cancelled(self) -> None:
+        self._cancelled += 1
+        if self._cancelled >= self.COMPACT_MIN_CANCELLED and \
+                self._cancelled * 2 >= len(self._heap):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop every cancelled event and re-heapify the survivors."""
+        self._heap = [e for e in self._heap if not e.cancelled]
+        heapq.heapify(self._heap)
+        self._cancelled = 0
 
 
 class Simulator:

@@ -1,5 +1,7 @@
 """Tests for the `python -m repro` command-line interface."""
 
+import json
+
 import pytest
 
 from repro.__main__ import main
@@ -9,7 +11,13 @@ class TestCLI:
     def test_list(self, capsys):
         assert main(["list"]) == 0
         out = capsys.readouterr().out
-        assert "figure6" in out and "table3" in out
+        assert "figure6" in out and "table3" in out and "fleet" in out
+
+    def test_list_json(self, capsys):
+        assert main(["list", "--json"]) == 0
+        ids = json.loads(capsys.readouterr().out)
+        assert isinstance(ids, list)
+        assert "figure6" in ids and "fleet" in ids
 
     def test_run_single(self, capsys):
         assert main(["run", "table4"]) == 0
@@ -26,6 +34,14 @@ class TestCLI:
         assert main([]) == 0
         assert "experiments:" in capsys.readouterr().out
 
+    def test_help_word(self, capsys):
+        assert main(["help"]) == 0
+        assert "experiments:" in capsys.readouterr().out
+
+    def test_dash_h_exits_zero(self, capsys):
+        assert main(["-h"]) == 0
+        assert "usage" in capsys.readouterr().out
+
     def test_run_without_target(self):
         assert main(["run"]) == 2
 
@@ -36,3 +52,33 @@ class TestCLI:
         from repro.errors import ConfigurationError
         with pytest.raises(ConfigurationError):
             main(["run", "figure99"])
+
+    def test_all_mixed_with_ids_is_not_expanded(self, capsys):
+        # 'all' is only magic as the sole target; mixed in with real
+        # ids it is an unknown experiment, not a silent full run.
+        from repro.errors import ConfigurationError
+        with pytest.raises(ConfigurationError):
+            main(["run", "table4", "all"])
+
+
+class TestFleetCLI:
+    def test_unknown_preset(self):
+        assert main(["fleet", "--preset", "galactic"]) == 2
+
+    def test_negative_seed_is_usage_error(self):
+        assert main(["fleet", "--preset", "tiny", "--seed", "-1"]) == 2
+
+    def test_fleet_single_policy(self, capsys):
+        assert main(["fleet", "--preset", "tiny", "--seed", "0",
+                     "--policy", "ocs"]) == 0
+        out = capsys.readouterr().out
+        assert "policy=ocs" in out
+        assert "goodput" in out
+
+    def test_fleet_both_policies_json(self, capsys):
+        assert main(["fleet", "--preset", "tiny", "--seed", "0",
+                     "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert set(payload) == {"ocs", "static"}
+        # Exit code 0 already asserts the Figure 4 qualitative claim:
+        assert payload["ocs"]["goodput"] > payload["static"]["goodput"]

@@ -7,6 +7,7 @@ import pytest
 import repro.chips.energy
 import repro.chips.roofline
 import repro.core.slicing
+import repro.fleet.presets
 import repro.network.fairshare
 import repro.ocs.circulator
 import repro.reporting.tables
@@ -27,6 +28,7 @@ DOCTESTED_MODULES = [
     repro.topology.dor,
     repro.ocs.circulator,
     repro.core.slicing,
+    repro.fleet.presets,
     repro.network.fairshare,
     repro.sparsecore.dedup,
     repro.chips.roofline,

@@ -1,0 +1,90 @@
+"""Tests for pod/fleet inventory state and single-slice placement."""
+
+import pytest
+
+from repro.core.scheduler import PlacementPolicy, SliceScheduler
+from repro.errors import SchedulingError
+from repro.fleet.cluster import FleetState, Pod
+
+
+class TestPlaceOne:
+    def test_ocs_takes_any_free_blocks(self):
+        healthy = [True] * 64
+        healthy[0] = healthy[5] = False
+        scheduler = SliceScheduler(healthy)
+        blocks = scheduler.place_one((4, 4, 8), PlacementPolicy.OCS)
+        assert blocks is not None and len(blocks) == 2
+        assert 0 not in blocks and 5 not in blocks
+
+    def test_static_needs_contiguity(self):
+        # Checkerboard the grid: no two adjacent blocks are both free.
+        healthy = []
+        for x in range(4):
+            for y in range(4):
+                for z in range(4):
+                    healthy.append((x + y + z) % 2 == 0)
+        scheduler = SliceScheduler(healthy)
+        assert scheduler.place_one((4, 4, 8),
+                                   PlacementPolicy.STATIC) is None
+        assert scheduler.place_one((4, 4, 8),
+                                   PlacementPolicy.OCS) is not None
+
+    def test_matches_pack_first_placement(self):
+        healthy = [True] * 64
+        healthy[3] = False
+        scheduler = SliceScheduler(healthy)
+        for policy in PlacementPolicy:
+            packed = scheduler.pack((4, 4, 8), policy)
+            assert scheduler.place_one((4, 4, 8), policy) == \
+                packed.placements[0]
+
+    def test_no_space_returns_none(self):
+        scheduler = SliceScheduler([False] * 64)
+        assert scheduler.place_one((4, 4, 4),
+                                   PlacementPolicy.OCS) is None
+
+
+class TestPod:
+    def test_assign_release_roundtrip(self):
+        pod = Pod(0, 8)
+        pod.assign([1, 2], job_id=7)
+        assert pod.num_free == 6
+        assert pod.jobs_on() == {7}
+        assert pod.release(7) == [1, 2]
+        assert pod.num_free == 8
+
+    def test_cannot_assign_taken_block(self):
+        pod = Pod(0, 8)
+        pod.assign([1], job_id=1)
+        with pytest.raises(SchedulingError):
+            pod.assign([1], job_id=2)
+
+    def test_block_down_reports_victim(self):
+        pod = Pod(0, 8)
+        pod.assign([3], job_id=9)
+        assert pod.block_down(3) == 9
+        assert pod.block_down(4) is None
+        assert pod.num_down == 2
+        pod.block_up(3)
+        assert pod.num_down == 1
+
+    def test_down_block_not_free(self):
+        pod = Pod(0, 8)
+        pod.block_down(0)
+        assert not pod.is_free(0)
+        assert pod.free_mask()[0] is False
+
+
+class TestFleetState:
+    def test_totals(self):
+        state = FleetState(num_pods=3, blocks_per_pod=27)
+        assert state.total_blocks == 81
+        state.pods[1].assign([0, 1], job_id=1)
+        state.pods[2].block_down(5)
+        assert state.busy_blocks == 2
+        assert state.down_blocks == 1
+
+    def test_pods_by_space_prefers_emptiest(self):
+        state = FleetState(num_pods=2, blocks_per_pod=8)
+        state.pods[0].assign([0, 1, 2], job_id=1)
+        assert [p.pod_id for p in state.pods_by_space()] == [1, 0]

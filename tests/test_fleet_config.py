@@ -1,0 +1,38 @@
+"""Tests for fleet configuration validation."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.fleet.config import FleetConfig
+
+
+class TestValidation:
+    def test_defaults_valid(self):
+        config = FleetConfig()
+        assert config.total_blocks == 128
+        assert config.block_mtbf_seconds == \
+            pytest.approx(config.host_mtbf_seconds / 16)
+
+    @pytest.mark.parametrize("overrides", [
+        dict(blocks_per_pod=60),           # not a cube
+        dict(num_pods=0),
+        dict(horizon_seconds=0.0),
+        dict(arrival_window_seconds=3 * 86400.0),  # outlives horizon
+        dict(mean_interarrival_seconds=0.0),
+        dict(serving_fraction=1.5),
+        dict(max_job_blocks=0),
+        dict(max_job_blocks=65),
+        dict(host_mtbf_seconds=0.0),
+        dict(mean_repair_seconds=-1.0),
+        dict(checkpoint_seconds=0.0),
+        dict(restore_seconds=-100.0),
+        dict(serving_qps=0.0),
+        dict(mean_serving_seconds=0.0),
+    ])
+    def test_rejected(self, overrides):
+        with pytest.raises(ConfigurationError):
+            FleetConfig(**overrides)
+
+    def test_zero_serving_fraction_skips_qps_check(self):
+        config = FleetConfig(serving_fraction=0.0, serving_qps=0.0)
+        assert config.serving_fraction == 0.0

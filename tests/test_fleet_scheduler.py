@@ -1,0 +1,183 @@
+"""Tests for the fleet scheduler: queueing, preemption, interrupts."""
+
+import pytest
+
+from repro.core.scheduler import PlacementPolicy
+from repro.fleet.cluster import FleetState
+from repro.fleet.config import FleetConfig
+from repro.fleet.scheduler import FleetScheduler
+from repro.fleet.telemetry import FleetTelemetry
+from repro.fleet.workload import (FleetJob, PRIORITY_BATCH,
+                                  PRIORITY_SERVING)
+from repro.sim.events import Simulator
+
+
+def _make(policy=PlacementPolicy.OCS, num_pods=1, blocks_per_pod=8):
+    config = FleetConfig(num_pods=num_pods, blocks_per_pod=blocks_per_pod,
+                         max_job_blocks=blocks_per_pod)
+    sim = Simulator()
+    state = FleetState(num_pods, blocks_per_pod)
+    telemetry = FleetTelemetry()
+    return FleetScheduler(config, policy, sim, state, telemetry)
+
+
+def _train(job_id, shape, arrival, work, priority=PRIORITY_BATCH):
+    return FleetJob(job_id=job_id, kind="train", model_type="LLM",
+                    shape=shape, arrival=arrival, work_seconds=work,
+                    priority=priority)
+
+
+def _serve(job_id, shape, arrival, work):
+    return FleetJob(job_id=job_id, kind="serve", model_type="MLP/DLRM",
+                    shape=shape, arrival=arrival, work_seconds=work,
+                    priority=PRIORITY_SERVING)
+
+
+class TestLifecycle:
+    def test_place_run_complete(self):
+        scheduler = _make()
+        job = _train(0, (4, 4, 8), 0.0, 3600.0)
+        scheduler.submit(job)
+        assert scheduler.running and not scheduler.queue
+        scheduler.sim.run()
+        record = scheduler.telemetry.records[0]
+        assert record.completed
+        assert record.first_wait == 0.0
+        # Useful work is exactly the job's demand, on 2 blocks.
+        assert scheduler.telemetry.useful_block_seconds == \
+            pytest.approx(3600.0 * 2)
+        assert record.useful_seconds == pytest.approx(3600.0)
+        assert scheduler.telemetry.busy_block_seconds >= \
+            scheduler.telemetry.useful_block_seconds
+
+    def test_queueing_when_full(self):
+        scheduler = _make()
+        scheduler.submit(_train(0, (8, 8, 8), 0.0, 1000.0))  # whole pod
+        scheduler.submit(_train(1, (4, 4, 4), 0.0, 500.0))
+        assert len(scheduler.queue) == 1
+        scheduler.sim.run()
+        second = scheduler.telemetry.records[1]
+        assert second.completed
+        assert second.first_wait > 0.0
+
+    def test_backfill_skips_stuck_head(self):
+        scheduler = _make()
+        scheduler.submit(_train(0, (4, 8, 8), 0.0, 1000.0))   # 4 blocks
+        scheduler.submit(_train(1, (4, 4, 8), 0.0, 1000.0))   # 2 blocks
+        # An 8-block job queues; a 1-block job backfills past it.
+        scheduler.submit(_train(2, (8, 8, 8), 0.0, 1000.0))
+        scheduler.submit(_train(3, (4, 4, 4), 0.0, 100.0))
+        assert 3 in scheduler.running
+        assert 2 not in scheduler.running
+
+
+class TestPreemption:
+    def test_serving_evicts_batch(self):
+        scheduler = _make()
+        scheduler.submit(_train(0, (8, 8, 8), 0.0, 5000.0))  # fills pod
+        scheduler.submit(_serve(1, (4, 4, 4), 0.0, 2000.0))
+        assert 1 in scheduler.running
+        victim = scheduler.telemetry.records[0]
+        assert victim.preemptions == 1
+        assert scheduler.telemetry.preemption_events == 1
+        # The victim is requeued, not lost.
+        assert any(a.job.job_id == 0 for a in scheduler.queue)
+
+    def test_batch_cannot_preempt(self):
+        scheduler = _make()
+        scheduler.submit(_train(0, (8, 8, 8), 0.0, 5000.0))
+        scheduler.submit(_train(1, (4, 4, 4), 0.0, 100.0))
+        assert 1 not in scheduler.running
+        assert scheduler.telemetry.preemption_events == 0
+
+    def test_equal_priority_cannot_preempt(self):
+        scheduler = _make()
+        scheduler.submit(_serve(0, (8, 8, 8), 0.0, 5000.0))
+        scheduler.submit(_serve(1, (8, 8, 8), 0.0, 100.0))
+        assert 1 not in scheduler.running
+        assert scheduler.telemetry.preemption_events == 0
+
+    def test_only_victims_in_the_placement_are_evicted(self):
+        # Pod layout: batch job 0 holds blocks {0,1}, serving fills
+        # {2,3,4}, batch job 4 holds {5}, serving fills {6,7}.  A
+        # 2-block serving arrival plans over victims [job4, job0] (job4
+        # started later) but the placement lands on {0,1} — job 4 is a
+        # bystander and must keep running.
+        scheduler = _make()
+        scheduler.submit(_train(0, (4, 4, 8), 0.0, 9000.0))
+        for i in (1, 2, 3):
+            scheduler.submit(_serve(i, (4, 4, 4), 0.0, 9000.0))
+        scheduler.sim.run(until=1.0)
+        scheduler.submit(_train(4, (4, 4, 4), 1.0, 9000.0))
+        for i in (5, 6):
+            scheduler.submit(_serve(i, (4, 4, 4), 1.0, 9000.0))
+        assert scheduler.state.pods[0].num_free == 0
+        scheduler.submit(_serve(7, (4, 4, 8), 1.0, 100.0))
+        assert 7 in scheduler.running
+        assert 4 in scheduler.running  # bystander untouched
+        assert scheduler.telemetry.records[0].preemptions == 1
+        assert scheduler.telemetry.records[4].preemptions == 0
+        assert scheduler.telemetry.preemption_events == 1
+
+    def test_no_pointless_eviction_under_static(self):
+        # Fail every block except the two opposite corners (ids 0 and 7
+        # in the 2x2x2 grid, never adjacent).  Evicting the batch job on
+        # block 0 could only yield scattered singles, never the 2-block
+        # cuboid serving needs — so the planner must not evict at all.
+        scheduler = _make(policy=PlacementPolicy.STATIC)
+        scheduler.submit(_train(0, (4, 4, 4), 0.0, 5000.0))  # block 0
+        for block in (1, 2, 3, 4, 5, 6):
+            scheduler.on_block_down(0, block)
+        scheduler.submit(_serve(1, (4, 4, 8), 0.0, 100.0))
+        assert scheduler.telemetry.preemption_events == 0
+        assert scheduler.telemetry.records[0].preemptions == 0
+        assert 0 in scheduler.running
+
+
+class TestInterrupts:
+    def test_block_failure_requeues_and_finishes(self):
+        scheduler = _make()
+        scheduler.submit(_train(0, (4, 4, 8), 0.0, 10000.0))
+        held = list(scheduler.running[0].blocks)
+        scheduler.sim.schedule(7000.0,
+                               lambda: scheduler.on_block_down(0, held[0]))
+        scheduler.sim.schedule(8000.0,
+                               lambda: scheduler.on_block_up(0, held[0]))
+        scheduler.sim.run()
+        record = scheduler.telemetry.records[0]
+        assert record.interruptions == 1
+        assert record.completed
+        assert scheduler.telemetry.block_failures == 1
+        assert scheduler.telemetry.replay_block_seconds > 0
+        assert scheduler.telemetry.restore_block_seconds > 0
+
+    def test_failure_on_idle_block_is_harmless(self):
+        scheduler = _make()
+        scheduler.on_block_down(0, 5)
+        assert scheduler.telemetry.block_failures == 1
+        scheduler.on_block_up(0, 5)
+
+    def test_serving_loses_no_work_on_failure(self):
+        scheduler = _make()
+        scheduler.submit(_serve(0, (4, 4, 4), 0.0, 10000.0))
+        held = list(scheduler.running[0].blocks)
+        scheduler.sim.schedule(4000.0,
+                               lambda: scheduler.on_block_down(0, held[0]))
+        scheduler.sim.schedule(4100.0,
+                               lambda: scheduler.on_block_up(0, held[0]))
+        scheduler.sim.run()
+        assert scheduler.telemetry.replay_block_seconds == 0.0
+        assert scheduler.telemetry.records[0].completed
+
+
+class TestFinalize:
+    def test_running_work_credited_at_horizon(self):
+        scheduler = _make()
+        scheduler.submit(_train(0, (4, 4, 8), 0.0, 1e6))  # never finishes
+        scheduler.sim.run(until=50000.0)
+        scheduler.finalize(50000.0)
+        telemetry = scheduler.telemetry
+        assert telemetry.busy_block_seconds == pytest.approx(2 * 50000.0)
+        assert 0 < telemetry.useful_block_seconds < \
+            telemetry.busy_block_seconds
+        assert not telemetry.records[0].completed

@@ -1,0 +1,91 @@
+"""End-to-end fleet simulator tests: determinism, policy gap, invariants."""
+
+import pytest
+
+from repro.core.scheduler import PlacementPolicy
+from repro.errors import ConfigurationError
+from repro.fleet import (FleetSimulator, compare_policies, preset_config,
+                         preset_names, run_fleet)
+
+
+@pytest.fixture(scope="module")
+def tiny_reports():
+    return compare_policies(preset_config("tiny"), seed=0)
+
+
+class TestPresets:
+    def test_names(self):
+        assert "tiny" in preset_names()
+        assert "small" in preset_names()
+
+    def test_unknown_preset(self):
+        with pytest.raises(ConfigurationError):
+            preset_config("galactic")
+
+
+class TestDeterminism:
+    def test_same_seed_identical_telemetry(self):
+        first = run_fleet(preset_config("tiny"), seed=7)
+        second = run_fleet(preset_config("tiny"), seed=7)
+        assert first.summary == second.summary
+        assert first.events_fired == second.events_fired
+
+    def test_distinct_seeds_distinct_arrival_traces(self):
+        config = preset_config("tiny")
+        trace_a = [(j.arrival, j.shape)
+                   for j in FleetSimulator(config, seed=0).jobs]
+        trace_b = [(j.arrival, j.shape)
+                   for j in FleetSimulator(config, seed=1).jobs]
+        assert trace_a != trace_b
+
+    def test_distinct_seeds_distinct_failure_traces(self):
+        config = preset_config("tiny")
+        outages_a = FleetSimulator(config, seed=0).trace
+        outages_b = FleetSimulator(config, seed=1).trace
+        assert [(o.start, o.block_id) for o in outages_a] != \
+            [(o.start, o.block_id) for o in outages_b]
+
+    def test_policies_share_inputs(self):
+        simulator = FleetSimulator(preset_config("tiny"), seed=0)
+        ocs = simulator.run(PlacementPolicy.OCS)
+        static = simulator.run(PlacementPolicy.STATIC)
+        # Identical offered work and identical outage trace.
+        assert ocs.summary["jobs_submitted"] == \
+            static.summary["jobs_submitted"]
+        assert ocs.summary["block_failures"] == \
+            static.summary["block_failures"]
+        assert ocs.downtime_fraction == static.downtime_fraction
+
+
+class TestPolicyGap:
+    def test_ocs_beats_static_goodput(self, tiny_reports):
+        """Figure 4's qualitative claim at fleet scale."""
+        assert tiny_reports["ocs"].summary["goodput"] > \
+            tiny_reports["static"].summary["goodput"]
+
+    def test_ocs_waits_no_longer(self, tiny_reports):
+        assert tiny_reports["ocs"].summary["mean_queue_wait"] <= \
+            tiny_reports["static"].summary["mean_queue_wait"]
+
+
+class TestInvariants:
+    @pytest.mark.parametrize("policy", ["ocs", "static"])
+    def test_accounting(self, tiny_reports, policy):
+        summary = tiny_reports[policy].summary
+        assert 0.0 < summary["goodput"] <= summary["utilization"] <= 1.0
+        assert summary["jobs_completed"] + summary["jobs_unfinished"] == \
+            summary["jobs_submitted"]
+        lost = summary["replay_fraction"] + summary["restore_fraction"] + \
+            summary["checkpoint_fraction"]
+        assert summary["goodput"] + lost == \
+            pytest.approx(summary["utilization"], abs=1e-9)
+
+    def test_render_mentions_headlines(self, tiny_reports):
+        text = tiny_reports["ocs"].render()
+        assert "goodput" in text
+        assert "queue wait" in text
+        assert "policy=ocs" in text
+
+    def test_failures_observed(self, tiny_reports):
+        assert tiny_reports["ocs"].summary["block_failures"] > 0
+        assert tiny_reports["ocs"].summary["job_interruptions"] > 0

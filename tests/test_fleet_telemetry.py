@@ -1,0 +1,69 @@
+"""Tests for fleet telemetry aggregation."""
+
+import pytest
+
+from repro.fleet.telemetry import FleetTelemetry, JobRecord, _percentile
+from repro.fleet.workload import FleetJob
+
+
+class TestPercentile:
+    def test_nearest_rank_definition(self):
+        values = [float(i) for i in range(1, 101)]
+        assert _percentile(values, 0.95) == 95.0
+        assert _percentile(values, 0.50) == 50.0
+        assert _percentile(values, 1.0) == 100.0
+
+    def test_small_lists(self):
+        assert _percentile([3.0], 0.95) == 3.0
+        # ceil(0.95 * 2) = 2 -> the 2nd smallest.
+        assert _percentile([1.0, 2.0], 0.95) == 2.0
+        # ceil(0.5 * 2) = 1 -> the smallest.
+        assert _percentile([1.0, 2.0], 0.5) == 1.0
+
+
+class TestSummary:
+    def _job(self, job_id, blocks_shape=(4, 4, 4)):
+        return FleetJob(job_id=job_id, kind="train", model_type="LLM",
+                        shape=blocks_shape, arrival=0.0,
+                        work_seconds=100.0, priority=0)
+
+    def test_empty_fleet(self):
+        telemetry = FleetTelemetry()
+        summary = telemetry.summary(total_blocks=64,
+                                    horizon_seconds=1000.0)
+        assert summary["jobs_submitted"] == 0
+        assert summary["goodput"] == 0.0
+        assert summary["mean_queue_wait"] == 0.0
+
+    def test_requeue_waits_counted(self):
+        telemetry = FleetTelemetry()
+        record = telemetry.record_for(self._job(0))
+        record.first_start = 0.0
+        record.queue_waits.extend([0.0, 10.0])  # submit + requeue
+        summary = telemetry.summary(total_blocks=64,
+                                    horizon_seconds=1000.0)
+        assert summary["mean_queue_wait"] == 5.0
+        assert summary["max_queue_wait"] == 10.0
+
+    def test_record_for_is_idempotent(self):
+        telemetry = FleetTelemetry()
+        job = self._job(0)
+        first = telemetry.record_for(job)
+        first.queue_waits.append(5.0)
+        assert telemetry.record_for(job) is first
+
+    def test_job_counters_roll_up(self):
+        telemetry = FleetTelemetry()
+        done = telemetry.record_for(self._job(0))
+        done.first_start = 1.0
+        done.queue_waits.append(1.0)
+        done.completed_at = 50.0
+        waiting = telemetry.record_for(self._job(1))
+        summary = telemetry.summary(total_blocks=64,
+                                    horizon_seconds=1000.0)
+        assert summary["jobs_submitted"] == 2
+        assert summary["jobs_completed"] == 1
+        assert summary["jobs_unfinished"] == 1
+        assert summary["jobs_never_ran"] == 1
+        assert summary["mean_queue_wait"] == 1.0
+        assert isinstance(waiting, JobRecord)

@@ -1,0 +1,123 @@
+"""Tests for fleet job-stream generation."""
+
+import numpy as np
+import pytest
+
+from repro.core.slicing import blocks_needed, is_legal_shape
+from repro.errors import ConfigurationError
+from repro.fleet.config import FleetConfig
+from repro.fleet.workload import (PRIORITY_SERVING, generate_jobs,
+                                  model_type_mix, serving_shape,
+                                  truncated_slice_mix)
+from repro.sim.rng import make_rng
+
+
+def _config(**overrides) -> FleetConfig:
+    defaults = dict(num_pods=1, blocks_per_pod=64,
+                    horizon_seconds=86400.0,
+                    arrival_window_seconds=43200.0,
+                    mean_interarrival_seconds=300.0)
+    defaults.update(overrides)
+    return FleetConfig(**defaults)
+
+
+class TestSliceMix:
+    def test_truncation_respects_cap(self):
+        shapes, probabilities = truncated_slice_mix(4)
+        assert all(blocks_needed(s) <= 4 for s in shapes)
+        assert probabilities.sum() == pytest.approx(1.0)
+
+    def test_full_table_at_large_cap(self):
+        shapes, _ = truncated_slice_mix(64)
+        assert len(shapes) == 30  # every Table 2 row
+
+    def test_impossible_cap_would_raise(self):
+        # Cap 1 still admits the sub-block rows, so it works...
+        shapes, _ = truncated_slice_mix(1)
+        assert all(blocks_needed(s) == 1 for s in shapes)
+
+    def test_grid_side_filters_elongated_shapes(self):
+        # 4x4x32 is only 8 blocks but its 1x1x8 extent cannot fit a
+        # 4x4x4-block pod; with grid_side it must be excluded so the
+        # static policy is never offered geometrically-impossible work.
+        shapes, _ = truncated_slice_mix(64, grid_side=4)
+        assert (4, 4, 32) not in shapes
+        assert all(max(d // 4 for d in s) <= 4 for s in shapes
+                   if blocks_needed(s) > 1)
+        assert (8, 8, 16) in shapes  # extent 2x2x4 fits
+
+
+class TestModelMix:
+    def test_shares_normalized(self):
+        kinds, probabilities = model_type_mix()
+        assert probabilities.sum() == pytest.approx(1.0)
+        assert "Transformer" in kinds
+        assert "RNN" in kinds
+
+    def test_unknown_snapshot(self):
+        with pytest.raises(ConfigurationError):
+            model_type_mix("TPU v9")
+
+
+class TestServingShape:
+    def test_shape_is_legal(self):
+        shape = serving_shape(_config())
+        assert is_legal_shape(shape)
+
+    def test_qps_scales_slice(self):
+        small = serving_shape(_config(serving_qps=1e4))
+        large = serving_shape(_config(serving_qps=2e7))
+        chips = lambda s: s[0] * s[1] * s[2]
+        assert chips(large) > chips(small)
+
+
+class TestGenerateJobs:
+    def _jobs(self, seed=0, **overrides):
+        config = _config(**overrides)
+        rngs = [make_rng(seed), make_rng(seed + 1000)]
+        return generate_jobs(config, arrival_rng=rngs[0],
+                             shape_rng=rngs[1]), config
+
+    def test_arrivals_inside_window_and_sorted(self):
+        jobs, config = self._jobs()
+        arrivals = [j.arrival for j in jobs]
+        assert arrivals == sorted(arrivals)
+        assert arrivals[-1] <= config.arrival_window_seconds
+
+    def test_shapes_respect_block_cap(self):
+        jobs, config = self._jobs(max_job_blocks=4, serving_fraction=0.0)
+        assert jobs
+        assert all(j.blocks <= 4 for j in jobs)
+
+    def test_shapes_fit_pod_grid(self):
+        jobs, config = self._jobs(max_job_blocks=64, serving_fraction=0.0)
+        side = config.pod_grid_side
+        assert all(max(d // 4 for d in j.shape) <= side
+                   for j in jobs if j.blocks > 1)
+
+    def test_prod_fraction_extremes(self):
+        all_prod, _ = self._jobs(prod_fraction=1.0, serving_fraction=0.0)
+        assert all(j.priority == 1 for j in all_prod)
+        no_prod, _ = self._jobs(prod_fraction=0.0, serving_fraction=0.0)
+        assert all(j.priority == 0 for j in no_prod)
+
+    def test_serving_jobs_marked_and_prioritized(self):
+        jobs, _ = self._jobs(serving_fraction=0.5)
+        serving = [j for j in jobs if j.is_serving]
+        assert serving
+        assert all(j.priority == PRIORITY_SERVING for j in serving)
+        assert all(j.model_type == "MLP/DLRM" for j in serving)
+
+    def test_no_serving_when_fraction_zero(self):
+        jobs, _ = self._jobs(serving_fraction=0.0)
+        assert all(not j.is_serving for j in jobs)
+
+    def test_same_rng_state_reproduces_stream(self):
+        first, _ = self._jobs(seed=3)
+        second, _ = self._jobs(seed=3)
+        assert [(j.arrival, j.shape, j.work_seconds) for j in first] == \
+            [(j.arrival, j.shape, j.work_seconds) for j in second]
+
+    def test_work_is_positive(self):
+        jobs, _ = self._jobs()
+        assert all(j.work_seconds > 0 for j in jobs)

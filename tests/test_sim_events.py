@@ -60,6 +60,87 @@ class TestEventQueue:
             popped.append(event.time)
         assert popped == sorted(times)
 
+    def test_len_is_live_events_only(self):
+        queue = EventQueue()
+        events = [queue.push(float(i), lambda: None) for i in range(10)]
+        for event in events[:4]:
+            event.cancel()
+        assert len(queue) == 6
+
+    def test_double_cancel_counts_once(self):
+        queue = EventQueue()
+        event = queue.push(1.0, lambda: None)
+        queue.push(2.0, lambda: None)
+        event.cancel()
+        event.cancel()
+        assert len(queue) == 1
+        assert queue.pop().time == 2.0
+
+    def test_cancel_after_pop_leaves_counter_intact(self):
+        # An action cancelling its own already-popped event (the
+        # defensive self-reschedule pattern) must not skew the count.
+        queue = EventQueue()
+        first = queue.push(1.0, lambda: None)
+        queue.push(2.0, lambda: None)
+        assert queue.pop() is first
+        first.cancel()
+        assert queue._cancelled == 0
+        assert len(queue) == 1
+        assert queue.pop().time == 2.0
+
+
+class TestHeapCompaction:
+    """Cancellation-dominated workloads must not grow the heap unboundedly.
+
+    The fleet simulator reschedules a job's completion after every
+    failure and preemption, cancelling the old event each time; with
+    lazy deletion alone the heap kept every corpse until it was popped.
+    """
+
+    def test_heap_stays_bounded_under_mass_cancellation(self):
+        queue = EventQueue()
+        live = queue.push(1e9, lambda: None)
+        for i in range(10_000):
+            queue.push(1e6 + i, lambda: None).cancel()
+        # Lazy deletion alone would leave ~10_001 heap entries.
+        assert len(queue._heap) <= 2 * queue.COMPACT_MIN_CANCELLED
+        assert len(queue) == 1
+        assert queue.pop() is live
+
+    def test_compaction_preserves_order_and_liveness(self):
+        queue = EventQueue()
+        keep = []
+        for i in range(500):
+            event = queue.push(float(i), lambda i=i: None)
+            if i % 97 == 0:
+                keep.append(event)
+            else:
+                event.cancel()
+        popped = []
+        while (event := queue.pop()) is not None:
+            popped.append(event)
+        assert popped == keep
+
+    def test_small_heaps_skip_compaction(self):
+        queue = EventQueue()
+        events = [queue.push(float(i), lambda: None) for i in range(10)]
+        for event in events:
+            event.cancel()
+        # Under the threshold nothing is compacted eagerly...
+        assert len(queue) == 0
+        # ...but popping still drains cleanly.
+        assert queue.pop() is None
+        assert queue._cancelled == 0
+
+    def test_peek_time_keeps_counter_consistent(self):
+        queue = EventQueue()
+        first = queue.push(1.0, lambda: None)
+        queue.push(5.0, lambda: None)
+        first.cancel()
+        assert queue.peek_time() == 5.0
+        assert queue._cancelled == 0
+        assert len(queue) == 1
+
 
 class TestSimulator:
     def test_clock_advances(self):
