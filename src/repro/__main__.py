@@ -4,18 +4,21 @@
     python -m repro run figure6
     python -m repro run all
     python -m repro fleet --preset small --seed 0
+    python -m repro fleet --preset medium --strategy best_fit
+    python -m repro fleet --preset medium --strategy all --json
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import json
 import sys
 
-from repro.core.scheduler import PlacementPolicy
+from repro.core.scheduler import PlacementPolicy, PlacementStrategy
 from repro.experiments import list_experiments, run
-from repro.fleet import (FleetSimulator, compare_policies, preset_config,
-                         preset_names)
+from repro.fleet import (FleetSimulator, compare_policies,
+                         compare_strategies, preset_config, preset_names)
 
 
 def _cmd_list(args: argparse.Namespace) -> int:
@@ -39,12 +42,27 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 def _cmd_fleet(args: argparse.Namespace) -> int:
     config = preset_config(args.preset)
-    if args.policy == "both":
-        reports = compare_policies(config, seed=args.seed)
-    else:
-        policy = PlacementPolicy(args.policy)
-        reports = {policy.value: FleetSimulator(
-            config, seed=args.seed).run(policy)}
+    if args.reconfig_seconds is not None:
+        config = dataclasses.replace(
+            config, reconfig_base_seconds=args.reconfig_seconds)
+    if args.strategy == "all":
+        # Strategy sweep: identical inputs, one report per strategy.
+        # An explicit --policy is honored; the 'both' default means OCS
+        # here (defrag needs switches that can rewire).
+        policy = PlacementPolicy.OCS if args.policy == "both" \
+            else PlacementPolicy(args.policy)
+        reports = compare_strategies(config, seed=args.seed,
+                                     policy=policy)
+    elif args.strategy is not None:
+        config = dataclasses.replace(
+            config, strategy=PlacementStrategy(args.strategy))
+    if args.strategy != "all":
+        if args.policy == "both":
+            reports = compare_policies(config, seed=args.seed)
+        else:
+            policy = PlacementPolicy(args.policy)
+            reports = {policy.value: FleetSimulator(
+                config, seed=args.seed).run(policy)}
     if args.json:
         print(json.dumps({name: report.summary
                           for name, report in reports.items()},
@@ -52,7 +70,7 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
     else:
         for report in reports.values():
             print(report.render())
-    if args.policy == "both":
+    if args.policy == "both" and args.strategy != "all":
         ocs = reports["ocs"].summary["goodput"]
         static = reports["static"].summary["goodput"]
         if not args.json:
@@ -105,6 +123,16 @@ def build_parser() -> argparse.ArgumentParser:
     fleet_cmd.add_argument("--policy", default="both",
                            choices=["both", "ocs", "static"],
                            help="placement policy to simulate")
+    fleet_cmd.add_argument(
+        "--strategy", default=None,
+        choices=[s.value for s in PlacementStrategy] + ["all"],
+        help="placement strategy (default: the preset's; 'all' sweeps "
+             "every strategy — under the OCS policy unless --policy "
+             "names one explicitly)")
+    fleet_cmd.add_argument(
+        "--reconfig-seconds", type=float, default=None, metavar="SECONDS",
+        help="override the fixed OCS reconfiguration window "
+             "(reconfig_base_seconds)")
     fleet_cmd.add_argument("--json", action="store_true",
                            help="emit telemetry summaries as JSON")
     fleet_cmd.set_defaults(func=_cmd_fleet)

@@ -26,6 +26,26 @@ class PlacementPolicy(Enum):
     STATIC = "static"
 
 
+class PlacementStrategy(Enum):
+    """Which of the feasible placements a scheduler prefers.
+
+    The policy (OCS vs static) defines what *can* host a slice; the
+    strategy picks among the feasible placements:
+
+    * FIRST_FIT — the first feasible placement in scan order.
+    * BEST_FIT — the feasible placement leaving the least fragmentation
+      (fewest free blocks stranded against the new slice).
+    * DEFRAG — best-fit, plus (at the fleet level, OCS only) planned
+      migrations that rewire the optical fabric to compact free blocks
+      when a job would otherwise queue.  Within a single machine it
+      places exactly like BEST_FIT.
+    """
+
+    FIRST_FIT = "first_fit"
+    BEST_FIT = "best_fit"
+    DEFRAG = "defrag"
+
+
 @dataclass
 class ScheduleOutcome:
     """Result of packing as many equal slices as possible."""
@@ -114,14 +134,61 @@ class SliceScheduler:
                     return blocks
         return None
 
+    def _fragmentation_score(self, free: Sequence[bool],
+                             blocks: Sequence[int]) -> int:
+        """Free blocks left face-adjacent to a candidate cuboid.
+
+        Each such neighbor is capacity the placement strands against an
+        occupied surface; best-fit minimizes it, tucking slices into
+        pockets and corners so large contiguous regions survive.
+        """
+        taken = set(blocks)
+        gx, gy, gz = self.grid
+        score = 0
+        for block in blocks:
+            x, rem = divmod(block, gy * gz)
+            y, z = divmod(rem, gz)
+            for dx, dy, dz in ((1, 0, 0), (-1, 0, 0), (0, 1, 0),
+                               (0, -1, 0), (0, 0, 1), (0, 0, -1)):
+                nx, ny, nz = x + dx, y + dy, z + dz
+                if not (0 <= nx < gx and 0 <= ny < gy and 0 <= nz < gz):
+                    continue
+                neighbor = (nx * gy + ny) * gz + nz
+                if neighbor not in taken and free[neighbor]:
+                    score += 1
+        return score
+
+    def _best_static_fit(self, free: Sequence[bool],
+                         orientations: Sequence[tuple[int, int, int]]
+                         ) -> list[int] | None:
+        """The fully-free cuboid with the lowest fragmentation score.
+
+        Ties resolve to the earliest anchor/orientation in scan order,
+        so best-fit is exactly as deterministic as first-fit.
+        """
+        best: list[int] | None = None
+        best_score = -1
+        for anchor in itertools.product(*(range(g) for g in self.grid)):
+            for orientation in orientations:
+                blocks = self._cuboid_blocks(anchor, orientation)
+                if blocks is None or not all(free[b] for b in blocks):
+                    continue
+                score = self._fragmentation_score(free, blocks)
+                if best is None or score < best_score:
+                    best, best_score = blocks, score
+        return best
+
     # -- packing -----------------------------------------------------------------
 
-    def place_one(self, shape: SliceShape,
-                  policy: PlacementPolicy) -> list[int] | None:
+    def place_one(self, shape: SliceShape, policy: PlacementPolicy,
+                  strategy: PlacementStrategy = PlacementStrategy.FIRST_FIT
+                  ) -> list[int] | None:
         """Blocks for a single `shape` slice, or None when it cannot fit.
 
         The fleet scheduler's fast path: unlike :meth:`pack` it stops at
-        the first placement instead of filling the machine.
+        one placement instead of filling the machine.  Under OCS any
+        healthy blocks are equivalent (Section 2.5), so the strategy
+        only changes which cuboid a *static* machine picks.
         """
         dims = canonical_shape(shape)
         if not is_legal_shape(dims):
@@ -130,8 +197,10 @@ class SliceScheduler:
             per_slice = blocks_needed(dims)
             pool = [i for i, ok in enumerate(self.healthy) if ok]
             return pool[:per_slice] if len(pool) >= per_slice else None
-        return self._first_static_fit(self.healthy,
-                                      self._static_orientations(dims))
+        orientations = self._static_orientations(dims)
+        if strategy is PlacementStrategy.FIRST_FIT:
+            return self._first_static_fit(self.healthy, orientations)
+        return self._best_static_fit(self.healthy, orientations)
 
     def pack(self, shape: SliceShape,
              policy: PlacementPolicy) -> ScheduleOutcome:

@@ -39,6 +39,7 @@ EXPERIMENTS: dict[str, Runner] = {
     "section79": exp_graph.run_section79,
     "section710": exp_graph.run_section710,
     "fleet": exp_fleet.run_fleet_experiment,
+    "fleet_strategies": exp_fleet.run_fleet_strategies,
 }
 
 

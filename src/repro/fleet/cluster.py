@@ -1,42 +1,72 @@
-"""Fleet inventory: pods of blocks with health and occupancy state.
+"""Fleet inventory: pods of blocks with health, occupancy, and fabric state.
 
 A :class:`Pod` is the scheduling view of one TPU v4 machine — a cubic
 grid of 4x4x4 blocks where each block is either up or down (failure
 state) and either free or owned by a job.  Placement itself is delegated
 to :class:`repro.core.scheduler.SliceScheduler` so the fleet uses the
-exact OCS-vs-static packing rules of Section 2.5.
+exact OCS-vs-static packing rules of Section 2.5, and each pod may carry
+a live :class:`repro.fleet.fabric.PodFabric` (OCS runs) so placements
+pay real reconfiguration latency.
+
+Free-block state is indexed incrementally — ``num_free`` is O(1) and the
+free mask is maintained, not rescanned — because the fleet scheduler's
+dispatch loop queries it for every queued job after every event, which
+profiling showed dominated medium-preset runs.
 """
 
 from __future__ import annotations
 
-from repro.core.scheduler import PlacementPolicy, SliceScheduler
+from repro.core.scheduler import (PlacementPolicy, PlacementStrategy,
+                                  SliceScheduler)
 from repro.core.slicing import SliceShape
 from repro.errors import SchedulingError
+from repro.fleet.fabric import PodFabric
 
 
 class Pod:
-    """One pod's block state: up/down, free/owned, and placement."""
+    """One pod's block state: up/down, free/owned, fabric, and placement."""
 
-    def __init__(self, pod_id: int, num_blocks: int) -> None:
+    def __init__(self, pod_id: int, num_blocks: int,
+                 fabric: PodFabric | None = None) -> None:
         self.pod_id = pod_id
         self.num_blocks = num_blocks
         self.up = [True] * num_blocks
         self.owner: dict[int, int] = {}  # block id -> job id
+        self.fabric = fabric
+        side = round(num_blocks ** (1 / 3))
+        self._grid = (side, side, side) if side ** 3 == num_blocks else None
+        # Incremental free index: _free[b] == up[b] and b not owned.
+        self._free = [True] * num_blocks
+        self._num_free = num_blocks
 
     # -- state queries -----------------------------------------------------------
 
     def is_free(self, block: int) -> bool:
         """True when the block is healthy and unowned."""
-        return self.up[block] and block not in self.owner
+        return self._free[block]
 
     def free_mask(self) -> list[bool]:
-        """Per-block availability, the SliceScheduler health map."""
-        return [self.is_free(b) for b in range(self.num_blocks)]
+        """Per-block availability, the SliceScheduler health map (a copy)."""
+        return list(self._free)
+
+    def first_free(self, count: int) -> list[int] | None:
+        """The `count` lowest-id free blocks, or None if under `count`."""
+        if self._num_free < count:
+            return None
+        free = self._free
+        picked: list[int] = []
+        for block in range(self.num_blocks):
+            if free[block]:
+                picked.append(block)
+                if len(picked) == count:
+                    return picked
+        raise SchedulingError(       # pragma: no cover - index corruption
+            f"pod {self.pod_id} free index out of sync")
 
     @property
     def num_free(self) -> int:
-        """Healthy, unowned blocks."""
-        return sum(1 for b in range(self.num_blocks) if self.is_free(b))
+        """Healthy, unowned blocks (O(1), maintained incrementally)."""
+        return self._num_free
 
     @property
     def num_busy(self) -> int:
@@ -54,26 +84,32 @@ class Pod:
 
     # -- placement ---------------------------------------------------------------
 
-    def find_placement(self, shape: SliceShape,
-                       policy: PlacementPolicy) -> list[int] | None:
-        """Blocks for one slice under `policy`, or None if it cannot fit."""
-        scheduler = SliceScheduler(self.free_mask())
-        return scheduler.place_one(shape, policy)
+    def find_placement(self, shape: SliceShape, policy: PlacementPolicy,
+                       strategy: PlacementStrategy =
+                       PlacementStrategy.FIRST_FIT) -> list[int] | None:
+        """Blocks for one slice under `policy`/`strategy`, or None."""
+        scheduler = SliceScheduler(self._free, grid=self._grid)
+        return scheduler.place_one(shape, policy, strategy)
 
     def assign(self, blocks: list[int], job_id: int) -> None:
         """Give `blocks` to `job_id`."""
         for block in blocks:
-            if not self.is_free(block):
+            if not self._free[block]:
                 raise SchedulingError(
                     f"pod {self.pod_id} block {block} is not free")
         for block in blocks:
             self.owner[block] = job_id
+            self._free[block] = False
+        self._num_free -= len(blocks)
 
     def release(self, job_id: int) -> list[int]:
         """Free every block `job_id` holds; returns the freed blocks."""
         freed = [b for b, owner in self.owner.items() if owner == job_id]
         for block in freed:
             del self.owner[block]
+            if self.up[block]:
+                self._free[block] = True
+                self._num_free += 1
         return sorted(freed)
 
     # -- failures -----------------------------------------------------------------
@@ -81,19 +117,28 @@ class Pod:
     def block_down(self, block: int) -> int | None:
         """Fail a block; returns the interrupted job id, if any."""
         self.up[block] = False
+        if self._free[block]:
+            self._free[block] = False
+            self._num_free -= 1
         return self.owner.get(block)
 
     def block_up(self, block: int) -> None:
         """Repair a block."""
         self.up[block] = True
+        if block not in self.owner and not self._free[block]:
+            self._free[block] = True
+            self._num_free += 1
 
 
 class FleetState:
     """All pods of the fleet plus aggregate occupancy accounting."""
 
-    def __init__(self, num_pods: int, blocks_per_pod: int) -> None:
-        self.pods = [Pod(pod_id, blocks_per_pod)
-                     for pod_id in range(num_pods)]
+    def __init__(self, num_pods: int, blocks_per_pod: int,
+                 with_fabric: bool = False) -> None:
+        self.pods = [
+            Pod(pod_id, blocks_per_pod,
+                fabric=PodFabric(blocks_per_pod) if with_fabric else None)
+            for pod_id in range(num_pods)]
 
     @property
     def total_blocks(self) -> int:

@@ -12,7 +12,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.core.scheduler import PlacementStrategy
 from repro.errors import ConfigurationError
+from repro.ocs.switch import SWITCH_TIME_SECONDS
 from repro.units import DAY, HOUR, MINUTE
 
 #: RNG stream indices carved out of the config seed (see spawn_rngs).
@@ -55,6 +57,18 @@ class FleetConfig:
         restore_seconds: detect + reschedule + reload after a failure.
         preempt_priority: jobs at or above this priority may preempt
             lower-priority running jobs when no free placement exists.
+        strategy: default placement strategy (first_fit, best_fit, or
+            defrag); a :class:`FleetSimulator.run` call may override it.
+        reconfig_base_seconds: fixed drain/validate window of one OCS
+            reconfiguration batch — light-level checks before the slice's
+            links carry traffic.  Zero models PR 1's instantaneous
+            placement.
+        ocs_switch_seconds: per-mirror-move time of one switch, defaulting
+            to the Palomar's "switch in milliseconds"
+            (:data:`repro.ocs.switch.SWITCH_TIME_SECONDS`).  Switches run
+            in parallel; moves on one switch serialize.
+        defrag_max_moves: migrations one defragmentation may trigger;
+            0 makes the defrag strategy place exactly like best_fit.
     """
 
     num_pods: int = 2
@@ -73,8 +87,20 @@ class FleetConfig:
     checkpoint_seconds: float = 30.0
     restore_seconds: float = 8 * MINUTE
     preempt_priority: int = 2
+    strategy: PlacementStrategy = PlacementStrategy.FIRST_FIT
+    reconfig_base_seconds: float = 30.0
+    ocs_switch_seconds: float = SWITCH_TIME_SECONDS
+    defrag_max_moves: int = 3
 
     def __post_init__(self) -> None:
+        if isinstance(self.strategy, str):  # accept CLI/preset spellings
+            try:
+                object.__setattr__(self, "strategy",
+                                   PlacementStrategy(self.strategy))
+            except ValueError as exc:
+                raise ConfigurationError(
+                    f"unknown placement strategy {self.strategy!r}; have "
+                    f"{[s.value for s in PlacementStrategy]}") from exc
         side = round(self.blocks_per_pod ** (1 / 3))
         if side ** 3 != self.blocks_per_pod:
             raise ConfigurationError(
@@ -108,6 +134,11 @@ class FleetConfig:
             raise ConfigurationError("serving_qps must be > 0")
         if self.mean_serving_seconds <= 0:
             raise ConfigurationError("mean_serving_seconds must be > 0")
+        if self.reconfig_base_seconds < 0 or self.ocs_switch_seconds < 0:
+            raise ConfigurationError(
+                "reconfiguration latencies must be >= 0")
+        if self.defrag_max_moves < 0:
+            raise ConfigurationError("defrag_max_moves must be >= 0")
 
     @property
     def total_blocks(self) -> int:

@@ -1,0 +1,125 @@
+"""Per-pod OCS fabric state and reconfiguration plans.
+
+PR 1 treated placement as instantaneous; in the real machine every
+OCS-placed slice first *rewires the pod's optical fabric* — MEMS mirror
+moves on the switches serving its block faces (Section 2.2) — and the
+job cannot run until the light comes back.  :class:`PodFabric` gives
+each :class:`repro.fleet.cluster.Pod` a live
+:class:`repro.ocs.fabric.OCSFabric` programmed at block granularity via
+:mod:`repro.ocs.reconfigure`, and :class:`ReconfigPlan` prices each
+rewiring so the fleet scheduler can charge it on the job's critical
+path.
+
+Latency model: the switches program independently and in parallel
+(Section 2.8: twisting is "mostly reprogramming of routing in the
+OCS"), but each switch moves its mirrors one circuit at a time, and a
+fleet-level reconfiguration also pays a fixed drain/validate window
+(checking light levels end to end before handing the slice over).  So::
+
+    latency = base_seconds + switch_seconds * max circuits on one switch
+
+A slice of n blocks puts exactly n circuits on each of its 48 switches
+(one per block's "+" face per dimension, wraparound included), so the
+mirror-move term scales with slice size while the fixed term dominates
+small slices.  Sub-block slices live entirely on a block's electrical
+mesh and reconfigure nothing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.slicing import SliceShape, block_grid, canonical_shape
+from repro.errors import OCSError
+from repro.ocs.fabric import FACE_LINKS, OCSFabric
+from repro.ocs.reconfigure import (BlockAdjacency, block_torus_adjacencies,
+                                   program_adjacencies,
+                                   teardown_adjacencies)
+from repro.topology.builder import is_block_multiple
+
+
+@dataclass(frozen=True)
+class ReconfigPlan:
+    """The optical rewiring one placement needs, with its latency price."""
+
+    job_id: int
+    adjacencies: tuple[BlockAdjacency, ...]
+
+    @property
+    def num_circuits(self) -> int:
+        """Chip-level circuits the plan programs (16 per adjacency)."""
+        return len(self.adjacencies) * FACE_LINKS
+
+    @property
+    def moves_per_switch(self) -> int:
+        """Mirror moves on the busiest switch (switches run in parallel).
+
+        Every adjacency of dimension d lands one circuit on each of the
+        FACE_LINKS switches serving d, so the busiest switch programs as
+        many circuits as its dimension has adjacencies.
+        """
+        if not self.adjacencies:
+            return 0
+        per_dim = [0, 0, 0]
+        for dim, _, _ in self.adjacencies:
+            per_dim[dim] += 1
+        return max(per_dim)
+
+    def latency_seconds(self, base_seconds: float,
+                        switch_seconds: float) -> float:
+        """Critical-path seconds before the slice's links carry traffic."""
+        if not self.adjacencies:
+            return 0.0
+        return base_seconds + switch_seconds * self.moves_per_switch
+
+
+class PodFabric:
+    """One pod's optical fabric: live circuits per job, plan/apply/release."""
+
+    def __init__(self, num_blocks: int) -> None:
+        self.fabric = OCSFabric(num_blocks)
+        self._held: dict[int, tuple[BlockAdjacency, ...]] = {}
+
+    @property
+    def live_circuits(self) -> int:
+        """Chip circuits currently programmed across the pod's switches."""
+        return self.fabric.total_circuits()
+
+    def holds(self, job_id: int) -> bool:
+        """True while `job_id` has circuits on this fabric."""
+        return job_id in self._held
+
+    def plan(self, job_id: int, shape: SliceShape,
+             blocks: list[int]) -> ReconfigPlan:
+        """The rewiring needed to host `shape` on `blocks` (not applied).
+
+        Sub-block shapes return an empty plan: their links are the
+        block-internal electrical mesh, no mirrors move.
+        """
+        dims = canonical_shape(shape)
+        if not is_block_multiple(dims):
+            return ReconfigPlan(job_id=job_id, adjacencies=())
+        adjacencies = block_torus_adjacencies(block_grid(dims), blocks)
+        return ReconfigPlan(job_id=job_id, adjacencies=tuple(adjacencies))
+
+    def apply(self, plan: ReconfigPlan) -> int:
+        """Program the plan's circuits; returns chip circuits created."""
+        if plan.job_id in self._held:
+            raise OCSError(
+                f"job {plan.job_id} already holds circuits on this pod")
+        if not plan.adjacencies:
+            return 0
+        created = program_adjacencies(self.fabric, list(plan.adjacencies))
+        self._held[plan.job_id] = plan.adjacencies
+        return created
+
+    def release(self, job_id: int) -> int:
+        """Tear down every circuit `job_id` holds; returns circuits removed.
+
+        Teardown happens off any job's critical path (the blocks are
+        already idle), so it carries no latency charge.
+        """
+        adjacencies = self._held.pop(job_id, ())
+        if not adjacencies:
+            return 0
+        return teardown_adjacencies(self.fabric, list(adjacencies))

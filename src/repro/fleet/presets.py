@@ -4,6 +4,11 @@ Presets trade fidelity for runtime: `tiny` keeps unit tests fast,
 `small` is the CLI/CI smoke scenario, `medium` stresses queueing across
 four pods, and `serving` skews the mix toward Section 3.1 serving
 residencies to exercise preemption.
+
+Every preset carries the config's placement strategy (first_fit by
+default) and the OCS reconfiguration-latency knobs; the CLI's
+`--strategy`/`--reconfig-seconds` flags override them per run via
+``dataclasses.replace``.
 """
 
 from __future__ import annotations

@@ -1,4 +1,4 @@
-"""The fleet-level scheduler: queueing, priorities, and preemption.
+"""The fleet-level scheduler: queueing, priorities, preemption, rewiring.
 
 Wraps :class:`repro.core.scheduler.SliceScheduler` placement (Section
 2.5's OCS-vs-static packing rules) with the operational layer a real
@@ -6,6 +6,14 @@ fleet needs: a shared priority queue across pods, backfill past stuck
 heads, serving-tier preemption of batch work, and checkpoint-restart
 bookkeeping (Young/Daly cadence from :mod:`repro.core.checkpoint`)
 whenever a failure or preemption interrupts a training job.
+
+OCS placement is flexible but not free: starting a slice rewires the
+pod's optical fabric (:mod:`repro.fleet.fabric`), and that switching
+latency is charged on the job's critical path before its first segment
+runs.  The placement *strategy* picks among feasible placements —
+first-fit, best-fit (minimal fragmentation), or defrag, which plans an
+OCS rewiring that compacts free blocks (migrating small jobs off one
+pod) when a job would otherwise queue.
 """
 
 from __future__ import annotations
@@ -15,7 +23,8 @@ from dataclasses import dataclass, field
 
 from repro.core.block import HOSTS_PER_BLOCK
 from repro.core.checkpoint import CheckpointParams, optimal_interval
-from repro.core.scheduler import PlacementPolicy, SliceScheduler
+from repro.core.scheduler import (PlacementPolicy, PlacementStrategy,
+                                  SliceScheduler)
 from repro.errors import SchedulingError
 from repro.fleet.cluster import FleetState, Pod
 from repro.fleet.config import FleetConfig
@@ -34,6 +43,7 @@ class ActiveJob:
     remaining: float
     submitted_at: float
     pending_restore: float = 0.0
+    pending_reconfig: float = 0.0
     pod_id: int | None = None
     blocks: list[int] = field(default_factory=list)
     started_at: float = 0.0
@@ -52,9 +62,11 @@ class FleetScheduler:
 
     def __init__(self, config: FleetConfig, policy: PlacementPolicy,
                  sim: Simulator, state: FleetState,
-                 telemetry: FleetTelemetry) -> None:
+                 telemetry: FleetTelemetry,
+                 strategy: PlacementStrategy | None = None) -> None:
         self.config = config
         self.policy = policy
+        self.strategy = strategy if strategy is not None else config.strategy
         self.sim = sim
         self.state = state
         self.telemetry = telemetry
@@ -77,21 +89,22 @@ class FleetScheduler:
         """Run placement passes until nothing else fits (with backfill).
 
         One pass considers every queued job, so a second pass can only
-        help when an eviction happened — it requeues the victims and may
-        leave victim blocks the preemptor's placement did not consume.
+        help when blocks moved underneath it — an eviction requeued
+        victims, or a defragmentation migrated jobs between pods.
         """
         while self._dispatch_pass():
             pass
 
     def _dispatch_pass(self) -> bool:
         """One placement sweep; returns True when a re-pass could help."""
-        evicted_any = False
+        moved_any = False
         # Within a pass, free space only shrinks and (because the queue
         # is priority-sorted) no preemptible job starts before a
-        # preemptor is considered — so both a failed placement and a
-        # failed preemption attempt stay failed for identical later
-        # requests, until an eviction actually frees blocks.
+        # preemptor is considered — so a failed placement, defrag, or
+        # preemption attempt stays failed for identical later requests,
+        # until an eviction or migration actually moves blocks.
         failed_shapes: set = set()
+        failed_defrags: set[int] = set()
         failed_preemptions: set = set()
         for active in sorted(self.queue, key=self._queue_order):
             shape = active.job.shape
@@ -101,13 +114,25 @@ class FleetScheduler:
                 placement = self._find_anywhere(active.job)
                 if placement is None:
                     failed_shapes.add(shape)
+            if placement is None and \
+                    self.strategy is PlacementStrategy.DEFRAG and \
+                    active.job.blocks not in failed_defrags:
+                placement = self._defrag_for(active)
+                if placement is not None:  # migrations moved blocks
+                    moved_any = True
+                    failed_shapes.clear()
+                    failed_defrags.clear()
+                    failed_preemptions.clear()
+                else:
+                    failed_defrags.add(active.job.blocks)
             if placement is None and can_preempt:
                 key = (shape, active.job.priority)
                 if key not in failed_preemptions:
                     placement = self._preempt_for(active)
                     if placement is not None:  # eviction freed blocks
-                        evicted_any = True
+                        moved_any = True
                         failed_shapes.clear()
+                        failed_defrags.clear()
                         failed_preemptions.clear()
                     else:
                         failed_preemptions.add(key)
@@ -115,11 +140,31 @@ class FleetScheduler:
                 continue  # backfill: later (smaller) jobs may still fit
             pod, blocks = placement
             self._start(active, pod, blocks)
-        return evicted_any
+        return moved_any
 
     def _find_anywhere(self, job: FleetJob) -> tuple[Pod, list[int]] | None:
-        for pod in self.state.pods_by_space():
-            blocks = pod.find_placement(job.shape, self.policy)
+        """A free placement for `job` under the configured strategy.
+
+        first_fit scans pods in id order; best_fit and defrag take the
+        feasible pod with the least free space left over, preserving
+        large free pools for large arrivals.  Under OCS any free blocks
+        of a pod are equivalent, so pod choice IS the strategy; under
+        static wiring the strategy also picks the cuboid inside the pod.
+        """
+        needed = job.blocks
+        if self.strategy is PlacementStrategy.FIRST_FIT:
+            candidates = self.state.pods
+        else:
+            candidates = sorted(
+                (p for p in self.state.pods if p.num_free >= needed),
+                key=lambda p: (p.num_free, p.pod_id))
+        for pod in candidates:
+            if pod.num_free < needed:
+                continue
+            if self.policy is PlacementPolicy.OCS:
+                return pod, pod.first_free(needed)
+            blocks = pod.find_placement(job.shape, self.policy,
+                                        self.strategy)
             if blocks is not None:
                 return pod, blocks
         return None
@@ -151,8 +196,8 @@ class FleetScheduler:
                     if owner == victim.job.job_id:
                         mask[block] = True
                 considered.append(victim)
-                blocks = SliceScheduler(mask).place_one(active.job.shape,
-                                                        self.policy)
+                blocks = SliceScheduler(mask).place_one(
+                    active.job.shape, self.policy, self.strategy)
                 if blocks is None:
                     continue
                 needed = set(blocks)
@@ -164,20 +209,133 @@ class FleetScheduler:
                 return pod, blocks
         return None
 
+    # -- defragmentation ----------------------------------------------------------
+
+    def _defrag_for(self, active: ActiveJob
+                    ) -> tuple[Pod, list[int]] | None:
+        """Compact free blocks onto one pod by migrating donors off it.
+
+        The defrag strategy's OCS move: when a job would otherwise
+        queue although the fleet holds enough free blocks in aggregate,
+        pick the pod closest to fitting it, checkpoint-migrate small
+        jobs from that pod onto the rest of the fleet (each migration
+        is an OCS rewiring — the donor pays restore plus the new
+        fabric's switching latency), and place the stuck job on the
+        compacted pod.  Migrations run only when the whole plan is
+        known to succeed, so no job moves for nothing.  Static machines
+        cannot rewire, so under static wiring defrag places exactly
+        like best_fit.
+        """
+        if self.policy is not PlacementPolicy.OCS or \
+                self.config.defrag_max_moves == 0:
+            return None
+        needed = active.job.blocks
+        if sum(p.num_free for p in self.state.pods) < needed:
+            return None  # compaction cannot conjure capacity
+        for pod in sorted(self.state.pods,
+                          key=lambda p: (needed - p.num_free, p.pod_id)):
+            deficit = needed - pod.num_free
+            if deficit <= 0:
+                continue  # _find_anywhere would have used it
+            moves = self._plan_moves(pod, deficit)
+            if moves is None:
+                continue
+            for donor, dest in moves:
+                self._migrate(donor, dest)
+            blocks = pod.first_free(needed)
+            if blocks is None:  # pragma: no cover - plan guarantees fit
+                raise SchedulingError("defrag plan failed to free the pod")
+            return pod, blocks
+        return None
+
+    def _plan_moves(self, pod: Pod, deficit: int
+                    ) -> list[tuple[ActiveJob, Pod]] | None:
+        """Donors on `pod` (and destinations) freeing >= `deficit` blocks.
+
+        Serving deployments never migrate (they are the user-facing
+        tier).  A single donor covering the whole deficit is preferred
+        (smallest such donor, least wasted churn); otherwise donors
+        accumulate largest-first so the fewest jobs pay migration cost.
+        """
+        donors = sorted(
+            (self.running[job_id] for job_id in pod.jobs_on()
+             if self.running[job_id].job.priority <
+             self.config.preempt_priority),
+            key=lambda a: (a.job.blocks, a.job.job_id))
+        for donor in donors:  # smallest single donor that covers it
+            if donor.job.blocks < deficit:
+                continue
+            dest = self._migration_target(donor, pod, {})
+            if dest is not None:
+                return [(donor, dest)]
+        reserved: dict[int, int] = {}
+        moves: list[tuple[ActiveJob, Pod]] = []
+        freed = 0
+        for donor in sorted(donors, key=lambda a: (-a.job.blocks,
+                                                   a.job.job_id)):
+            if freed >= deficit or \
+                    len(moves) == self.config.defrag_max_moves:
+                break
+            dest = self._migration_target(donor, pod, reserved)
+            if dest is None:
+                continue
+            reserved[dest.pod_id] = reserved.get(dest.pod_id, 0) + \
+                donor.job.blocks
+            moves.append((donor, dest))
+            freed += donor.job.blocks
+        return moves if freed >= deficit else None
+
+    def _migration_target(self, donor: ActiveJob, source: Pod,
+                          reserved: dict[int, int]) -> Pod | None:
+        """Best-fit destination pod for a migrating donor, or None."""
+        needed = donor.job.blocks
+        best: Pod | None = None
+        best_left = -1
+        for pod in self.state.pods:
+            if pod.pod_id == source.pod_id:
+                continue
+            left = pod.num_free - reserved.get(pod.pod_id, 0) - needed
+            if left < 0:
+                continue
+            if best is None or left < best_left:
+                best, best_left = pod, left
+        return best
+
+    def _migrate(self, active: ActiveJob, dest: Pod) -> None:
+        """Planned checkpoint-migrate-restore of one running job."""
+        job = active.job
+        self._halt_segment(active, planned=True)
+        record = self.telemetry.record_for(job)
+        if active.remaining <= _EPSILON:
+            # The planned checkpoint covered everything left; the job
+            # is done and its blocks are free — even better than moving.
+            record.completed_at = self.sim.now
+            return
+        record.migrations += 1
+        active.pending_restore = self.config.restore_seconds
+        blocks = dest.first_free(job.blocks)
+        if blocks is None:  # pragma: no cover - reservation guarantees fit
+            raise SchedulingError(
+                f"migration target pod {dest.pod_id} has no room")
+        self._start(active, dest, blocks, migration=True)
+
     # -- job lifecycle -----------------------------------------------------------
 
-    def _start(self, active: ActiveJob, pod: Pod,
-               blocks: list[int]) -> None:
+    def _start(self, active: ActiveJob, pod: Pod, blocks: list[int],
+               migration: bool = False) -> None:
         job = active.job
         pod.assign(blocks, job.job_id)
-        self.queue.remove(active)
+        if not migration:
+            self.queue.remove(active)
         self.running[job.job_id] = active
         active.pod_id = pod.pod_id
         active.blocks = list(blocks)
         active.started_at = self.sim.now
+        active.pending_reconfig = self._rewire(pod, job, blocks)
 
         record = self.telemetry.record_for(job)
-        record.queue_waits.append(self.sim.now - active.submitted_at)
+        if not migration:
+            record.queue_waits.append(self.sim.now - active.submitted_at)
         if record.first_start is None:
             record.first_start = self.sim.now
 
@@ -189,36 +347,66 @@ class FleetScheduler:
                 restore_seconds=self.config.restore_seconds))
             active.overhead = 1.0 + \
                 self.config.checkpoint_seconds / active.interval
-        wall = active.pending_restore + active.remaining * active.overhead
+        wall = active.pending_reconfig + active.pending_restore + \
+            active.remaining * active.overhead
         active.completion = self.sim.schedule(
             wall, lambda a=active: self._complete(a))
 
-    def _segment_progress(self, active: ActiveJob,
-                          elapsed: float) -> tuple[float, float, float]:
-        """Split an elapsed run segment into (restore, run_wall, progressed).
+    def _rewire(self, pod: Pod, job: FleetJob,
+                blocks: list[int]) -> float:
+        """Program the pod fabric for `job`; returns critical-path seconds.
+
+        Static machines (no fabric) and sub-block slices (electrical
+        mesh only) need no rewiring and start instantly.
+        """
+        if pod.fabric is None:
+            return 0.0
+        plan = pod.fabric.plan(job.job_id, job.shape, blocks)
+        if not plan.adjacencies:
+            return 0.0
+        pod.fabric.apply(plan)
+        self.telemetry.ocs_reconfigurations += 1
+        self.telemetry.circuits_programmed += plan.num_circuits
+        return plan.latency_seconds(self.config.reconfig_base_seconds,
+                                    self.config.ocs_switch_seconds)
+
+    def _segment_progress(self, active: ActiveJob, elapsed: float
+                          ) -> tuple[float, float, float, float]:
+        """Split an elapsed segment into (reconfig, restore, run_wall,
+        progressed).
 
         The single source of the accounting identity every segment path
-        relies on: elapsed = restore + run_wall, and progressed useful
-        work is run_wall discounted by the checkpoint-write overhead.
+        relies on: elapsed = reconfig + restore + run_wall — the fabric
+        rewires, then the checkpoint restores, then the job runs — and
+        progressed useful work is run_wall discounted by the
+        checkpoint-write overhead.
         """
-        restore = min(elapsed, active.pending_restore)
-        run_wall = elapsed - restore
-        return restore, run_wall, run_wall / active.overhead
+        reconfig = min(elapsed, active.pending_reconfig)
+        restore = min(elapsed - reconfig, active.pending_restore)
+        run_wall = elapsed - reconfig - restore
+        return reconfig, restore, run_wall, run_wall / active.overhead
 
     def _complete(self, active: ActiveJob) -> None:
         job = active.job
         elapsed = self.sim.now - active.started_at
-        restore, run_wall, _ = self._segment_progress(active, elapsed)
+        reconfig, restore, run_wall, _ = self._segment_progress(active,
+                                                                elapsed)
         useful = active.remaining
         writes = max(0.0, run_wall - useful)
-        self._account_segment(active, elapsed, restore, useful, 0.0, writes)
+        self._account_segment(active, elapsed, reconfig, restore, useful,
+                              0.0, writes)
         self._release(active)
         active.remaining = 0.0
         self.telemetry.record_for(job).completed_at = self.sim.now
         self.dispatch()
 
-    def _interrupt(self, active: ActiveJob, *, preempted: bool) -> None:
-        """Stop a running job (failure or eviction) and requeue it."""
+    def _halt_segment(self, active: ActiveJob, *, planned: bool) -> None:
+        """Stop a running job's segment, account it, and free its blocks.
+
+        `planned` (migration) checkpoints right here — nothing replays;
+        an unplanned stop rolls training back to the last Young/Daly
+        checkpoint boundary.  Serving is stateless either way.
+        """
         job = active.job
         if not active.running:
             raise SchedulingError(f"job {job.job_id} is not running")
@@ -226,20 +414,24 @@ class FleetScheduler:
             active.completion.cancel()
             active.completion = None
         elapsed = self.sim.now - active.started_at
-        restore, run_wall, progressed = self._segment_progress(active,
-                                                               elapsed)
-        if job.is_serving:
-            # Stateless forward-only residency: elapsed time counts.
+        reconfig, restore, run_wall, progressed = \
+            self._segment_progress(active, elapsed)
+        if job.is_serving or planned:
             saved, replay = progressed, 0.0
         else:
             saved = math.floor(progressed / active.interval) * active.interval
             replay = progressed - saved
         writes = max(0.0, run_wall - progressed)
-        self._account_segment(active, elapsed, restore, saved, replay,
-                              writes)
+        self._account_segment(active, elapsed, reconfig, restore, saved,
+                              replay, writes)
         self._release(active)
         active.remaining = max(0.0, active.remaining - saved)
+        active.pending_reconfig = 0.0  # a restart replans the fabric
 
+    def _interrupt(self, active: ActiveJob, *, preempted: bool) -> None:
+        """Stop a running job (failure or eviction) and requeue it."""
+        job = active.job
+        self._halt_segment(active, planned=False)
         record = self.telemetry.record_for(job)
         if preempted:
             record.preemptions += 1
@@ -255,17 +447,20 @@ class FleetScheduler:
     def _release(self, active: ActiveJob) -> None:
         pod = self.state.pods[active.pod_id]
         pod.release(active.job.job_id)
+        if pod.fabric is not None:
+            pod.fabric.release(active.job.job_id)
         del self.running[active.job.job_id]
         active.pod_id = None
         active.blocks = []
 
     def _account_segment(self, active: ActiveJob, elapsed: float,
-                         restore: float, useful: float, replay: float,
-                         writes: float) -> None:
+                         reconfig: float, restore: float, useful: float,
+                         replay: float, writes: float) -> None:
         blocks = active.job.blocks
         self.telemetry.record_for(active.job).useful_seconds += useful
         self.telemetry.busy_block_seconds += elapsed * blocks
         self.telemetry.useful_block_seconds += useful * blocks
+        self.telemetry.reconfig_block_seconds += reconfig * blocks
         self.telemetry.restore_block_seconds += restore * blocks
         self.telemetry.replay_block_seconds += replay * blocks
         self.telemetry.checkpoint_block_seconds += writes * blocks
@@ -297,9 +492,9 @@ class FleetScheduler:
         """
         for active in list(self.running.values()):
             elapsed = horizon - active.started_at
-            restore, run_wall, progressed = self._segment_progress(active,
-                                                                   elapsed)
+            reconfig, restore, run_wall, progressed = \
+                self._segment_progress(active, elapsed)
             progressed = min(active.remaining, progressed)
             writes = max(0.0, run_wall - progressed)
-            self._account_segment(active, elapsed, restore, progressed,
-                                  0.0, writes)
+            self._account_segment(active, elapsed, reconfig, restore,
+                                  progressed, 0.0, writes)

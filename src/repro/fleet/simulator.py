@@ -7,14 +7,20 @@ outage trace (:mod:`repro.fleet.failures`) knocks blocks out and
 repairs them.  Because workload and failures come from independent RNG
 streams spawned off one seed, the same trace can be replayed under the
 OCS and static placement policies — the fleet-scale version of the
-Figure 4 comparison.
+Figure 4 comparison — and, orthogonally, under any placement strategy
+(first_fit, best_fit, defrag), all on byte-identical inputs.
+
+OCS runs carry live per-pod fabric state: every placement rewires the
+pod's switches and pays the reconfiguration latency on its critical
+path, so the flexibility-vs-latency tradeoff of Section 2.2 shows up
+in the telemetry.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.core.scheduler import PlacementPolicy
+from repro.core.scheduler import PlacementPolicy, PlacementStrategy
 from repro.fleet.cluster import FleetState
 from repro.fleet.config import (FleetConfig, STREAM_ARRIVALS,
                                 STREAM_FAILURES, STREAM_SHAPES)
@@ -30,9 +36,10 @@ from repro.units import HOUR
 
 @dataclass
 class FleetReport:
-    """Outcome of one fleet run under one placement policy."""
+    """Outcome of one fleet run under one placement policy + strategy."""
 
     policy: PlacementPolicy
+    strategy: PlacementStrategy
     config: FleetConfig
     seed: int
     summary: dict[str, float]
@@ -42,7 +49,8 @@ class FleetReport:
     def render(self) -> str:
         """Human-readable report block."""
         lines = [
-            f"fleet run: policy={self.policy.value} seed={self.seed} "
+            f"fleet run: policy={self.policy.value} "
+            f"strategy={self.strategy.value} seed={self.seed} "
             f"pods={self.config.num_pods}x{self.config.blocks_per_pod} "
             f"blocks horizon={self.config.horizon_seconds / HOUR:.0f}h",
             f"  jobs: {self.summary['jobs_submitted']:.0f} submitted, "
@@ -55,7 +63,12 @@ class FleetReport:
             f"  p95 {self.summary['p95_queue_wait'] / HOUR:.2f}h",
             f"  failures {self.summary['block_failures']:.0f}  "
             f"interruptions {self.summary['job_interruptions']:.0f}  "
-            f"preemptions {self.summary['job_preemptions']:.0f}",
+            f"preemptions {self.summary['job_preemptions']:.0f}  "
+            f"migrations {self.summary['job_migrations']:.0f}",
+            f"  OCS rewiring: {self.summary['ocs_reconfigurations']:.0f} "
+            f"reconfigurations, "
+            f"{self.summary['circuits_programmed']:.0f} circuits, "
+            f"{self.summary['reconfig_fraction']:.4f} of capacity",
             f"  lost fractions: replay "
             f"{self.summary['replay_fraction']:.4f}  restore "
             f"{self.summary['restore_fraction']:.4f}  checkpoint writes "
@@ -81,18 +94,24 @@ class FleetSimulator:
         self.trace = build_failure_trace(self.config,
                                          rngs[STREAM_FAILURES])
 
-    def run(self, policy: PlacementPolicy) -> FleetReport:
-        """Simulate the scenario under `policy` and report telemetry.
+    def run(self, policy: PlacementPolicy,
+            strategy: PlacementStrategy | None = None) -> FleetReport:
+        """Simulate the scenario under `policy`/`strategy` and report.
 
         The job stream and outage trace are fixed at construction, so
-        calling `run` twice with different policies compares them on
-        identical inputs.
+        calling `run` repeatedly with different policies or strategies
+        compares them on identical inputs.  `strategy=None` uses the
+        config's default.  OCS runs get live per-pod fabrics; a static
+        machine has no switches to program.
         """
+        strategy = strategy if strategy is not None else \
+            self.config.strategy
         sim = Simulator()
-        state = FleetState(self.config.num_pods, self.config.blocks_per_pod)
+        state = FleetState(self.config.num_pods, self.config.blocks_per_pod,
+                           with_fabric=policy is PlacementPolicy.OCS)
         telemetry = FleetTelemetry()
         scheduler = FleetScheduler(self.config, policy, sim, state,
-                                   telemetry)
+                                   telemetry, strategy=strategy)
         for job in self.jobs:
             sim.schedule_at(job.arrival,
                             lambda j=job: scheduler.submit(j))
@@ -109,7 +128,8 @@ class FleetSimulator:
         scheduler.finalize(self.config.horizon_seconds)
         capacity = self.config.total_blocks * self.config.horizon_seconds
         return FleetReport(
-            policy=policy, config=self.config, seed=self.seed,
+            policy=policy, strategy=strategy, config=self.config,
+            seed=self.seed,
             summary=telemetry.summary(
                 total_blocks=self.config.total_blocks,
                 horizon_seconds=self.config.horizon_seconds),
@@ -118,9 +138,10 @@ class FleetSimulator:
 
 
 def run_fleet(config: FleetConfig, *, seed: int = 0,
-              policy: PlacementPolicy = PlacementPolicy.OCS) -> FleetReport:
+              policy: PlacementPolicy = PlacementPolicy.OCS,
+              strategy: PlacementStrategy | None = None) -> FleetReport:
     """One-shot convenience wrapper around :class:`FleetSimulator`."""
-    return FleetSimulator(config, seed=seed).run(policy)
+    return FleetSimulator(config, seed=seed).run(policy, strategy)
 
 
 def compare_policies(config: FleetConfig, *,
@@ -131,3 +152,17 @@ def compare_policies(config: FleetConfig, *,
         "ocs": simulator.run(PlacementPolicy.OCS),
         "static": simulator.run(PlacementPolicy.STATIC),
     }
+
+
+def compare_strategies(config: FleetConfig, *, seed: int = 0,
+                       policy: PlacementPolicy = PlacementPolicy.OCS
+                       ) -> dict[str, FleetReport]:
+    """All placement strategies over identical jobs and outage trace.
+
+    Keys are the strategy values ('first_fit', 'best_fit', 'defrag'),
+    all run under `policy` (OCS by default — defrag's migrations need a
+    fabric that can rewire).
+    """
+    simulator = FleetSimulator(config, seed=seed)
+    return {strategy.value: simulator.run(policy, strategy)
+            for strategy in PlacementStrategy}

@@ -3,7 +3,13 @@
 Goodput follows the paper's definition — the fraction of the machine's
 block-time doing useful work — split from plain utilization (block-time
 merely occupied) by the failure taxes: replayed work since the last
-checkpoint, restore time, and checkpoint writes.
+checkpoint, restore time, checkpoint writes, and (new with per-pod
+fabric state) OCS reconfiguration latency spent rewiring a slice's
+optical links before it can run.
+
+The summary must stay well-formed JSON for any run, including an empty
+one (zero jobs, zero horizon): every ratio is guarded so no NaN or
+division-by-zero ever reaches the report.
 """
 
 from __future__ import annotations
@@ -29,6 +35,7 @@ class JobRecord:
     queue_waits: list[float] = field(default_factory=list)
     interruptions: int = 0
     preemptions: int = 0
+    migrations: int = 0
 
     @property
     def completed(self) -> bool:
@@ -47,6 +54,11 @@ def _percentile(values: list[float], fraction: float) -> float:
                                method="inverted_cdf"))
 
 
+def _fraction(numerator: float, denominator: float) -> float:
+    """A guarded ratio: zero (not NaN/inf) when the denominator is zero."""
+    return numerator / denominator if denominator > 0 else 0.0
+
+
 @dataclass
 class FleetTelemetry:
     """Aggregate accounting over one fleet run."""
@@ -57,12 +69,20 @@ class FleetTelemetry:
     replay_block_seconds: float = 0.0
     restore_block_seconds: float = 0.0
     checkpoint_block_seconds: float = 0.0
+    reconfig_block_seconds: float = 0.0
     block_failures: int = 0
+    ocs_reconfigurations: int = 0
+    circuits_programmed: int = 0
 
     @property
     def preemption_events(self) -> int:
         """Total preemptions across jobs."""
         return sum(r.preemptions for r in self.records.values())
+
+    @property
+    def defrag_migrations(self) -> int:
+        """Total defrag migrations, rolled up from per-job records."""
+        return sum(r.migrations for r in self.records.values())
 
     def record_for(self, job) -> JobRecord:
         """Get or create the record of a :class:`FleetJob`."""
@@ -93,12 +113,21 @@ class FleetTelemetry:
                 sum(r.interruptions for r in records)),
             "job_preemptions": float(
                 sum(r.preemptions for r in records)),
+            "job_migrations": float(
+                sum(r.migrations for r in records)),
             "block_failures": float(self.block_failures),
-            "utilization": self.busy_block_seconds / capacity,
-            "goodput": self.useful_block_seconds / capacity,
-            "replay_fraction": self.replay_block_seconds / capacity,
-            "restore_fraction": self.restore_block_seconds / capacity,
-            "checkpoint_fraction": self.checkpoint_block_seconds / capacity,
+            "ocs_reconfigurations": float(self.ocs_reconfigurations),
+            "circuits_programmed": float(self.circuits_programmed),
+            "utilization": _fraction(self.busy_block_seconds, capacity),
+            "goodput": _fraction(self.useful_block_seconds, capacity),
+            "replay_fraction": _fraction(self.replay_block_seconds,
+                                         capacity),
+            "restore_fraction": _fraction(self.restore_block_seconds,
+                                          capacity),
+            "checkpoint_fraction": _fraction(self.checkpoint_block_seconds,
+                                             capacity),
+            "reconfig_fraction": _fraction(self.reconfig_block_seconds,
+                                           capacity),
         }
         if waits:
             out["mean_queue_wait"] = sum(waits) / len(waits)

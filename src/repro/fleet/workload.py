@@ -12,6 +12,7 @@ workload never perturbs when jobs arrive.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 
 import numpy as np
 
@@ -57,9 +58,10 @@ class FleetJob:
     work_seconds: float
     priority: int
 
-    @property
+    @cached_property
     def blocks(self) -> int:
-        """4x4x4 blocks the job occupies."""
+        """4x4x4 blocks the job occupies (cached: the dispatch loop's
+        hot query, and shape legality never changes on a frozen job)."""
         return blocks_needed(self.shape)
 
     @property

@@ -169,3 +169,64 @@ def release_slice(fabric: OCSFabric, wiring: SliceWiring) -> None:
         switch = fabric.switch_for(circuit.dim, circuit.face_index)
         switch.disconnect(fabric.port_for(circuit.low_block, "+"))
     wiring.circuits.clear()
+
+
+# -- block-granularity wiring (the fleet scheduler's view) --------------------
+#
+# Because the paper's twists skew by multiples of 4, all FACE_SIDE^2 chip
+# links of one block face travel to the same destination block, so a
+# slice's optical wiring is fully described at *block* granularity: one
+# (dim, low_block, high_block) adjacency stands for FACE_LINKS parallel
+# chip circuits, one per face position, each on its own switch.
+
+BlockAdjacency = tuple[int, int, int]  # (dim, low_block, high_block)
+
+
+def block_torus_adjacencies(grid: tuple[int, int, int],
+                            blocks: list[int]) -> list[BlockAdjacency]:
+    """Block-level wraparound torus wiring over `blocks` laid out as `grid`.
+
+    `blocks` are physical block ids assigned row-major to the virtual
+    block grid — the scheduler's degree of freedom (Section 2.5: any
+    healthy blocks, anywhere).  Every block contributes exactly one
+    "+"-face adjacency per dimension (its torus neighbor, wrapping), so
+    a slice of n blocks always needs 3*n adjacencies = 48*n chip
+    circuits.  A dimension of extent 1 wraps a block onto itself, which
+    is a legal circuit (the single-block wraparound of Figure 1).
+    """
+    a, b, c = grid
+    if a * b * c != len(blocks):
+        raise OCSError(
+            f"grid {grid} does not cover {len(blocks)} blocks")
+
+    def at(i: int, j: int, k: int) -> int:
+        return blocks[(i * b + j) * c + k]
+
+    adjacencies: list[BlockAdjacency] = []
+    for i in range(a):
+        for j in range(b):
+            for k in range(c):
+                low = at(i, j, k)
+                adjacencies.append((0, low, at((i + 1) % a, j, k)))
+                adjacencies.append((1, low, at(i, (j + 1) % b, k)))
+                adjacencies.append((2, low, at(i, j, (k + 1) % c)))
+    return adjacencies
+
+
+def program_adjacencies(fabric: OCSFabric,
+                        adjacencies: list[BlockAdjacency]) -> int:
+    """Create the chip circuits of each block adjacency; returns circuits."""
+    for dim, low, high in adjacencies:
+        for face_index in range(FACE_SIDE * FACE_SIDE):
+            fabric.connect_blocks(dim, face_index, low, high)
+    return len(adjacencies) * FACE_SIDE * FACE_SIDE
+
+
+def teardown_adjacencies(fabric: OCSFabric,
+                         adjacencies: list[BlockAdjacency]) -> int:
+    """Disconnect the chip circuits of each block adjacency; returns circuits."""
+    for dim, low, _ in adjacencies:
+        port = fabric.port_for(low, "+")
+        for face_index in range(FACE_SIDE * FACE_SIDE):
+            fabric.switch_for(dim, face_index).disconnect(port)
+    return len(adjacencies) * FACE_SIDE * FACE_SIDE

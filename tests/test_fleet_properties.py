@@ -1,0 +1,155 @@
+"""Property tests for the fleet scheduler: invariants under random load.
+
+Each scenario draws a random small fleet (policy, strategy, latency
+knobs), a random job stream, and a random outage pattern, then drives
+the simulation one event at a time, checking structural invariants
+after every event:
+
+* occupied + free + down-unowned blocks always sum to pod capacity,
+  and the pod's incremental free index matches a from-scratch rescan;
+* no job is double-placed (one pod, blocks exactly matching the pod's
+  ownership map, never both queued and running);
+* fabric circuits exist exactly for running block-multiple jobs;
+
+and accounting identities at the end of the run:
+
+* busy time = useful + replay + restore + checkpoint + reconfig,
+  so preemption/interrupt/migration accounting never loses or
+  double-counts segment time;
+* no job is credited more useful work than it asked for, and completed
+  jobs are credited exactly their demand;
+* the summary is well-formed JSON for any run.
+"""
+
+import json
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.scheduler import PlacementPolicy, PlacementStrategy
+from repro.fleet.cluster import FleetState
+from repro.fleet.config import FleetConfig
+from repro.fleet.scheduler import FleetScheduler
+from repro.fleet.telemetry import FleetTelemetry
+from repro.fleet.workload import FleetJob
+from repro.sim.events import Simulator
+from repro.topology.builder import is_block_multiple
+
+#: Shapes at or under one 8-block (2x2x2-grid) pod, sub-block included.
+SHAPES = [(2, 2, 4), (4, 4, 4), (4, 4, 8), (4, 4, 12), (4, 8, 8),
+          (8, 8, 8)]
+HORIZON = 250_000.0
+
+
+def _build(seed):
+    rng = np.random.default_rng(seed)
+    num_pods = int(rng.integers(1, 4))
+    policy = (PlacementPolicy.OCS, PlacementPolicy.STATIC)[
+        int(rng.integers(0, 2))]
+    strategy = list(PlacementStrategy)[int(rng.integers(0, 3))]
+    config = FleetConfig(
+        num_pods=num_pods, blocks_per_pod=8, max_job_blocks=8,
+        horizon_seconds=HORIZON, arrival_window_seconds=HORIZON * 0.8,
+        mean_job_seconds=40_000.0, strategy=strategy,
+        reconfig_base_seconds=float(rng.choice([0.0, 60.0, 400.0])),
+        defrag_max_moves=int(rng.integers(0, 4)))
+    sim = Simulator()
+    state = FleetState(num_pods, 8,
+                       with_fabric=policy is PlacementPolicy.OCS)
+    telemetry = FleetTelemetry()
+    scheduler = FleetScheduler(config, policy, sim, state, telemetry)
+
+    num_jobs = int(rng.integers(6, 20))
+    for job_id in range(num_jobs):
+        shape = SHAPES[int(rng.integers(0, len(SHAPES)))]
+        serving = shape == (2, 2, 4) or rng.random() < 0.15
+        job = FleetJob(
+            job_id=job_id, kind="serve" if serving else "train",
+            model_type="LLM", shape=shape,
+            arrival=float(rng.uniform(0, config.arrival_window_seconds)),
+            work_seconds=float(rng.exponential(config.mean_job_seconds)),
+            priority=2 if serving else int(rng.integers(0, 2)))
+        sim.schedule_at(job.arrival, lambda j=job: scheduler.submit(j))
+
+    for _ in range(int(rng.integers(0, 8))):
+        pod_id = int(rng.integers(0, num_pods))
+        block = int(rng.integers(0, 8))
+        start = float(rng.uniform(0, HORIZON * 0.9))
+        end = start + float(rng.exponential(10_000.0))
+        sim.schedule_at(start,
+                        lambda p=pod_id, b=block:
+                        scheduler.on_block_down(p, b))
+        if end < HORIZON:
+            sim.schedule_at(end,
+                            lambda p=pod_id, b=block:
+                            scheduler.on_block_up(p, b))
+    return scheduler
+
+
+def _check_structure(scheduler):
+    state, running, queue = (scheduler.state, scheduler.running,
+                             scheduler.queue)
+    held: dict[int, tuple[int, set]] = {}
+    for pod in state.pods:
+        # The incremental free index must match a from-scratch rescan.
+        rescan = [pod.up[b] and b not in pod.owner
+                  for b in range(pod.num_blocks)]
+        assert pod.free_mask() == rescan
+        assert pod.num_free == sum(rescan)
+        down_unowned = sum(1 for b in range(pod.num_blocks)
+                           if not pod.up[b] and b not in pod.owner)
+        assert pod.num_free + pod.num_busy + down_unowned == \
+            pod.num_blocks
+        for block, owner in pod.owner.items():
+            assert pod.up[block], "a job holds a failed block"
+            assert owner not in held or held[owner][0] == pod.pod_id, \
+                "job placed on two pods"
+            held.setdefault(owner, (pod.pod_id, set()))[1].add(block)
+    assert set(held) == set(running), "ownership map != running set"
+    for job_id, (pod_id, blocks) in held.items():
+        active = running[job_id]
+        assert active.pod_id == pod_id
+        assert set(active.blocks) == blocks
+        assert len(blocks) == active.job.blocks
+    queued = {a.job.job_id for a in queue}
+    assert not queued & set(running), "job both queued and running"
+    for pod in state.pods:
+        if pod.fabric is None:
+            continue
+        for job_id in pod.jobs_on():
+            assert pod.fabric.holds(job_id) == \
+                is_block_multiple(running[job_id].job.shape)
+
+
+def _check_accounting(scheduler):
+    telemetry = scheduler.telemetry
+    parts = (telemetry.useful_block_seconds +
+             telemetry.replay_block_seconds +
+             telemetry.restore_block_seconds +
+             telemetry.checkpoint_block_seconds +
+             telemetry.reconfig_block_seconds)
+    assert telemetry.busy_block_seconds == pytest.approx(parts, abs=1e-6)
+    for record in telemetry.records.values():
+        assert record.useful_seconds <= record.work_seconds + 1e-6
+        if record.completed:
+            assert record.useful_seconds == \
+                pytest.approx(record.work_seconds, abs=1e-6)
+        assert record.interruptions >= 0 and record.preemptions >= 0
+    summary = telemetry.summary(
+        total_blocks=scheduler.state.total_blocks,
+        horizon_seconds=HORIZON)
+    text = json.dumps(summary, allow_nan=False)  # must not raise
+    assert all(math.isfinite(v) for v in json.loads(text).values())
+    assert 0.0 <= summary["goodput"] <= summary["utilization"]
+
+
+@pytest.mark.parametrize("seed", range(100))
+def test_random_scenario_invariants(seed):
+    scheduler = _build(seed)
+    while scheduler.sim.queue.peek_time() is not None and \
+            scheduler.sim.queue.peek_time() <= HORIZON:
+        scheduler.sim.step()
+        _check_structure(scheduler)
+    scheduler.finalize(HORIZON)
+    _check_accounting(scheduler)

@@ -1,8 +1,9 @@
-"""Tests for the fleet scheduler: queueing, preemption, interrupts."""
+"""Tests for the fleet scheduler: queueing, preemption, interrupts,
+placement strategies, reconfiguration latency, and defragmentation."""
 
 import pytest
 
-from repro.core.scheduler import PlacementPolicy
+from repro.core.scheduler import PlacementPolicy, PlacementStrategy
 from repro.fleet.cluster import FleetState
 from repro.fleet.config import FleetConfig
 from repro.fleet.scheduler import FleetScheduler
@@ -12,11 +13,13 @@ from repro.fleet.workload import (FleetJob, PRIORITY_BATCH,
 from repro.sim.events import Simulator
 
 
-def _make(policy=PlacementPolicy.OCS, num_pods=1, blocks_per_pod=8):
+def _make(policy=PlacementPolicy.OCS, num_pods=1, blocks_per_pod=8,
+          **overrides):
     config = FleetConfig(num_pods=num_pods, blocks_per_pod=blocks_per_pod,
-                         max_job_blocks=blocks_per_pod)
+                         max_job_blocks=blocks_per_pod, **overrides)
     sim = Simulator()
-    state = FleetState(num_pods, blocks_per_pod)
+    state = FleetState(num_pods, blocks_per_pod,
+                       with_fabric=policy is PlacementPolicy.OCS)
     telemetry = FleetTelemetry()
     return FleetScheduler(config, policy, sim, state, telemetry)
 
@@ -181,3 +184,149 @@ class TestFinalize:
         assert 0 < telemetry.useful_block_seconds < \
             telemetry.busy_block_seconds
         assert not telemetry.records[0].completed
+
+
+class TestReconfiguration:
+    def test_latency_charged_on_critical_path(self):
+        # Identical job, identical fabric, only the latency knobs
+        # differ: the completion gap must be exactly the plan latency.
+        slow = _make(reconfig_base_seconds=100.0, ocs_switch_seconds=1.0)
+        fast = _make(reconfig_base_seconds=0.0, ocs_switch_seconds=0.0)
+        for scheduler in (slow, fast):
+            scheduler.submit(_train(0, (4, 4, 8), 0.0, 1000.0))
+            scheduler.sim.run()
+        gap = slow.telemetry.records[0].completed_at - \
+            fast.telemetry.records[0].completed_at
+        assert gap == pytest.approx(100.0 + 1.0 * 2)  # base + 2 mirror moves
+        # The whole charge lands on 2 blocks of reconfig time.
+        assert slow.telemetry.reconfig_block_seconds == \
+            pytest.approx(102.0 * 2)
+        assert slow.telemetry.ocs_reconfigurations == 1
+        assert slow.telemetry.circuits_programmed == 96
+
+    def test_sub_block_serving_needs_no_rewiring(self):
+        scheduler = _make()
+        scheduler.submit(_serve(0, (2, 2, 4), 0.0, 500.0))
+        assert scheduler.running[0].pending_reconfig == 0.0
+        scheduler.sim.run()
+        assert scheduler.telemetry.ocs_reconfigurations == 0
+        assert scheduler.telemetry.reconfig_block_seconds == 0.0
+
+    def test_static_machine_never_reconfigures(self):
+        scheduler = _make(policy=PlacementPolicy.STATIC)
+        assert all(pod.fabric is None for pod in scheduler.state.pods)
+        scheduler.submit(_train(0, (4, 4, 8), 0.0, 1000.0))
+        scheduler.sim.run()
+        assert scheduler.telemetry.ocs_reconfigurations == 0
+        assert scheduler.telemetry.reconfig_block_seconds == 0.0
+
+    def test_fabric_wired_while_running_released_after(self):
+        scheduler = _make()
+        scheduler.submit(_train(0, (4, 4, 8), 0.0, 1000.0))
+        fabric = scheduler.state.pods[0].fabric
+        assert fabric.live_circuits == 96  # 48 per block
+        scheduler.sim.run()
+        assert fabric.live_circuits == 0
+
+    def test_interrupt_mid_reconfig_loses_only_reconfig_time(self):
+        scheduler = _make(reconfig_base_seconds=500.0)
+        scheduler.submit(_train(0, (4, 4, 8), 0.0, 1000.0))
+        held = list(scheduler.running[0].blocks)
+        # Fail a block while the fabric is still rewiring.
+        scheduler.sim.schedule(100.0,
+                               lambda: scheduler.on_block_down(0, held[0]))
+        scheduler.sim.run(until=150.0)
+        record = scheduler.telemetry.records[0]
+        assert record.interruptions == 1
+        assert record.useful_seconds == 0.0
+        assert scheduler.telemetry.reconfig_block_seconds == \
+            pytest.approx(100.0 * 2)
+        assert scheduler.telemetry.replay_block_seconds == 0.0
+
+
+class TestStrategies:
+    def _shape_free(self, scheduler, pod_id, down):
+        for block in down:
+            scheduler.on_block_down(pod_id, block)
+
+    def test_first_fit_takes_lowest_pod_id(self):
+        scheduler = _make(num_pods=2)
+        self._shape_free(scheduler, 1, range(6))  # pod1: 2 free (snug)
+        scheduler.submit(_train(0, (4, 4, 8), 0.0, 100.0))
+        assert scheduler.running[0].pod_id == 0
+
+    def test_best_fit_takes_tightest_pod(self):
+        scheduler = _make(num_pods=2, strategy="best_fit")
+        assert scheduler.strategy is PlacementStrategy.BEST_FIT
+        self._shape_free(scheduler, 1, range(6))  # pod1: 2 free (snug)
+        scheduler.submit(_train(0, (4, 4, 8), 0.0, 100.0))
+        assert scheduler.running[0].pod_id == 1
+
+    def _fragmented_fleet(self, **overrides):
+        """Two pods, each half-busy: 4+4 free, no room for an 8."""
+        scheduler = _make(num_pods=2,
+                          strategy=overrides.pop("strategy", "defrag"),
+                          **overrides)
+        self._shape_free(scheduler, 1, range(4, 8))
+        scheduler.submit(_train(0, (4, 8, 8), 0.0, 50000.0))   # -> pod 1
+        assert scheduler.running[0].pod_id == 1
+        scheduler.submit(_train(1, (4, 8, 8), 0.0, 50000.0))   # -> pod 0
+        assert scheduler.running[1].pod_id == 0
+        for block in range(4, 8):
+            scheduler.on_block_up(1, block)
+        assert [pod.num_free for pod in scheduler.state.pods] == [4, 4]
+        return scheduler
+
+    def test_defrag_migrates_to_compact_free_blocks(self):
+        scheduler = self._fragmented_fleet()
+        scheduler.submit(_train(2, (8, 8, 8), 1.0, 100.0))
+        # The stuck 8-block job triggered one migration: the donor on
+        # pod 0 moved to pod 1, and the new job took the compacted pod.
+        assert scheduler.running[2].pod_id == 0
+        assert scheduler.running[1].pod_id == 1
+        record = scheduler.telemetry.records[1]
+        assert record.migrations == 1
+        assert record.preemptions == 0 and record.interruptions == 0
+        assert scheduler.telemetry.defrag_migrations == 1
+
+    def test_migration_preserves_progress(self):
+        scheduler = self._fragmented_fleet()
+        scheduler.sim.run(until=20000.0)
+        scheduler.submit(_train(2, (8, 8, 8), 20000.0, 100.0))
+        assert scheduler.telemetry.defrag_migrations == 1
+        # Planned checkpoint: nothing replays (unlike a failure).
+        assert scheduler.telemetry.replay_block_seconds == 0.0
+        scheduler.sim.run()
+        for record in scheduler.telemetry.records.values():
+            assert record.completed
+
+    def test_best_fit_queues_instead_of_migrating(self):
+        scheduler = self._fragmented_fleet(strategy="best_fit")
+        scheduler.submit(_train(2, (8, 8, 8), 1.0, 100.0))
+        assert 2 not in scheduler.running
+        assert scheduler.telemetry.defrag_migrations == 0
+
+    def test_defrag_disabled_by_zero_moves(self):
+        scheduler = self._fragmented_fleet(defrag_max_moves=0)
+        scheduler.submit(_train(2, (8, 8, 8), 1.0, 100.0))
+        assert 2 not in scheduler.running
+        assert scheduler.telemetry.defrag_migrations == 0
+
+    def test_defrag_never_migrates_serving(self):
+        scheduler = _make(num_pods=2, strategy="defrag")
+        self._shape_free(scheduler, 1, range(4, 8))
+        scheduler.submit(_serve(0, (4, 8, 8), 0.0, 50000.0))   # -> pod 1
+        scheduler.submit(_serve(1, (4, 8, 8), 0.0, 50000.0))   # -> pod 0
+        for block in range(4, 8):
+            scheduler.on_block_up(1, block)
+        scheduler.submit(_train(2, (8, 8, 8), 1.0, 100.0))
+        assert 2 not in scheduler.running
+        assert scheduler.telemetry.defrag_migrations == 0
+
+    def test_defrag_respects_total_capacity(self):
+        # 6 of 8 blocks busy fleet-wide: no compaction can host an 8.
+        scheduler = _make(num_pods=1, strategy="defrag")
+        scheduler.submit(_train(0, (4, 8, 8), 0.0, 50000.0))
+        scheduler.submit(_train(1, (8, 8, 8), 0.0, 100.0))
+        assert 1 not in scheduler.running
+        assert scheduler.telemetry.defrag_migrations == 0

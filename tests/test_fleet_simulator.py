@@ -76,9 +76,15 @@ class TestInvariants:
         assert summary["jobs_completed"] + summary["jobs_unfinished"] == \
             summary["jobs_submitted"]
         lost = summary["replay_fraction"] + summary["restore_fraction"] + \
-            summary["checkpoint_fraction"]
+            summary["checkpoint_fraction"] + summary["reconfig_fraction"]
         assert summary["goodput"] + lost == \
             pytest.approx(summary["utilization"], abs=1e-9)
+
+    def test_reconfiguration_charged_only_under_ocs(self, tiny_reports):
+        assert tiny_reports["ocs"].summary["reconfig_fraction"] > 0.0
+        assert tiny_reports["ocs"].summary["ocs_reconfigurations"] > 0
+        assert tiny_reports["static"].summary["reconfig_fraction"] == 0.0
+        assert tiny_reports["static"].summary["ocs_reconfigurations"] == 0
 
     def test_render_mentions_headlines(self, tiny_reports):
         text = tiny_reports["ocs"].render()

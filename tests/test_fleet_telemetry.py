@@ -52,6 +52,51 @@ class TestSummary:
         first.queue_waits.append(5.0)
         assert telemetry.record_for(job) is first
 
+    def test_zero_capacity_summary_is_wellformed_json(self):
+        # A run with zero horizon (or zero blocks) must produce finite
+        # numbers, never NaN/inf from a zero-capacity division.
+        import json
+        import math
+        telemetry = FleetTelemetry()
+        telemetry.busy_block_seconds = 50.0  # even with accrued time
+        for summary in (
+                telemetry.summary(total_blocks=64, horizon_seconds=0.0),
+                telemetry.summary(total_blocks=0, horizon_seconds=100.0),
+                FleetTelemetry().summary(total_blocks=0,
+                                         horizon_seconds=0.0)):
+            text = json.dumps(summary, allow_nan=False)  # must not raise
+            assert all(math.isfinite(v)
+                       for v in json.loads(text).values())
+            assert summary["utilization"] == 0.0
+            assert summary["goodput"] == 0.0
+            assert summary["reconfig_fraction"] == 0.0
+
+    def test_zero_completed_jobs_summary(self):
+        telemetry = FleetTelemetry()
+        record = telemetry.record_for(self._job(0))
+        assert record.completed is False
+        summary = telemetry.summary(total_blocks=64,
+                                    horizon_seconds=1000.0)
+        assert summary["jobs_completed"] == 0.0
+        assert summary["jobs_unfinished"] == 1.0
+        assert summary["mean_queue_wait"] == 0.0
+        assert summary["p95_queue_wait"] == 0.0
+
+    def test_reconfig_and_migration_counters_roll_up(self):
+        telemetry = FleetTelemetry()
+        telemetry.ocs_reconfigurations = 3
+        telemetry.circuits_programmed = 144
+        record = telemetry.record_for(self._job(0))
+        record.migrations = 2
+        telemetry.reconfig_block_seconds = 50.0
+        summary = telemetry.summary(total_blocks=1,
+                                    horizon_seconds=100.0)
+        assert summary["ocs_reconfigurations"] == 3.0
+        assert summary["circuits_programmed"] == 144.0
+        assert summary["job_migrations"] == 2.0
+        assert telemetry.defrag_migrations == 2  # per-job roll-up
+        assert summary["reconfig_fraction"] == pytest.approx(0.5)
+
     def test_job_counters_roll_up(self):
         telemetry = FleetTelemetry()
         done = telemetry.record_for(self._job(0))

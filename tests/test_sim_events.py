@@ -142,6 +142,103 @@ class TestHeapCompaction:
         assert len(queue) == 1
 
 
+class TestAdversarialCancellation:
+    """Cancel patterns crafted against the compaction bookkeeping.
+
+    The dead-event counter, the heap, and the detach-on-pop rule must
+    stay mutually consistent no matter how cancels interleave with
+    pops, pushes, and the compaction threshold itself.
+    """
+
+    def _consistent(self, queue):
+        dead_in_heap = sum(1 for e in queue._heap if e.cancelled)
+        assert queue._cancelled == dead_in_heap
+        assert len(queue) == len(queue._heap) - dead_in_heap
+
+    def test_cancel_after_pop_at_compaction_threshold(self):
+        # Pop events first, cancel them after: popped events are
+        # detached, so even a threshold-sized wave of late cancels must
+        # neither compact nor corrupt the counter.
+        queue = EventQueue()
+        popped = [queue.push(float(i), lambda: None)
+                  for i in range(queue.COMPACT_MIN_CANCELLED)]
+        survivor = queue.push(1e9, lambda: None)
+        for _ in popped:
+            queue.pop()
+        for event in popped:
+            event.cancel()
+        self._consistent(queue)
+        assert queue._cancelled == 0
+        assert queue.pop() is survivor
+        assert queue.pop() is None
+
+    def test_cancel_all_then_push(self):
+        queue = EventQueue()
+        events = [queue.push(float(i), lambda: None) for i in range(200)]
+        for event in events:
+            event.cancel()
+        self._consistent(queue)
+        assert len(queue) == 0
+        # Compaction fired (the heap is mostly corpses): new pushes must
+        # land in a clean heap and pop in order.
+        assert len(queue._heap) < 200
+        fresh = [queue.push(float(i), lambda: None) for i in (5, 1, 3)]
+        self._consistent(queue)
+        assert [queue.pop() for _ in range(3)] == \
+            [fresh[1], fresh[2], fresh[0]]
+        assert queue.pop() is None
+
+    def test_interleaved_cancels_at_threshold_boundaries(self):
+        # Walk the dead count right up to, onto, and past the
+        # compaction trigger while live events keep arriving; the
+        # queue must stay consistent at every single step.
+        queue = EventQueue()
+        live = []
+        dead_target = queue.COMPACT_MIN_CANCELLED
+        for i in range(3 * dead_target):
+            live.append(queue.push(1e6 + i, lambda: None))
+            victim = queue.push(float(i), lambda: None)
+            victim.cancel()
+            self._consistent(queue)
+        # Everything live survives, in insertion order for equal times.
+        assert len(queue) == len(live)
+        for expected in live:
+            assert queue.pop() is expected
+        assert queue.pop() is None
+        self._consistent(queue)
+
+    def test_cancel_during_drain_interleaved_with_pops(self):
+        # Alternate pop-one / cancel-the-next over a big heap: every
+        # pop must skip the corpse the previous iteration planted at
+        # the heap head, while pops keep detaching events.
+        queue = EventQueue()
+        events = [queue.push(float(i), lambda: None) for i in range(300)]
+        for i in range(0, 300, 2):
+            assert queue.pop() is events[i]
+            events[i + 1].cancel()
+            self._consistent(queue)
+        assert queue.pop() is None
+        self._consistent(queue)
+
+    def test_compaction_threshold_exact_boundary(self):
+        # Exactly COMPACT_MIN_CANCELLED dead events and a heap where
+        # dead*2 == len(heap): the trigger condition holds with
+        # equality, so compaction must fire here and not one earlier.
+        queue = EventQueue()
+        threshold = queue.COMPACT_MIN_CANCELLED
+        victims = [queue.push(float(i), lambda: None)
+                   for i in range(threshold)]
+        for _ in range(threshold):
+            queue.push(1e6, lambda: None)
+        for victim in victims[:-1]:
+            victim.cancel()
+            assert queue._cancelled > 0  # not compacted yet
+        victims[-1].cancel()
+        assert queue._cancelled == 0  # boundary hit: compacted
+        assert len(queue._heap) == threshold
+        self._consistent(queue)
+
+
 class TestSimulator:
     def test_clock_advances(self):
         sim = Simulator()
