@@ -1,15 +1,23 @@
-"""Benchmark: fleet-scale goodput — policies and placement strategies.
+"""Benchmark: fleet-scale goodput — policies, strategies, cross-pod.
 
-Two headline claims ride here: the Figure 4 OCS-over-static goodput gap
-(on identical failure traces), and the placement-strategy family —
+Three headline claims ride here: the Figure 4 OCS-over-static goodput
+gap (on identical failure traces), the placement-strategy family —
 best_fit and defrag must buy goodput over first_fit on the `medium`
 preset even though every OCS placement now pays real reconfiguration
-latency.  The strategy sweep is also the dispatch-loop perf gate: three
-medium runs (a simulated month of 4-pod fleet time) ride on the pod
-free-block index.
+latency — and the machine-wide claim: on the `large` preset, whose
+Table 2 mix includes slices bigger than a pod, cross-pod placement over
+the trunk OCS layer must strictly beat the per-pod-only scheduler on
+goodput or median queue wait, even after paying trunk reconfiguration
+latency and the trunk-hop bandwidth tax.  The strategy sweep is also
+the dispatch-loop perf gate: three medium runs (a simulated month of
+4-pod fleet time) ride on the pod free-block index.
 """
 
-from repro.fleet import compare_strategies, preset_config
+from repro.core.scheduler import PlacementStrategy
+from repro.fleet import compare_cross_pod, compare_strategies, preset_config
+
+IDENTITY_PARTS = ("goodput", "replay_fraction", "restore_fraction",
+                  "checkpoint_fraction", "reconfig_fraction")
 
 
 def test_fleet_goodput(run_report):
@@ -51,3 +59,40 @@ def test_fleet_strategies_medium(benchmark):
     # Defrag actually migrated work to compact free blocks.
     assert defrag["job_migrations"] > 0
     assert first_fit["job_migrations"] == best_fit["job_migrations"] == 0
+
+
+def test_fleet_cross_pod_large(benchmark):
+    config = preset_config("large")
+    # The scenario only bites when the mix holds jobs bigger than a pod.
+    assert config.max_job_blocks > config.blocks_per_pod
+
+    reports = benchmark.pedantic(
+        compare_cross_pod, args=(config,),
+        kwargs={"seed": 0, "strategy": PlacementStrategy.BEST_FIT},
+        rounds=1, iterations=1)
+    for report in reports.values():
+        print()
+        print(report.render())
+    enabled = reports["cross_pod"].summary
+    disabled = reports["single_pod"].summary
+
+    # Identical inputs: the cross_pod flag never perturbs the dice.
+    assert enabled["jobs_submitted"] == disabled["jobs_submitted"]
+    assert enabled["block_failures"] == disabled["block_failures"]
+    # Machine-wide jobs actually ran across pods — and only when enabled.
+    assert enabled["cross_pod_fraction"] > 0
+    assert enabled["trunk_utilization"] > 0
+    assert disabled["cross_pod_fraction"] == 0
+    # The cross-pod taxes are real, not free flexibility.
+    assert enabled["trunk_stall_fraction"] > 0
+    # The tentpole claim: stitching slices across pods strictly beats
+    # leaving outsized jobs stranded, despite latency and bandwidth tax.
+    assert enabled["goodput"] > disabled["goodput"] or \
+        enabled["median_queue_wait"] < disabled["median_queue_wait"]
+    # The accounting identity survives the trunk dimension exactly.
+    for summary in (enabled, disabled):
+        parts = sum(summary[key] for key in IDENTITY_PARTS)
+        assert abs(summary["utilization"] - parts) < 1e-9
+    # Spare-port repair absorbed some optical outages in both runs.
+    assert enabled["spare_port_repairs"] > 0
+    assert enabled["spare_port_repairs"] == disabled["spare_port_repairs"]

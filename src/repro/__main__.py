@@ -6,6 +6,8 @@
     python -m repro fleet --preset small --seed 0
     python -m repro fleet --preset medium --strategy best_fit
     python -m repro fleet --preset medium --strategy all --json
+    python -m repro fleet --preset large --policy ocs --cross-pod
+    python -m repro fleet --preset large --policy ocs --no-cross-pod
 """
 
 from __future__ import annotations
@@ -45,6 +47,10 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
     if args.reconfig_seconds is not None:
         config = dataclasses.replace(
             config, reconfig_base_seconds=args.reconfig_seconds)
+    if args.trunk_ports is not None:
+        config = dataclasses.replace(config, trunk_ports=args.trunk_ports)
+    if args.cross_pod is not None:
+        config = dataclasses.replace(config, cross_pod=args.cross_pod)
     if args.strategy == "all":
         # Strategy sweep: identical inputs, one report per strategy.
         # An explicit --policy is honored; the 'both' default means OCS
@@ -133,6 +139,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--reconfig-seconds", type=float, default=None, metavar="SECONDS",
         help="override the fixed OCS reconfiguration window "
              "(reconfig_base_seconds)")
+    fleet_cmd.add_argument(
+        "--trunk-ports", type=int, default=None, metavar="PORTS",
+        help="override the per-pod trunk-port count of the machine "
+             "OCS layer")
+    fleet_cmd.add_argument(
+        "--cross-pod", default=None,
+        action=argparse.BooleanOptionalAction,
+        help="enable/disable cross-pod slices over the trunk layer "
+             "(default: the preset's; run once with --cross-pod and "
+             "once with --no-cross-pod for an A/B on identical inputs)")
     fleet_cmd.add_argument("--json", action="store_true",
                            help="emit telemetry summaries as JSON")
     fleet_cmd.set_defaults(func=_cmd_fleet)

@@ -11,11 +11,12 @@ from __future__ import annotations
 import itertools
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Sequence
+from typing import Mapping, Sequence
 
 from repro.core.slicing import (SliceShape, blocks_needed, block_grid,
                                 canonical_shape, is_legal_shape)
 from repro.errors import SchedulingError
+from repro.ocs.reconfigure import grid_adjacency_indices
 from repro.topology.builder import is_block_multiple
 
 
@@ -69,6 +70,189 @@ class ScheduleOutcome:
     def goodput(self) -> float:
         """Scheduled fraction of the machine (the paper's goodput)."""
         return self.scheduled_blocks / self.total_blocks
+
+
+@dataclass(frozen=True)
+class MultiRegionPlacement:
+    """One slice placed across several regions (pods) of a machine.
+
+    The machine-wide generalization of a block list: the slice's virtual
+    block grid is laid out row-major over *slots*, each slot hosted by
+    some region.  Consecutive slots stay region-contiguous, so
+    ``region_blocks`` (region id, blocks taken) fully determines which
+    slot lives where.  Grid adjacencies whose endpoints sit in different
+    regions must ride the machine-level OCS trunk layer; they are the
+    placement's trunk demand, kept in slot indices so the fabric layer
+    (:mod:`repro.fleet.machine`) can map them to physical blocks.
+    """
+
+    shape: SliceShape
+    grid: tuple[int, int, int]
+    region_blocks: tuple[tuple[int, int], ...]
+    trunk_adjacencies: tuple[tuple[int, int, int], ...]
+
+    @property
+    def num_blocks(self) -> int:
+        """Blocks the slice occupies across all regions."""
+        return sum(take for _, take in self.region_blocks)
+
+    @property
+    def num_regions(self) -> int:
+        """Regions hosting at least one block."""
+        return len(self.region_blocks)
+
+    @property
+    def spill(self) -> int:
+        """Pods beyond the first — 0 for a single-pod placement."""
+        return self.num_regions - 1
+
+    @property
+    def num_trunk_adjacencies(self) -> int:
+        """Block adjacencies crossing regions (each is FACE_LINKS fibers)."""
+        return len(self.trunk_adjacencies)
+
+    @property
+    def total_adjacencies(self) -> int:
+        """All block adjacencies of the slice's torus (3 per block)."""
+        return 3 * self.num_blocks
+
+    @property
+    def cross_fraction(self) -> float:
+        """Share of the slice's links that traverse the trunk layer."""
+        if self.total_adjacencies == 0:
+            return 0.0
+        return self.num_trunk_adjacencies / self.total_adjacencies
+
+    def region_of_slot(self, slot: int) -> int:
+        """The region hosting a virtual grid slot."""
+        for region, take in self.region_blocks:
+            if slot < take:
+                return region
+            slot -= take
+        raise SchedulingError(f"slot {slot} outside the placement")
+
+    def trunk_ports_by_region(self) -> dict[int, int]:
+        """Trunk-port endpoints each region must terminate.
+
+        Every cross-region adjacency lands one trunk port on each of its
+        two regions (the light leaves one pod and enters the other).
+        """
+        ports: dict[int, int] = {region: 0
+                                 for region, _ in self.region_blocks}
+        for _, low, high in self.trunk_adjacencies:
+            ports[self.region_of_slot(low)] += 1
+            ports[self.region_of_slot(high)] += 1
+        return ports
+
+
+def _layout_trunks(adjacencies: Sequence[tuple[int, int, int]],
+                   assignment: Sequence[tuple[int, int]]
+                   ) -> tuple[tuple[int, int, int], ...]:
+    """Cross-region slot adjacencies of a region-contiguous layout."""
+    owner: list[int] = []
+    for region, take in assignment:
+        owner.extend([region] * take)
+    return tuple((dim, low, high)
+                 for dim, low, high in adjacencies
+                 if owner[low] != owner[high])
+
+
+def _greedy_take(pool: Sequence[tuple[int, int]],
+                 needed: int) -> list[tuple[int, int]] | None:
+    """Fill `needed` blocks from `pool` in order; None if it cannot."""
+    assignment: list[tuple[int, int]] = []
+    remaining = needed
+    for region, free in pool:
+        if remaining == 0:
+            break
+        take = min(free, remaining)
+        if take > 0:
+            assignment.append((region, take))
+            remaining -= take
+    return assignment if remaining == 0 else None
+
+
+#: Feasible region subsets enumerated per placement before falling back
+#: to the greedy pick — bounds best-fit's search on very wide fleets.
+_SUBSET_ENUMERATION_CAP = 256
+
+
+def plan_multi_region(shape: SliceShape,
+                      free_by_region: Sequence[tuple[int, int]],
+                      strategy: PlacementStrategy =
+                      PlacementStrategy.FIRST_FIT,
+                      *, trunk_budget: Mapping[int, int] | None = None
+                      ) -> MultiRegionPlacement | None:
+    """Place one block-multiple slice across regions, OCS style.
+
+    `free_by_region` is (region id, free block count) per region — under
+    OCS any free blocks of a region are equivalent (Section 2.5), so
+    counts are the whole story and the caller resolves physical ids.
+    `trunk_budget` caps the trunk ports each region may consume; layouts
+    that would oversubscribe a region's trunks are rejected.
+
+    Strategy is the topology policy: FIRST_FIT fills regions in the
+    order given; BEST_FIT (and DEFRAG, which places like best-fit once
+    migration is off the table) minimizes pod spill first, then trunk
+    usage, then leftover free space in the touched regions.
+    """
+    dims = canonical_shape(shape)
+    if not is_legal_shape(dims):
+        raise SchedulingError(f"illegal slice shape {dims}")
+    if not is_block_multiple(dims):
+        return None  # sub-block slices live inside one block's mesh
+    needed = blocks_needed(dims)
+    grid = block_grid(dims)
+    pool = [(region, free) for region, free in free_by_region if free > 0]
+    if sum(free for _, free in pool) < needed:
+        return None
+
+    if strategy is PlacementStrategy.FIRST_FIT:
+        candidates = [_greedy_take(pool, needed)]
+    else:
+        by_size = sorted(pool, key=lambda rf: (-rf[1], rf[0]))
+        greedy = _greedy_take(by_size, needed)
+        if greedy is None:  # pragma: no cover - total checked above
+            return None
+        k = len(greedy)
+        # Bound the *enumeration itself*, not just the survivors: on a
+        # very wide fleet C(n, k) explodes long before the feasibility
+        # filter runs, so stop generating at the cap and fall back to
+        # the greedy pick.
+        subsets = list(itertools.islice(itertools.combinations(pool, k),
+                                        _SUBSET_ENUMERATION_CAP + 1))
+        if len(subsets) <= _SUBSET_ENUMERATION_CAP:
+            candidates = [
+                _greedy_take(sorted(subset,
+                                    key=lambda rf: (-rf[1], rf[0])),
+                             needed)
+                for subset in subsets
+                if sum(free for _, free in subset) >= needed] or [greedy]
+        else:
+            candidates = [greedy]
+
+    adjacencies = grid_adjacency_indices(grid)
+    free_of = dict(free_by_region)
+    best: MultiRegionPlacement | None = None
+    best_key: tuple | None = None
+    for assignment in candidates:
+        if assignment is None:
+            continue
+        trunks = _layout_trunks(adjacencies, assignment)
+        placement = MultiRegionPlacement(
+            shape=dims, grid=grid, region_blocks=tuple(assignment),
+            trunk_adjacencies=trunks)
+        if trunk_budget is not None and any(
+                ports > trunk_budget.get(region, 0)
+                for region, ports
+                in placement.trunk_ports_by_region().items()):
+            continue
+        leftover = sum(free_of[region] for region, _ in assignment) - needed
+        key = (placement.spill, placement.num_trunk_adjacencies, leftover,
+               tuple(region for region, _ in assignment))
+        if best is None or key < best_key:
+            best, best_key = placement, key
+    return best
 
 
 def _grid_dims(num_blocks: int) -> tuple[int, int, int]:
@@ -201,6 +385,22 @@ class SliceScheduler:
         if strategy is PlacementStrategy.FIRST_FIT:
             return self._first_static_fit(self.healthy, orientations)
         return self._best_static_fit(self.healthy, orientations)
+
+    @staticmethod
+    def place_multi(shape: SliceShape,
+                    free_by_region: Sequence[tuple[int, int]],
+                    strategy: PlacementStrategy =
+                    PlacementStrategy.FIRST_FIT,
+                    *, trunk_budget: Mapping[int, int] | None = None
+                    ) -> MultiRegionPlacement | None:
+        """Machine-wide placement across regions (pods) under OCS.
+
+        Delegates to :func:`plan_multi_region`; lives here so the
+        placement stack has one front door for both the single-machine
+        and the machine-wide outcome.
+        """
+        return plan_multi_region(shape, free_by_region, strategy,
+                                 trunk_budget=trunk_budget)
 
     def pack(self, shape: SliceShape,
              policy: PlacementPolicy) -> ScheduleOutcome:

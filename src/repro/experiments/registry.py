@@ -40,6 +40,7 @@ EXPERIMENTS: dict[str, Runner] = {
     "section710": exp_graph.run_section710,
     "fleet": exp_fleet.run_fleet_experiment,
     "fleet_strategies": exp_fleet.run_fleet_strategies,
+    "fleet_crosspod": exp_fleet.run_fleet_crosspod,
 }
 
 

@@ -20,12 +20,14 @@ Quickstart::
 from repro.fleet.config import FleetConfig
 from repro.fleet.cluster import FleetState, Pod
 from repro.fleet.fabric import PodFabric, ReconfigPlan
-from repro.fleet.failures import BlockOutage, build_failure_trace
+from repro.fleet.failures import (BlockOutage, apply_spare_repairs,
+                                  build_failure_trace, spare_repair_count)
+from repro.fleet.machine import MachineFabric, MachinePlan
 from repro.fleet.presets import PRESETS, preset_config, preset_names
 from repro.fleet.scheduler import ActiveJob, FleetScheduler
 from repro.fleet.simulator import (FleetReport, FleetSimulator,
-                                   compare_policies, compare_strategies,
-                                   run_fleet)
+                                   compare_cross_pod, compare_policies,
+                                   compare_strategies, run_fleet)
 from repro.fleet.telemetry import FleetTelemetry, JobRecord
 from repro.fleet.workload import (FleetJob, generate_jobs, model_type_mix,
                                   serving_shape, truncated_slice_mix)
@@ -33,11 +35,13 @@ from repro.fleet.workload import (FleetJob, generate_jobs, model_type_mix,
 __all__ = [
     "FleetConfig", "FleetState", "Pod",
     "PodFabric", "ReconfigPlan",
-    "BlockOutage", "build_failure_trace",
+    "MachineFabric", "MachinePlan",
+    "BlockOutage", "apply_spare_repairs", "build_failure_trace",
+    "spare_repair_count",
     "PRESETS", "preset_config", "preset_names",
     "ActiveJob", "FleetScheduler",
-    "FleetReport", "FleetSimulator", "compare_policies",
-    "compare_strategies", "run_fleet",
+    "FleetReport", "FleetSimulator", "compare_cross_pod",
+    "compare_policies", "compare_strategies", "run_fleet",
     "FleetTelemetry", "JobRecord",
     "FleetJob", "generate_jobs", "model_type_mix", "serving_shape",
     "truncated_slice_mix",

@@ -4,14 +4,22 @@ A :class:`Pod` is the scheduling view of one TPU v4 machine — a cubic
 grid of 4x4x4 blocks where each block is either up or down (failure
 state) and either free or owned by a job.  Placement itself is delegated
 to :class:`repro.core.scheduler.SliceScheduler` so the fleet uses the
-exact OCS-vs-static packing rules of Section 2.5, and each pod may carry
-a live :class:`repro.fleet.fabric.PodFabric` (OCS runs) so placements
-pay real reconfiguration latency.
+exact OCS-vs-static packing rules of Section 2.5.  On OCS runs the
+:class:`FleetState` carries one :class:`repro.fleet.machine.
+MachineFabric` — every pod's switches plus the machine-level trunk
+layer — so placements (single-pod and cross-pod alike) pay real
+reconfiguration latency and trunk-port occupancy.
 
 Free-block state is indexed incrementally — ``num_free`` is O(1) and the
 free mask is maintained, not rescanned — because the fleet scheduler's
 dispatch loop queries it for every queued job after every event, which
-profiling showed dominated medium-preset runs.
+profiling showed dominated medium-preset runs.  The machine-wide view
+(`total_free`, `free_by_pod`, the trunk budget) is built on those O(1)
+per-pod counters, and :meth:`FleetState.check_invariants` can recompute
+everything from scratch to catch index drift — the scheduler calls it
+under ``__debug__`` after moves that historically risked staleness
+(defrag migrations cancelled by a checkpoint covering the donor's
+remaining work).
 """
 
 from __future__ import annotations
@@ -21,6 +29,7 @@ from repro.core.scheduler import (PlacementPolicy, PlacementStrategy,
 from repro.core.slicing import SliceShape
 from repro.errors import SchedulingError
 from repro.fleet.fabric import PodFabric
+from repro.fleet.machine import MachineFabric
 
 
 class Pod:
@@ -131,19 +140,26 @@ class Pod:
 
 
 class FleetState:
-    """All pods of the fleet plus aggregate occupancy accounting."""
+    """All pods of the fleet, the machine fabric, and the machine index."""
 
     def __init__(self, num_pods: int, blocks_per_pod: int,
-                 with_fabric: bool = False) -> None:
+                 with_fabric: bool = False, trunk_ports: int = 0) -> None:
+        self.machine = MachineFabric(num_pods, blocks_per_pod,
+                                     trunk_ports) if with_fabric else None
         self.pods = [
             Pod(pod_id, blocks_per_pod,
-                fabric=PodFabric(blocks_per_pod) if with_fabric else None)
+                fabric=self.machine.pods[pod_id] if self.machine else None)
             for pod_id in range(num_pods)]
 
     @property
     def total_blocks(self) -> int:
         """Blocks across all pods."""
         return sum(pod.num_blocks for pod in self.pods)
+
+    @property
+    def total_free(self) -> int:
+        """Healthy, unowned blocks machine-wide (sum of O(1) counters)."""
+        return sum(pod.num_free for pod in self.pods)
 
     @property
     def busy_blocks(self) -> int:
@@ -155,6 +171,44 @@ class FleetState:
         """Blocks currently failed."""
         return sum(pod.num_down for pod in self.pods)
 
+    def free_by_pod(self) -> list[tuple[int, int]]:
+        """(pod id, free blocks) per pod — the machine placement index."""
+        return [(pod.pod_id, pod.num_free) for pod in self.pods]
+
     def pods_by_space(self) -> list[Pod]:
         """Pods ordered most-free first (ties by id, deterministic)."""
         return sorted(self.pods, key=lambda p: (-p.num_free, p.pod_id))
+
+    def check_invariants(self) -> None:
+        """Recompute every incremental index and assert it matches.
+
+        The drift guard behind defrag migrations and cross-pod
+        placement: per-pod free masks and counters are rebuilt from the
+        authoritative up/owner state, and the machine fabric's trunk
+        ledger is re-summed, so any code path that updates one side of
+        an index without the other fails loudly here instead of
+        corrupting placement decisions later.  Cheap enough to run
+        under ``__debug__`` after every scheduler dispatch.
+        """
+        for pod in self.pods:
+            rescan = [pod.up[block] and block not in pod.owner
+                      for block in range(pod.num_blocks)]
+            if pod.free_mask() != rescan:
+                raise SchedulingError(
+                    f"pod {pod.pod_id} free mask drifted from up/owner "
+                    f"state")
+            if pod.num_free != sum(rescan):
+                raise SchedulingError(
+                    f"pod {pod.pod_id} free counter {pod.num_free} != "
+                    f"rescan {sum(rescan)}")
+            down_unowned = sum(1 for block in range(pod.num_blocks)
+                               if not pod.up[block] and
+                               block not in pod.owner)
+            if pod.num_free + pod.num_busy + down_unowned != \
+                    pod.num_blocks:
+                raise SchedulingError(
+                    f"pod {pod.pod_id} blocks not conserved")
+        if self.total_free + self.busy_blocks > self.total_blocks:
+            raise SchedulingError("machine-wide block conservation broken")
+        if self.machine is not None:
+            self.machine.check_trunk_accounting()

@@ -18,9 +18,14 @@ from repro.ocs.switch import SWITCH_TIME_SECONDS
 from repro.units import DAY, HOUR, MINUTE
 
 #: RNG stream indices carved out of the config seed (see spawn_rngs).
+#: Appending streams is safe: SeedSequence.spawn derives children
+#: independently, so adding STREAM_REPAIRS never perturbed the first
+#: three streams or any pre-existing trace.
 STREAM_ARRIVALS = 0
 STREAM_SHAPES = 1
 STREAM_FAILURES = 2
+STREAM_REPAIRS = 3
+NUM_STREAMS = 4
 
 
 @dataclass(frozen=True)
@@ -39,9 +44,12 @@ class FleetConfig:
         mean_job_seconds: mean useful work per training job (exponential).
         max_job_blocks: cap on sampled slice size, in blocks; the Table 2
             distribution is truncated and renormalized to shapes at or
-            under the cap (and whose block-grid extent fits the pod's
-            cubic grid) so every job can in principle fit a pod under
-            either placement policy.
+            under the cap.  At or under `blocks_per_pod`, shapes are
+            additionally filtered to block-grid extents that fit the
+            pod's cubic grid so either placement policy can in principle
+            host every job; above it the machine-wide mix is used —
+            those jobs *must* span pods, which only an OCS machine with
+            cross-pod placement enabled can serve.
         serving_fraction: share of arrivals that are serving deployments
             (forward-only DLRM residencies, Section 3.1) instead of
             training jobs.
@@ -69,6 +77,32 @@ class FleetConfig:
             in parallel; moves on one switch serialize.
         defrag_max_moves: migrations one defragmentation may trigger;
             0 makes the defrag strategy place exactly like best_fit.
+        cross_pod: allow slices whose block demand exceeds one pod to be
+            placed across pods over the machine-level trunk OCS layer
+            (OCS policy only — a statically-cabled machine physically
+            cannot span pods).  Disabling it reproduces the per-pod-only
+            scheduler bit for bit.
+        trunk_ports: block-level trunk fibers each pod terminates on the
+            machine OCS bank; every cross-pod block adjacency holds one
+            port on both endpoint pods for the life of the slice.
+        trunk_bandwidth_tax: fractional slowdown of a slice whose links
+            all ride the trunk layer; an actual placement pays the tax
+            scaled by its cross-link share, modeling the bisection hit
+            of leaving the pod.
+        trunk_reconfig_seconds: extra drain/validate window a rewiring
+            pays when it programs trunk circuits (light checked end to
+            end across two pod fabrics and the machine bank).
+        spare_ports: spare OCS ports per pod kept "for link testing and
+            repairs" (Section 2.2); an optical-port failure with a spare
+            free is repaired by one mirror move instead of waiting out a
+            full block repair.
+        optical_failure_fraction: share of block outages that are
+            optical-port failures (fiber/transceiver) rather than host
+            hardware, and thus spare-port repairable.  Zero keeps the
+            failure trace identical to the pre-repair model.
+        port_repair_seconds: block downtime of a spare-port repair — the
+            mirror move plus light-level validation, orders of magnitude
+            under `mean_repair_seconds`.
     """
 
     num_pods: int = 2
@@ -91,6 +125,13 @@ class FleetConfig:
     reconfig_base_seconds: float = 30.0
     ocs_switch_seconds: float = SWITCH_TIME_SECONDS
     defrag_max_moves: int = 3
+    cross_pod: bool = True
+    trunk_ports: int = 48
+    trunk_bandwidth_tax: float = 0.1
+    trunk_reconfig_seconds: float = 15.0
+    spare_ports: int = 8
+    optical_failure_fraction: float = 0.0
+    port_repair_seconds: float = 300.0
 
     def __post_init__(self) -> None:
         if isinstance(self.strategy, str):  # accept CLI/preset spellings
@@ -119,9 +160,9 @@ class FleetConfig:
             raise ConfigurationError("serving_fraction must be in [0, 1]")
         if not 0.0 <= self.prod_fraction <= 1.0:
             raise ConfigurationError("prod_fraction must be in [0, 1]")
-        if self.max_job_blocks < 1 or self.max_job_blocks > self.blocks_per_pod:
+        if self.max_job_blocks < 1 or self.max_job_blocks > self.total_blocks:
             raise ConfigurationError(
-                f"max_job_blocks must be in [1, {self.blocks_per_pod}]")
+                f"max_job_blocks must be in [1, {self.total_blocks}]")
         if self.host_mtbf_seconds <= 0 or self.mean_repair_seconds <= 0:
             raise ConfigurationError("MTBF and repair time must be > 0")
         if self.checkpoint_seconds <= 0:
@@ -139,6 +180,19 @@ class FleetConfig:
                 "reconfiguration latencies must be >= 0")
         if self.defrag_max_moves < 0:
             raise ConfigurationError("defrag_max_moves must be >= 0")
+        if self.trunk_ports < 0:
+            raise ConfigurationError("trunk_ports must be >= 0")
+        if self.trunk_bandwidth_tax < 0:
+            raise ConfigurationError("trunk_bandwidth_tax must be >= 0")
+        if self.trunk_reconfig_seconds < 0:
+            raise ConfigurationError("trunk_reconfig_seconds must be >= 0")
+        if self.spare_ports < 0:
+            raise ConfigurationError("spare_ports must be >= 0")
+        if not 0.0 <= self.optical_failure_fraction <= 1.0:
+            raise ConfigurationError(
+                "optical_failure_fraction must be in [0, 1]")
+        if self.port_repair_seconds < 0:
+            raise ConfigurationError("port_repair_seconds must be >= 0")
 
     @property
     def total_blocks(self) -> int:
@@ -149,6 +203,16 @@ class FleetConfig:
     def pod_grid_side(self) -> int:
         """Side of a pod's cubic block grid (4 for a 64-block pod)."""
         return round(self.blocks_per_pod ** (1 / 3))
+
+    @property
+    def machine_wide_jobs(self) -> bool:
+        """True when the job mix may demand more blocks than one pod."""
+        return self.max_job_blocks > self.blocks_per_pod
+
+    @property
+    def trunk_capacity(self) -> int:
+        """Trunk ports installed across every pod."""
+        return self.num_pods * self.trunk_ports
 
     @property
     def block_mtbf_seconds(self) -> float:

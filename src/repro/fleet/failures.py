@@ -7,15 +7,29 @@ behind Figure 4.  Each block alternates exponential up-times (MTBF =
 host MTBF / 16, since any of a block's 16 hosts takes it down) and
 exponential repair times, the regime Section 1 calls the compounding
 reliability problem of everything-must-work training.
+
+Fabric-aware repair: some outages are optical — a fiber or transceiver
+fails, not the hosts behind it.  The Palomar keeps spare ports "for link
+testing and repairs" (Section 2.2), so when a spare is free the repair
+is one mirror move onto the spare pair (:class:`repro.ocs.repair.
+RepairableSwitch`) and the block is back in `port_repair_seconds`; the
+suspect port stays quarantined (its spare busy) until the original
+repair window ends.  With every spare in use, an optical failure waits
+out the full outage like any other.  Classification draws come from
+their own RNG stream and the shortened trace is still computed entirely
+before the simulation, so determinism across policies is untouched.
 """
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass
 
 import numpy as np
 
 from repro.fleet.config import FleetConfig
+from repro.ocs.repair import RepairableSwitch
+from repro.ocs.switch import OpticalCircuitSwitch
 
 
 @dataclass(frozen=True)
@@ -26,6 +40,7 @@ class BlockOutage:
     block_id: int
     start: float
     end: float
+    via_spare: bool = False
 
     @property
     def duration(self) -> float:
@@ -33,12 +48,65 @@ class BlockOutage:
         return self.end - self.start
 
 
-def build_failure_trace(config: FleetConfig,
+def _pod_repair_switch(config: FleetConfig) -> RepairableSwitch:
+    """One pod's repair-capable OCS view: a port per block plus spares."""
+    return RepairableSwitch(OpticalCircuitSwitch(
+        name="pod-trunk-repair",
+        num_ports=2 * config.blocks_per_pod + config.spare_ports,
+        spare_ports=config.spare_ports))
+
+
+def apply_spare_repairs(config: FleetConfig, outages: list[BlockOutage],
                         rng: np.random.Generator) -> list[BlockOutage]:
+    """Shorten optical-port outages that a spare port can absorb.
+
+    Walks the trace in start order (one classification draw per outage,
+    so the repair stream is consumed deterministically), moving each
+    optical failure's circuit onto a spare of its pod's
+    :class:`RepairableSwitch` when one is free.  The failed port stays
+    under test — and its spare busy — until the *original* repair window
+    ends, so a burst of optical failures can still exhaust the spares
+    and fall back to full outages.
+    """
+    switches = [_pod_repair_switch(config) for _ in range(config.num_pods)]
+    # (release time, pod, port) for ports under test, released in order.
+    pending: list[tuple[float, int, int]] = []
+    repaired: list[BlockOutage] = []
+    for outage in outages:
+        while pending and pending[0][0] <= outage.start:
+            _, pod_id, port = heapq.heappop(pending)
+            switches[pod_id].repair_port(port)
+        optical = bool(rng.random() < config.optical_failure_fraction)
+        switch = switches[outage.pod_id]
+        if not optical or switch.spares_available == 0:
+            repaired.append(outage)
+            continue
+        # The block's trunk fiber pair: '+' port b, '-' port b + blocks.
+        port = outage.block_id
+        if switch.switch.peer_of(port) is None:
+            switch.switch.connect(port, config.blocks_per_pod + port)
+        switch.fail_port(port)
+        heapq.heappush(pending, (outage.end, outage.pod_id, port))
+        repaired.append(BlockOutage(
+            pod_id=outage.pod_id, block_id=outage.block_id,
+            start=outage.start,
+            end=min(outage.start + config.port_repair_seconds, outage.end),
+            via_spare=True))
+    return repaired
+
+
+def build_failure_trace(config: FleetConfig, rng: np.random.Generator,
+                        repair_rng: np.random.Generator | None = None
+                        ) -> list[BlockOutage]:
     """Every outage inside the horizon, sorted by start time.
 
     Draws are made block-by-block in (pod, block) order so the trace
     depends only on the config and the RNG state, never on scheduling.
+    With `repair_rng` and a nonzero `optical_failure_fraction`, the
+    trace then passes through :func:`apply_spare_repairs`; the up-time
+    draws are untouched (a block's next failure is still drawn from the
+    original repair completion), so enabling repairs never reshuffles
+    when failures strike.
     """
     outages: list[BlockOutage] = []
     for pod_id in range(config.num_pods):
@@ -54,9 +122,17 @@ def build_failure_trace(config: FleetConfig,
                                            start=clock, end=end))
                 clock = end
     outages.sort(key=lambda o: (o.start, o.pod_id, o.block_id))
+    if repair_rng is not None and config.optical_failure_fraction > 0 and \
+            config.spare_ports > 0:
+        outages = apply_spare_repairs(config, outages, repair_rng)
     return outages
 
 
 def downtime_block_seconds(outages: list[BlockOutage]) -> float:
     """Total block-seconds of capacity lost to the trace."""
     return sum(outage.duration for outage in outages)
+
+
+def spare_repair_count(outages: list[BlockOutage]) -> int:
+    """Outages absorbed by a spare-port repair."""
+    return sum(1 for outage in outages if outage.via_spare)

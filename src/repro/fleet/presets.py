@@ -2,13 +2,17 @@
 
 Presets trade fidelity for runtime: `tiny` keeps unit tests fast,
 `small` is the CLI/CI smoke scenario, `medium` stresses queueing across
-four pods, and `serving` skews the mix toward Section 3.1 serving
-residencies to exercise preemption.
+four pods, `serving` skews the mix toward Section 3.1 serving
+residencies to exercise preemption, and `large` is the machine-wide
+scenario — eight small pods whose job mix includes Table 2's biggest
+slices (48 blocks, against 27-block pods), so those jobs *must* span
+pods over the trunk OCS layer, and whose failures include spare-port-
+repairable optical faults.
 
 Every preset carries the config's placement strategy (first_fit by
-default) and the OCS reconfiguration-latency knobs; the CLI's
-`--strategy`/`--reconfig-seconds` flags override them per run via
-``dataclasses.replace``.
+default), the OCS reconfiguration-latency knobs, and the trunk/spare
+sizing; the CLI's `--strategy`/`--reconfig-seconds`/`--trunk-ports`/
+`--cross-pod` flags override them per run via ``dataclasses.replace``.
 """
 
 from __future__ import annotations
@@ -40,6 +44,20 @@ PRESETS: dict[str, FleetConfig] = {
         mean_interarrival_seconds=7 * MINUTE, mean_job_seconds=10 * HOUR,
         max_job_blocks=32, serving_fraction=0.1,
         host_mtbf_seconds=120 * DAY, mean_repair_seconds=4 * HOUR),
+    # Eight pods, machine-wide jobs: Table 2's 48-block slices cannot
+    # fit a 27-block pod, so cross-pod placement is load-bearing.
+    # Optical faults (30% of outages) repair via the pods' 8 spare
+    # ports in minutes instead of hours when spares remain.
+    "large": FleetConfig(
+        num_pods=8, blocks_per_pod=27,
+        horizon_seconds=4 * DAY, arrival_window_seconds=3 * DAY,
+        mean_interarrival_seconds=12 * MINUTE, mean_job_seconds=8 * HOUR,
+        max_job_blocks=48, serving_fraction=0.1,
+        host_mtbf_seconds=120 * DAY, mean_repair_seconds=4 * HOUR,
+        strategy="best_fit",
+        cross_pod=True, trunk_ports=64,
+        spare_ports=8, optical_failure_fraction=0.3,
+        port_repair_seconds=5 * MINUTE),
     # Serving-heavy mix: long residencies plus background training.
     "serving": FleetConfig(
         num_pods=2, blocks_per_pod=64,

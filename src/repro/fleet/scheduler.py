@@ -7,13 +7,24 @@ heads, serving-tier preemption of batch work, and checkpoint-restart
 bookkeeping (Young/Daly cadence from :mod:`repro.core.checkpoint`)
 whenever a failure or preemption interrupts a training job.
 
+Placement is machine-wide: a job whose block demand exceeds one pod can
+be placed as a *cross-pod slice* over the machine-level trunk OCS layer
+(:mod:`repro.fleet.machine`), with per-pod block assignments planned by
+:func:`repro.core.scheduler.plan_multi_region` under the live trunk-port
+budget.  Cross-pod slices pay for the privilege twice: the rewiring
+additionally programs the trunk bank (extra critical-path latency), and
+every link that leaves the pod taxes the job's step time — the
+trunk-hop bandwidth tax, charged as a slowdown proportional to the
+placement's cross-link share.
+
 OCS placement is flexible but not free: starting a slice rewires the
-pod's optical fabric (:mod:`repro.fleet.fabric`), and that switching
-latency is charged on the job's critical path before its first segment
-runs.  The placement *strategy* picks among feasible placements —
-first-fit, best-fit (minimal fragmentation), or defrag, which plans an
-OCS rewiring that compacts free blocks (migrating small jobs off one
-pod) when a job would otherwise queue.
+optical fabric, and that switching latency is charged on the job's
+critical path before its first segment runs.  The placement *strategy*
+picks among feasible placements — first-fit, best-fit (minimal
+fragmentation on one pod; minimal pod spill and trunk usage across
+pods), or defrag, which plans an OCS rewiring that compacts free blocks
+(migrating small jobs off one pod, across pods when needed) when a job
+would otherwise queue.
 """
 
 from __future__ import annotations
@@ -24,7 +35,7 @@ from dataclasses import dataclass, field
 from repro.core.block import HOSTS_PER_BLOCK
 from repro.core.checkpoint import CheckpointParams, optimal_interval
 from repro.core.scheduler import (PlacementPolicy, PlacementStrategy,
-                                  SliceScheduler)
+                                  SliceScheduler, plan_multi_region)
 from repro.errors import SchedulingError
 from repro.fleet.cluster import FleetState, Pod
 from repro.fleet.config import FleetConfig
@@ -33,6 +44,9 @@ from repro.fleet.workload import FleetJob
 from repro.sim.events import AnyEvent, Simulator
 
 _EPSILON = 1e-9
+
+#: One placement: (pod, physical blocks) per pod, in virtual slot order.
+Placement = list[tuple[Pod, list[int]]]
 
 
 @dataclass
@@ -44,17 +58,43 @@ class ActiveJob:
     submitted_at: float
     pending_restore: float = 0.0
     pending_reconfig: float = 0.0
-    pod_id: int | None = None
-    blocks: list[int] = field(default_factory=list)
+    #: (pod id, blocks) per pod in slot order; empty while queued.
+    assignments: list[tuple[int, list[int]]] = field(default_factory=list)
     started_at: float = 0.0
     interval: float = math.inf   # checkpoint cadence; inf for serving
     overhead: float = 1.0        # wall-clock per useful second
+    trunk_tax: float = 0.0       # extra wall per useful second, cross-pod
+    trunk_ports_held: int = 0    # trunk endpoints held across all pods
     completion: AnyEvent = None
 
     @property
     def running(self) -> bool:
         """True while the job holds blocks."""
-        return self.pod_id is not None
+        return bool(self.assignments)
+
+    @property
+    def is_cross_pod(self) -> bool:
+        """True while the job's slice spans more than one pod."""
+        return len(self.assignments) > 1
+
+    @property
+    def pod_id(self) -> int | None:
+        """The hosting pod of a single-pod placement; None otherwise."""
+        if len(self.assignments) == 1:
+            return self.assignments[0][0]
+        return None
+
+    @property
+    def blocks(self) -> list[int]:
+        """Every block the job holds, across all pods, in slot order."""
+        return [block for _, pod_blocks in self.assignments
+                for block in pod_blocks]
+
+    def blocks_on(self, pod_id: int) -> int:
+        """Blocks the job holds on one pod."""
+        return sum(len(pod_blocks)
+                   for held_pod, pod_blocks in self.assignments
+                   if held_pod == pod_id)
 
 
 class FleetScheduler:
@@ -94,17 +134,20 @@ class FleetScheduler:
         """
         while self._dispatch_pass():
             pass
+        if __debug__:
+            self.state.check_invariants()
 
     def _dispatch_pass(self) -> bool:
         """One placement sweep; returns True when a re-pass could help."""
         moved_any = False
         # Within a pass, free space only shrinks and (because the queue
         # is priority-sorted) no preemptible job starts before a
-        # preemptor is considered — so a failed placement, defrag, or
-        # preemption attempt stays failed for identical later requests,
-        # until an eviction or migration actually moves blocks.
+        # preemptor is considered — so a failed placement, defrag,
+        # cross-pod, or preemption attempt stays failed for identical
+        # later requests, until an eviction or migration moves blocks.
         failed_shapes: set = set()
         failed_defrags: set[int] = set()
+        failed_cross: set = set()
         failed_preemptions: set = set()
         for active in sorted(self.queue, key=self._queue_order):
             shape = active.job.shape
@@ -122,9 +165,14 @@ class FleetScheduler:
                     moved_any = True
                     failed_shapes.clear()
                     failed_defrags.clear()
+                    failed_cross.clear()
                     failed_preemptions.clear()
                 else:
                     failed_defrags.add(active.job.blocks)
+            if placement is None and shape not in failed_cross:
+                placement = self._find_cross_pod(active.job)
+                if placement is None:
+                    failed_cross.add(shape)
             if placement is None and can_preempt:
                 key = (shape, active.job.priority)
                 if key not in failed_preemptions:
@@ -133,17 +181,17 @@ class FleetScheduler:
                         moved_any = True
                         failed_shapes.clear()
                         failed_defrags.clear()
+                        failed_cross.clear()
                         failed_preemptions.clear()
                     else:
                         failed_preemptions.add(key)
             if placement is None:
                 continue  # backfill: later (smaller) jobs may still fit
-            pod, blocks = placement
-            self._start(active, pod, blocks)
+            self._start(active, placement)
         return moved_any
 
-    def _find_anywhere(self, job: FleetJob) -> tuple[Pod, list[int]] | None:
-        """A free placement for `job` under the configured strategy.
+    def _find_anywhere(self, job: FleetJob) -> Placement | None:
+        """A free single-pod placement under the configured strategy.
 
         first_fit scans pods in id order; best_fit and defrag take the
         feasible pod with the least free space left over, preserving
@@ -162,17 +210,48 @@ class FleetScheduler:
             if pod.num_free < needed:
                 continue
             if self.policy is PlacementPolicy.OCS:
-                return pod, pod.first_free(needed)
+                return [(pod, pod.first_free(needed))]
             blocks = pod.find_placement(job.shape, self.policy,
                                         self.strategy)
             if blocks is not None:
-                return pod, blocks
+                return [(pod, blocks)]
         return None
+
+    # -- cross-pod placement ------------------------------------------------------
+
+    def _find_cross_pod(self, job: FleetJob) -> Placement | None:
+        """A cross-pod placement over the trunk layer, or None.
+
+        Only jobs whose block demand exceeds one pod span pods — the
+        paper's machine exists for exactly those slices — and only on an
+        OCS machine with cross-pod placement enabled: a statically-wired
+        fleet has no trunk layer to ride.  The per-pod split comes from
+        :func:`plan_multi_region` under the live trunk-port budget, so a
+        placement that would oversubscribe any pod's trunks is never
+        attempted.
+        """
+        machine = self.state.machine
+        if machine is None or not self.config.cross_pod or \
+                self.policy is not PlacementPolicy.OCS or \
+                len(self.state.pods) < 2:
+            return None
+        needed = job.blocks
+        if needed <= self.state.pods[0].num_blocks:
+            return None  # fits one pod in principle; spill never pays
+        if self.state.total_free < needed:
+            return None
+        placement = plan_multi_region(
+            job.shape, self.state.free_by_pod(), self.strategy,
+            trunk_budget=machine.trunk_budget())
+        if placement is None:
+            return None
+        return [(self.state.pods[pod_id],
+                 self.state.pods[pod_id].first_free(take))
+                for pod_id, take in placement.region_blocks]
 
     # -- preemption ---------------------------------------------------------------
 
-    def _preempt_for(self, active: ActiveJob
-                     ) -> tuple[Pod, list[int]] | None:
+    def _preempt_for(self, active: ActiveJob) -> Placement | None:
         """Evict lower-priority work to make room, if that can succeed.
 
         Victims are considered hypothetically first — lowest priority,
@@ -180,7 +259,9 @@ class FleetScheduler:
         only once a victim set that actually yields a placement is
         found, and then only the victims whose blocks that placement
         uses, so neither static-fragmentation dead ends nor bystanders
-        in the considered set suffer pointless churn.
+        in the considered set suffer pointless churn.  A cross-pod
+        victim loses its whole slice (its other pods' blocks free as a
+        side effect), which only helps later queue entries.
         """
         for pod in self.state.pods_by_space():
             victims = sorted(
@@ -206,13 +287,12 @@ class FleetScheduler:
                             if owner == candidate.job.job_id}
                     if held & needed:
                         self._interrupt(candidate, preempted=True)
-                return pod, blocks
+                return [(pod, blocks)]
         return None
 
     # -- defragmentation ----------------------------------------------------------
 
-    def _defrag_for(self, active: ActiveJob
-                    ) -> tuple[Pod, list[int]] | None:
+    def _defrag_for(self, active: ActiveJob) -> Placement | None:
         """Compact free blocks onto one pod by migrating donors off it.
 
         The defrag strategy's OCS move: when a job would otherwise
@@ -230,10 +310,12 @@ class FleetScheduler:
                 self.config.defrag_max_moves == 0:
             return None
         needed = active.job.blocks
-        if sum(p.num_free for p in self.state.pods) < needed:
+        if self.state.total_free < needed:
             return None  # compaction cannot conjure capacity
         for pod in sorted(self.state.pods,
                           key=lambda p: (needed - p.num_free, p.pod_id)):
+            if needed > pod.num_blocks:
+                continue  # no compaction fits this job on one pod
             deficit = needed - pod.num_free
             if deficit <= 0:
                 continue  # _find_anywhere would have used it
@@ -245,7 +327,7 @@ class FleetScheduler:
             blocks = pod.first_free(needed)
             if blocks is None:  # pragma: no cover - plan guarantees fit
                 raise SchedulingError("defrag plan failed to free the pod")
-            return pod, blocks
+            return [(pod, blocks)]
         return None
 
     def _plan_moves(self, pod: Pod, deficit: int
@@ -253,17 +335,21 @@ class FleetScheduler:
         """Donors on `pod` (and destinations) freeing >= `deficit` blocks.
 
         Serving deployments never migrate (they are the user-facing
-        tier).  A single donor covering the whole deficit is preferred
-        (smallest such donor, least wasted churn); otherwise donors
-        accumulate largest-first so the fewest jobs pay migration cost.
+        tier).  A donor frees only the blocks it holds *on this pod* —
+        a cross-pod donor's slice is released everywhere, but its other
+        pods' blocks do not help the deficit here, so the plan counts
+        per-pod holdings.  A single donor covering the whole deficit is
+        preferred (smallest such donor, least wasted churn); otherwise
+        donors accumulate largest-first so the fewest jobs pay
+        migration cost.
         """
         donors = sorted(
             (self.running[job_id] for job_id in pod.jobs_on()
              if self.running[job_id].job.priority <
              self.config.preempt_priority),
-            key=lambda a: (a.job.blocks, a.job.job_id))
+            key=lambda a: (a.blocks_on(pod.pod_id), a.job.job_id))
         for donor in donors:  # smallest single donor that covers it
-            if donor.job.blocks < deficit:
+            if donor.blocks_on(pod.pod_id) < deficit:
                 continue
             dest = self._migration_target(donor, pod, {})
             if dest is not None:
@@ -271,8 +357,9 @@ class FleetScheduler:
         reserved: dict[int, int] = {}
         moves: list[tuple[ActiveJob, Pod]] = []
         freed = 0
-        for donor in sorted(donors, key=lambda a: (-a.job.blocks,
-                                                   a.job.job_id)):
+        for donor in sorted(donors,
+                            key=lambda a: (-a.blocks_on(pod.pod_id),
+                                           a.job.job_id)):
             if freed >= deficit or \
                     len(moves) == self.config.defrag_max_moves:
                 break
@@ -282,12 +369,17 @@ class FleetScheduler:
             reserved[dest.pod_id] = reserved.get(dest.pod_id, 0) + \
                 donor.job.blocks
             moves.append((donor, dest))
-            freed += donor.job.blocks
+            freed += donor.blocks_on(pod.pod_id)
         return moves if freed >= deficit else None
 
     def _migration_target(self, donor: ActiveJob, source: Pod,
                           reserved: dict[int, int]) -> Pod | None:
-        """Best-fit destination pod for a migrating donor, or None."""
+        """Best-fit destination pod for a migrating donor, or None.
+
+        The donor resettles as a single-pod slice (even if it ran
+        cross-pod before), so the destination needs room for its whole
+        demand.
+        """
         needed = donor.job.blocks
         best: Pod | None = None
         best_left = -1
@@ -317,23 +409,26 @@ class FleetScheduler:
         if blocks is None:  # pragma: no cover - reservation guarantees fit
             raise SchedulingError(
                 f"migration target pod {dest.pod_id} has no room")
-        self._start(active, dest, blocks, migration=True)
+        self._start(active, [(dest, blocks)], migration=True)
 
     # -- job lifecycle -----------------------------------------------------------
 
-    def _start(self, active: ActiveJob, pod: Pod, blocks: list[int],
+    def _start(self, active: ActiveJob, placement: Placement,
                migration: bool = False) -> None:
         job = active.job
-        pod.assign(blocks, job.job_id)
+        for pod, blocks in placement:
+            pod.assign(blocks, job.job_id)
         if not migration:
             self.queue.remove(active)
         self.running[job.job_id] = active
-        active.pod_id = pod.pod_id
-        active.blocks = list(blocks)
+        active.assignments = [(pod.pod_id, list(blocks))
+                              for pod, blocks in placement]
         active.started_at = self.sim.now
-        active.pending_reconfig = self._rewire(pod, job, blocks)
+        active.pending_reconfig = self._rewire(active)
 
         record = self.telemetry.record_for(job)
+        if active.is_cross_pod:
+            record.cross_pod_placements += 1
         if not migration:
             record.queue_waits.append(self.sim.now - active.submitted_at)
         if record.first_start is None:
@@ -348,27 +443,40 @@ class FleetScheduler:
             active.overhead = 1.0 + \
                 self.config.checkpoint_seconds / active.interval
         wall = active.pending_reconfig + active.pending_restore + \
-            active.remaining * active.overhead
+            active.remaining * active.overhead * (1.0 + active.trunk_tax)
         active.completion = self.sim.schedule(
             wall, lambda a=active: self._complete(a))
 
-    def _rewire(self, pod: Pod, job: FleetJob,
-                blocks: list[int]) -> float:
-        """Program the pod fabric for `job`; returns critical-path seconds.
+    def _rewire(self, active: ActiveJob) -> float:
+        """Program the machine fabric for a placement; critical-path cost.
 
         Static machines (no fabric) and sub-block slices (electrical
-        mesh only) need no rewiring and start instantly.
+        mesh only) need no rewiring and start instantly.  Cross-pod
+        placements additionally program the trunk bank and set the
+        segment's trunk-hop bandwidth tax, scaled by the share of the
+        slice's links that leave their pod.
         """
-        if pod.fabric is None:
+        active.trunk_tax = 0.0
+        active.trunk_ports_held = 0
+        machine = self.state.machine
+        if machine is None:
             return 0.0
-        plan = pod.fabric.plan(job.job_id, job.shape, blocks)
-        if not plan.adjacencies:
+        job = active.job
+        plan = machine.plan(job.job_id, job.shape, active.assignments)
+        if plan.empty:
             return 0.0
-        pod.fabric.apply(plan)
+        machine.apply(plan)
         self.telemetry.ocs_reconfigurations += 1
         self.telemetry.circuits_programmed += plan.num_circuits
+        if plan.cross_pod:
+            self.telemetry.trunk_circuits_programmed += \
+                plan.num_trunk_circuits
+            active.trunk_tax = self.config.trunk_bandwidth_tax * \
+                plan.cross_fraction
+            active.trunk_ports_held = plan.total_trunk_ports
         return plan.latency_seconds(self.config.reconfig_base_seconds,
-                                    self.config.ocs_switch_seconds)
+                                    self.config.ocs_switch_seconds,
+                                    self.config.trunk_reconfig_seconds)
 
     def _segment_progress(self, active: ActiveJob, elapsed: float
                           ) -> tuple[float, float, float, float]:
@@ -379,12 +487,14 @@ class FleetScheduler:
         relies on: elapsed = reconfig + restore + run_wall — the fabric
         rewires, then the checkpoint restores, then the job runs — and
         progressed useful work is run_wall discounted by the
-        checkpoint-write overhead.
+        checkpoint-write overhead and, on a cross-pod slice, by the
+        trunk-hop bandwidth tax.
         """
         reconfig = min(elapsed, active.pending_reconfig)
         restore = min(elapsed - reconfig, active.pending_restore)
         run_wall = elapsed - reconfig - restore
-        return reconfig, restore, run_wall, run_wall / active.overhead
+        progressed = run_wall / (active.overhead * (1.0 + active.trunk_tax))
+        return reconfig, restore, run_wall, progressed
 
     def _complete(self, active: ActiveJob) -> None:
         job = active.job
@@ -392,9 +502,10 @@ class FleetScheduler:
         reconfig, restore, run_wall, _ = self._segment_progress(active,
                                                                 elapsed)
         useful = active.remaining
-        writes = max(0.0, run_wall - useful)
+        stall = useful * active.overhead * active.trunk_tax
+        writes = max(0.0, run_wall - useful - stall)
         self._account_segment(active, elapsed, reconfig, restore, useful,
-                              0.0, writes)
+                              0.0, writes, stall)
         self._release(active)
         active.remaining = 0.0
         self.telemetry.record_for(job).completed_at = self.sim.now
@@ -421,9 +532,10 @@ class FleetScheduler:
         else:
             saved = math.floor(progressed / active.interval) * active.interval
             replay = progressed - saved
-        writes = max(0.0, run_wall - progressed)
+        stall = progressed * active.overhead * active.trunk_tax
+        writes = max(0.0, run_wall - progressed - stall)
         self._account_segment(active, elapsed, reconfig, restore, saved,
-                              replay, writes)
+                              replay, writes, stall)
         self._release(active)
         active.remaining = max(0.0, active.remaining - saved)
         active.pending_reconfig = 0.0  # a restart replans the fabric
@@ -445,25 +557,43 @@ class FleetScheduler:
         self.queue.append(active)
 
     def _release(self, active: ActiveJob) -> None:
-        pod = self.state.pods[active.pod_id]
-        pod.release(active.job.job_id)
-        if pod.fabric is not None:
-            pod.fabric.release(active.job.job_id)
+        for pod_id, _ in active.assignments:
+            self.state.pods[pod_id].release(active.job.job_id)
+        if self.state.machine is not None:
+            self.state.machine.release(active.job.job_id)
+        if active.trunk_ports_held:
+            self.telemetry.trunk_port_seconds += active.trunk_ports_held * \
+                (self.sim.now - active.started_at)
         del self.running[active.job.job_id]
-        active.pod_id = None
-        active.blocks = []
+        active.assignments = []
+        active.trunk_tax = 0.0
+        active.trunk_ports_held = 0
 
     def _account_segment(self, active: ActiveJob, elapsed: float,
                          reconfig: float, restore: float, useful: float,
-                         replay: float, writes: float) -> None:
+                         replay: float, writes: float,
+                         stall: float = 0.0) -> None:
+        """Bank one segment into the identity's buckets.
+
+        Trunk stall is busy time the slice spends on trunk-hop links:
+        part of the job's step time, so it rides inside the goodput
+        bucket (keeping utilization = goodput + replay + restore +
+        checkpoint + reconfig exact) while being surfaced separately —
+        and excluded from the job's own useful-progress credit.
+        """
         blocks = active.job.blocks
-        self.telemetry.record_for(active.job).useful_seconds += useful
+        record = self.telemetry.record_for(active.job)
+        record.useful_seconds += useful
+        record.trunk_stall_seconds += stall
         self.telemetry.busy_block_seconds += elapsed * blocks
-        self.telemetry.useful_block_seconds += useful * blocks
+        self.telemetry.useful_block_seconds += (useful + stall) * blocks
+        self.telemetry.trunk_stall_block_seconds += stall * blocks
         self.telemetry.reconfig_block_seconds += reconfig * blocks
         self.telemetry.restore_block_seconds += restore * blocks
         self.telemetry.replay_block_seconds += replay * blocks
         self.telemetry.checkpoint_block_seconds += writes * blocks
+        if active.is_cross_pod:
+            self.telemetry.cross_pod_block_seconds += elapsed * blocks
 
     # -- failure hooks -----------------------------------------------------------
 
@@ -488,13 +618,18 @@ class FleetScheduler:
 
         Running jobs get their progressed (not just checkpointed) work
         counted as useful — the run is ongoing, nothing is lost — which
-        treats both placement policies identically.
+        treats both placement policies identically.  Trunk ports held
+        by running cross-pod slices are charged to the horizon.
         """
         for active in list(self.running.values()):
             elapsed = horizon - active.started_at
             reconfig, restore, run_wall, progressed = \
                 self._segment_progress(active, elapsed)
             progressed = min(active.remaining, progressed)
-            writes = max(0.0, run_wall - progressed)
+            stall = progressed * active.overhead * active.trunk_tax
+            writes = max(0.0, run_wall - progressed - stall)
             self._account_segment(active, elapsed, reconfig, restore,
-                                  progressed, 0.0, writes)
+                                  progressed, 0.0, writes, stall)
+            if active.trunk_ports_held:
+                self.telemetry.trunk_port_seconds += \
+                    active.trunk_ports_held * (horizon - active.started_at)

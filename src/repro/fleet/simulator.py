@@ -10,22 +10,29 @@ OCS and static placement policies — the fleet-scale version of the
 Figure 4 comparison — and, orthogonally, under any placement strategy
 (first_fit, best_fit, defrag), all on byte-identical inputs.
 
-OCS runs carry live per-pod fabric state: every placement rewires the
-pod's switches and pays the reconfiguration latency on its critical
-path, so the flexibility-vs-latency tradeoff of Section 2.2 shows up
-in the telemetry.
+OCS runs carry live machine-wide fabric state: every placement rewires
+its pods' switches — and, for cross-pod slices, the machine-level
+trunk bank — paying reconfiguration latency on its critical path and a
+trunk-hop bandwidth tax while running, so the flexibility-vs-latency
+tradeoff of Section 2.2 shows up in the telemetry at machine scale.
+The failure trace may route optical-port outages through spare-port
+repair (Section 2.2's "link testing and repairs") before the run
+starts, keeping traces policy-independent.
 """
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 
 from repro.core.scheduler import PlacementPolicy, PlacementStrategy
 from repro.fleet.cluster import FleetState
-from repro.fleet.config import (FleetConfig, STREAM_ARRIVALS,
-                                STREAM_FAILURES, STREAM_SHAPES)
+from repro.fleet.config import (FleetConfig, NUM_STREAMS, STREAM_ARRIVALS,
+                                STREAM_FAILURES, STREAM_REPAIRS,
+                                STREAM_SHAPES)
 from repro.fleet.failures import (BlockOutage, build_failure_trace,
-                                  downtime_block_seconds)
+                                  downtime_block_seconds,
+                                  spare_repair_count)
 from repro.fleet.scheduler import FleetScheduler
 from repro.fleet.telemetry import FleetTelemetry
 from repro.fleet.workload import FleetJob, generate_jobs
@@ -69,6 +76,15 @@ class FleetReport:
             f"reconfigurations, "
             f"{self.summary['circuits_programmed']:.0f} circuits, "
             f"{self.summary['reconfig_fraction']:.4f} of capacity",
+            f"  cross-pod: "
+            f"{self.summary['job_cross_pod_placements']:.0f} placements, "
+            f"{self.summary['cross_pod_fraction']:.3f} of busy "
+            f"block-time, trunk util "
+            f"{self.summary['trunk_utilization']:.3f}, stall "
+            f"{self.summary['trunk_stall_fraction']:.4f}",
+            f"  repairs: {self.summary['spare_port_repairs']:.0f} of "
+            f"{self.summary['block_failures']:.0f} outages absorbed by "
+            f"spare ports",
             f"  lost fractions: replay "
             f"{self.summary['replay_fraction']:.4f}  restore "
             f"{self.summary['restore_fraction']:.4f}  checkpoint writes "
@@ -87,12 +103,13 @@ class FleetSimulator:
     trace: list[BlockOutage] = field(init=False)
 
     def __post_init__(self) -> None:
-        rngs = spawn_rngs(self.seed, 3)
+        rngs = spawn_rngs(self.seed, NUM_STREAMS)
         self.jobs = generate_jobs(self.config,
                                   arrival_rng=rngs[STREAM_ARRIVALS],
                                   shape_rng=rngs[STREAM_SHAPES])
         self.trace = build_failure_trace(self.config,
-                                         rngs[STREAM_FAILURES])
+                                         rngs[STREAM_FAILURES],
+                                         repair_rng=rngs[STREAM_REPAIRS])
 
     def run(self, policy: PlacementPolicy,
             strategy: PlacementStrategy | None = None) -> FleetReport:
@@ -108,8 +125,10 @@ class FleetSimulator:
             self.config.strategy
         sim = Simulator()
         state = FleetState(self.config.num_pods, self.config.blocks_per_pod,
-                           with_fabric=policy is PlacementPolicy.OCS)
+                           with_fabric=policy is PlacementPolicy.OCS,
+                           trunk_ports=self.config.trunk_ports)
         telemetry = FleetTelemetry()
+        telemetry.spare_port_repairs = spare_repair_count(self.trace)
         scheduler = FleetScheduler(self.config, policy, sim, state,
                                    telemetry, strategy=strategy)
         for job in self.jobs:
@@ -127,12 +146,15 @@ class FleetSimulator:
         sim.run(until=self.config.horizon_seconds)
         scheduler.finalize(self.config.horizon_seconds)
         capacity = self.config.total_blocks * self.config.horizon_seconds
+        trunk_total = self.config.trunk_capacity \
+            if policy is PlacementPolicy.OCS else 0
         return FleetReport(
             policy=policy, strategy=strategy, config=self.config,
             seed=self.seed,
             summary=telemetry.summary(
                 total_blocks=self.config.total_blocks,
-                horizon_seconds=self.config.horizon_seconds),
+                horizon_seconds=self.config.horizon_seconds,
+                trunk_ports_total=trunk_total),
             events_fired=sim.events_fired,
             downtime_fraction=downtime_block_seconds(self.trace) / capacity)
 
@@ -166,3 +188,23 @@ def compare_strategies(config: FleetConfig, *, seed: int = 0,
     simulator = FleetSimulator(config, seed=seed)
     return {strategy.value: simulator.run(policy, strategy)
             for strategy in PlacementStrategy}
+
+
+def compare_cross_pod(config: FleetConfig, *, seed: int = 0,
+                      strategy: PlacementStrategy | None = None
+                      ) -> dict[str, FleetReport]:
+    """OCS runs with and without cross-pod placement, identical inputs.
+
+    The machine-wide A/B: job generation and the failure trace never
+    depend on the `cross_pod` flag, so both runs replay byte-identical
+    streams — the only difference is whether jobs larger than a pod can
+    ride the trunk layer or must queue forever.
+    """
+    enabled = dataclasses.replace(config, cross_pod=True)
+    disabled = dataclasses.replace(config, cross_pod=False)
+    return {
+        "cross_pod": FleetSimulator(enabled, seed=seed).run(
+            PlacementPolicy.OCS, strategy),
+        "single_pod": FleetSimulator(disabled, seed=seed).run(
+            PlacementPolicy.OCS, strategy),
+    }

@@ -5,7 +5,20 @@ block-time doing useful work — split from plain utilization (block-time
 merely occupied) by the failure taxes: replayed work since the last
 checkpoint, restore time, checkpoint writes, and (new with per-pod
 fabric state) OCS reconfiguration latency spent rewiring a slice's
-optical links before it can run.
+optical links before it can run.  The identity
+
+    utilization = goodput + replay + restore + checkpoint + reconfig
+
+is the load-bearing contract every accounting path preserves.
+
+Machine-wide placement adds the trunk dimension: block-time on
+cross-pod slices (`cross_pod_fraction`), trunk-port occupancy
+(`trunk_utilization`), and the trunk-hop bandwidth tax.  The tax is
+time a cross-pod slice spends waiting on trunk-hop links rather than
+computing; it is part of the job's step time — the machine is busy
+running the job, just on a worse topology — so it stays inside goodput,
+with its size surfaced separately as `trunk_stall_fraction` (a subset
+of goodput, not a sixth identity term).
 
 The summary must stay well-formed JSON for any run, including an empty
 one (zero jobs, zero horizon): every ratio is guarded so no NaN or
@@ -32,10 +45,12 @@ class JobRecord:
     first_start: float | None = None
     completed_at: float | None = None
     useful_seconds: float = 0.0
+    trunk_stall_seconds: float = 0.0
     queue_waits: list[float] = field(default_factory=list)
     interruptions: int = 0
     preemptions: int = 0
     migrations: int = 0
+    cross_pod_placements: int = 0
 
     @property
     def completed(self) -> bool:
@@ -70,9 +85,14 @@ class FleetTelemetry:
     restore_block_seconds: float = 0.0
     checkpoint_block_seconds: float = 0.0
     reconfig_block_seconds: float = 0.0
+    cross_pod_block_seconds: float = 0.0
+    trunk_stall_block_seconds: float = 0.0
+    trunk_port_seconds: float = 0.0
     block_failures: int = 0
+    spare_port_repairs: int = 0
     ocs_reconfigurations: int = 0
     circuits_programmed: int = 0
+    trunk_circuits_programmed: int = 0
 
     @property
     def preemption_events(self) -> int:
@@ -84,6 +104,11 @@ class FleetTelemetry:
         """Total defrag migrations, rolled up from per-job records."""
         return sum(r.migrations for r in self.records.values())
 
+    @property
+    def cross_pod_placements(self) -> int:
+        """Total cross-pod slice starts, rolled up from per-job records."""
+        return sum(r.cross_pod_placements for r in self.records.values())
+
     def record_for(self, job) -> JobRecord:
         """Get or create the record of a :class:`FleetJob`."""
         if job.job_id not in self.records:
@@ -93,8 +118,8 @@ class FleetTelemetry:
                 work_seconds=job.work_seconds)
         return self.records[job.job_id]
 
-    def summary(self, *, total_blocks: int,
-                horizon_seconds: float) -> dict[str, float]:
+    def summary(self, *, total_blocks: int, horizon_seconds: float,
+                trunk_ports_total: int = 0) -> dict[str, float]:
         """Fleet-wide headline metrics as a flat, stable-keyed dict."""
         capacity = total_blocks * horizon_seconds
         records = list(self.records.values())
@@ -115,9 +140,13 @@ class FleetTelemetry:
                 sum(r.preemptions for r in records)),
             "job_migrations": float(
                 sum(r.migrations for r in records)),
+            "job_cross_pod_placements": float(self.cross_pod_placements),
             "block_failures": float(self.block_failures),
+            "spare_port_repairs": float(self.spare_port_repairs),
             "ocs_reconfigurations": float(self.ocs_reconfigurations),
             "circuits_programmed": float(self.circuits_programmed),
+            "trunk_circuits_programmed": float(
+                self.trunk_circuits_programmed),
             "utilization": _fraction(self.busy_block_seconds, capacity),
             "goodput": _fraction(self.useful_block_seconds, capacity),
             "replay_fraction": _fraction(self.replay_block_seconds,
@@ -128,13 +157,22 @@ class FleetTelemetry:
                                              capacity),
             "reconfig_fraction": _fraction(self.reconfig_block_seconds,
                                            capacity),
+            "cross_pod_fraction": _fraction(self.cross_pod_block_seconds,
+                                            self.busy_block_seconds),
+            "trunk_stall_fraction": _fraction(
+                self.trunk_stall_block_seconds, capacity),
+            "trunk_utilization": _fraction(
+                self.trunk_port_seconds,
+                trunk_ports_total * horizon_seconds),
         }
         if waits:
             out["mean_queue_wait"] = sum(waits) / len(waits)
+            out["median_queue_wait"] = _percentile(waits, 0.50)
             out["p95_queue_wait"] = _percentile(waits, 0.95)
             out["max_queue_wait"] = max(waits)
         else:
             out["mean_queue_wait"] = 0.0
+            out["median_queue_wait"] = 0.0
             out["p95_queue_wait"] = 0.0
             out["max_queue_wait"] = 0.0
         return out

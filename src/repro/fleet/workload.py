@@ -139,9 +139,18 @@ def generate_jobs(config: FleetConfig, *,
     Arrivals are a Poisson process cut at the config's arrival window;
     everything else (shape, type, duration, priority, serving flag) is
     drawn per-job from `shape_rng`.
+
+    A machine-wide config (`max_job_blocks` above one pod) samples the
+    untruncated-geometry Table 2 mix: shapes larger than a pod exist in
+    production exactly because the machine-level OCS layer can stitch
+    them across pods, so no pod-grid filter applies — under static
+    wiring (or with cross-pod placement disabled) those jobs simply
+    queue forever, which is the comparison's point.
     """
-    shapes, shape_p = truncated_slice_mix(config.max_job_blocks,
-                                          grid_side=config.pod_grid_side)
+    shapes, shape_p = truncated_slice_mix(
+        config.max_job_blocks,
+        grid_side=None if config.machine_wide_jobs
+        else config.pod_grid_side)
     kinds, kind_p = model_type_mix()
     serve_shape = serving_shape(config) if config.serving_fraction > 0 \
         else None

@@ -181,6 +181,40 @@ def release_slice(fabric: OCSFabric, wiring: SliceWiring) -> None:
 
 BlockAdjacency = tuple[int, int, int]  # (dim, low_block, high_block)
 
+#: An adjacency over virtual grid *slots* rather than physical blocks:
+#: (dim, low_slot, high_slot).  Who occupies a slot — a block of one pod,
+#: or of another pod reached over the machine trunk layer — is the
+#: caller's degree of freedom.
+SlotAdjacency = tuple[int, int, int]
+
+
+def grid_adjacency_indices(grid: tuple[int, int, int]
+                           ) -> list[SlotAdjacency]:
+    """Wraparound torus adjacencies of a block grid, in slot indices.
+
+    Slots are row-major grid positions.  Every slot contributes exactly
+    one "+"-face adjacency per dimension (its torus neighbor, wrapping),
+    so a grid of n slots always yields 3*n adjacencies.  This is the
+    layout walk shared by per-pod wiring (:func:`block_torus_adjacencies`)
+    and the machine-level trunk classification in
+    :mod:`repro.fleet.machine`, which maps slots onto (pod, block) pairs
+    and splits the same adjacencies into intra-pod and cross-pod sets.
+    """
+    a, b, c = grid
+
+    def at(i: int, j: int, k: int) -> int:
+        return (i * b + j) * c + k
+
+    adjacencies: list[SlotAdjacency] = []
+    for i in range(a):
+        for j in range(b):
+            for k in range(c):
+                low = at(i, j, k)
+                adjacencies.append((0, low, at((i + 1) % a, j, k)))
+                adjacencies.append((1, low, at(i, (j + 1) % b, k)))
+                adjacencies.append((2, low, at(i, j, (k + 1) % c)))
+    return adjacencies
+
 
 def block_torus_adjacencies(grid: tuple[int, int, int],
                             blocks: list[int]) -> list[BlockAdjacency]:
@@ -198,19 +232,8 @@ def block_torus_adjacencies(grid: tuple[int, int, int],
     if a * b * c != len(blocks):
         raise OCSError(
             f"grid {grid} does not cover {len(blocks)} blocks")
-
-    def at(i: int, j: int, k: int) -> int:
-        return blocks[(i * b + j) * c + k]
-
-    adjacencies: list[BlockAdjacency] = []
-    for i in range(a):
-        for j in range(b):
-            for k in range(c):
-                low = at(i, j, k)
-                adjacencies.append((0, low, at((i + 1) % a, j, k)))
-                adjacencies.append((1, low, at(i, (j + 1) % b, k)))
-                adjacencies.append((2, low, at(i, j, (k + 1) % c)))
-    return adjacencies
+    return [(dim, blocks[low], blocks[high])
+            for dim, low, high in grid_adjacency_indices(grid)]
 
 
 def program_adjacencies(fabric: OCSFabric,

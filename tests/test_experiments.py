@@ -18,7 +18,7 @@ class TestRegistry:
             "figure14", "figure15", "figure16", "figure17",
             "section29", "section210", "section73", "section76",
             "section79", "section710",
-            "fleet", "fleet_strategies",
+            "fleet", "fleet_strategies", "fleet_crosspod",
         }
         assert set(ALL_EXPERIMENTS) == expected
 

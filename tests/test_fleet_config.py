@@ -21,13 +21,19 @@ class TestValidation:
         dict(mean_interarrival_seconds=0.0),
         dict(serving_fraction=1.5),
         dict(max_job_blocks=0),
-        dict(max_job_blocks=65),
+        dict(max_job_blocks=129),          # over the machine, not a pod
         dict(host_mtbf_seconds=0.0),
         dict(mean_repair_seconds=-1.0),
         dict(checkpoint_seconds=0.0),
         dict(restore_seconds=-100.0),
         dict(serving_qps=0.0),
         dict(mean_serving_seconds=0.0),
+        dict(trunk_ports=-1),
+        dict(trunk_bandwidth_tax=-0.1),
+        dict(trunk_reconfig_seconds=-1.0),
+        dict(spare_ports=-1),
+        dict(optical_failure_fraction=1.5),
+        dict(port_repair_seconds=-1.0),
     ])
     def test_rejected(self, overrides):
         with pytest.raises(ConfigurationError):
@@ -36,3 +42,11 @@ class TestValidation:
     def test_zero_serving_fraction_skips_qps_check(self):
         config = FleetConfig(serving_fraction=0.0, serving_qps=0.0)
         assert config.serving_fraction == 0.0
+
+    def test_machine_wide_jobs_allowed_past_one_pod(self):
+        # Demand above one pod is legal machine-wide; the flag flips.
+        config = FleetConfig(max_job_blocks=96)
+        assert config.machine_wide_jobs
+        assert not FleetConfig(max_job_blocks=64).machine_wide_jobs
+        assert config.trunk_capacity == \
+            config.num_pods * config.trunk_ports

@@ -10,15 +10,17 @@ trace — the comparison measures the scheduler, never the dice.
 
 import dataclasses
 import json
+import pathlib
 
 import pytest
 
 from repro.__main__ import main
 from repro.core.scheduler import PlacementPolicy, PlacementStrategy
-from repro.fleet import (FleetSimulator, compare_strategies, preset_config,
-                         run_fleet)
+from repro.fleet import (FleetSimulator, compare_cross_pod,
+                         compare_strategies, preset_config, run_fleet)
 
 STRATEGIES = [s.value for s in PlacementStrategy]
+GOLDEN_DIR = pathlib.Path(__file__).parent / "golden"
 
 
 def _tiny(strategy):
@@ -102,3 +104,48 @@ class TestStrategyReportLabels:
         for name, report in reports.items():
             assert report.strategy.value == name
             assert f"strategy={name}" in report.render()
+
+
+class TestCrossPodDeterminism:
+    def test_disabled_cross_pod_reproduces_pr2_medium_golden(self):
+        # The machine-wide refactor's regression contract: with
+        # cross-pod placement off, every metric the per-pod-only
+        # scheduler (PR 2) produced on the medium strategy sweep is
+        # reproduced bit for bit — the refactor added a layer, it did
+        # not move a single placement.  The golden file is the actual
+        # `fleet --preset medium --seed 0 --strategy all --json`
+        # output captured at the PR 2 commit.
+        golden = json.loads(
+            (GOLDEN_DIR / "fleet_medium_seed0_pr2.json").read_text())
+        config = dataclasses.replace(preset_config("medium"),
+                                     cross_pod=False)
+        reports = compare_strategies(config, seed=0)
+        for name, summary in golden.items():
+            for key, value in summary.items():
+                assert reports[name].summary[key] == value, \
+                    f"{name}.{key} drifted from PR 2"
+
+    def test_enabled_cross_pod_is_a_noop_below_one_pod(self):
+        # Medium's job mix never exceeds one pod, so enabling the
+        # trunk layer must change nothing there either.
+        enabled = run_fleet(preset_config("medium"), seed=0)
+        disabled = run_fleet(dataclasses.replace(
+            preset_config("medium"), cross_pod=False), seed=0)
+        assert json.dumps(enabled.summary, sort_keys=True) == \
+            json.dumps(disabled.summary, sort_keys=True)
+
+    def test_cross_pod_ab_runs_identical_inputs(self):
+        reports = compare_cross_pod(preset_config("large"), seed=0)
+        on, off = reports["cross_pod"], reports["single_pod"]
+        assert on.summary["jobs_submitted"] == \
+            off.summary["jobs_submitted"]
+        assert on.summary["block_failures"] == \
+            off.summary["block_failures"]
+        assert on.downtime_fraction == off.downtime_fraction
+
+    def test_large_preset_byte_identical_across_runs(self):
+        first = run_fleet(preset_config("large"), seed=7)
+        second = run_fleet(preset_config("large"), seed=7)
+        assert json.dumps(first.summary, sort_keys=True) == \
+            json.dumps(second.summary, sort_keys=True)
+        assert first.events_fired == second.events_fired

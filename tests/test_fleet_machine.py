@@ -1,0 +1,253 @@
+"""Tests for machine-wide placement: the trunk fabric layer, the
+multi-region placement planner, and fabric-aware spare-port repair."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.core.scheduler import (PlacementStrategy, SliceScheduler,
+                                  plan_multi_region)
+from repro.errors import OCSError
+from repro.fleet.config import FleetConfig
+from repro.fleet.failures import (apply_spare_repairs, build_failure_trace,
+                                  spare_repair_count)
+from repro.fleet.machine import MachineFabric
+from repro.fleet.presets import preset_config
+from repro.ocs.fabric import FACE_LINKS
+from repro.ocs.reconfigure import (block_torus_adjacencies,
+                                   grid_adjacency_indices)
+
+
+class TestGridAdjacencies:
+    def test_three_per_slot(self):
+        assert len(grid_adjacency_indices((2, 3, 4))) == 3 * 24
+
+    def test_matches_block_torus_wiring(self):
+        # The physical wiring is the slot walk with ids substituted.
+        grid = (1, 2, 2)
+        blocks = [7, 3, 11, 5]
+        assert block_torus_adjacencies(grid, blocks) == [
+            (dim, blocks[low], blocks[high])
+            for dim, low, high in grid_adjacency_indices(grid)]
+
+    def test_single_slot_wraps_onto_itself(self):
+        assert grid_adjacency_indices((1, 1, 1)) == [
+            (0, 0, 0), (1, 0, 0), (2, 0, 0)]
+
+
+class TestPlanMultiRegion:
+    # An (8, 8, 16) slice: 16 blocks on a (2, 2, 4) grid.
+    SHAPE = (8, 8, 16)
+
+    def test_single_region_when_it_fits(self):
+        placement = plan_multi_region(self.SHAPE, [(0, 16), (1, 16)],
+                                      PlacementStrategy.BEST_FIT)
+        assert placement.spill == 0
+        assert placement.num_trunk_adjacencies == 0
+        assert placement.region_blocks == ((0, 16),)
+
+    def test_spans_when_no_region_fits(self):
+        placement = plan_multi_region(self.SHAPE, [(0, 10), (1, 10)],
+                                      PlacementStrategy.BEST_FIT)
+        assert placement.spill == 1
+        assert placement.num_blocks == 16
+        assert placement.num_trunk_adjacencies > 0
+        # Both sides of every trunk adjacency terminate a port.
+        ports = placement.trunk_ports_by_region()
+        assert sum(ports.values()) == 2 * placement.num_trunk_adjacencies
+
+    def test_best_fit_minimizes_spill_then_trunks(self):
+        # 12 + 4 and 10 + 6 both cover 16 blocks with one spill;
+        # enumeration must pick the split with fewer trunk crossings,
+        # never a three-region split.
+        placement = plan_multi_region(
+            self.SHAPE, [(0, 6), (1, 12), (2, 10)],
+            PlacementStrategy.BEST_FIT)
+        assert placement.spill == 1
+        alternatives = [
+            plan_multi_region(self.SHAPE, [(a, take_a), (b, take_b)],
+                              PlacementStrategy.FIRST_FIT)
+            for a, take_a, b, take_b in
+            ((1, 12, 2, 10), (1, 12, 0, 6), (2, 10, 0, 6))]
+        assert placement.num_trunk_adjacencies == min(
+            alt.num_trunk_adjacencies for alt in alternatives)
+
+    def test_first_fit_takes_regions_in_order(self):
+        placement = plan_multi_region(self.SHAPE, [(0, 9), (1, 5), (2, 16)],
+                                      PlacementStrategy.FIRST_FIT)
+        assert placement.region_blocks == ((0, 9), (1, 5), (2, 2))
+
+    def test_trunk_budget_rejects_oversubscription(self):
+        generous = plan_multi_region(self.SHAPE, [(0, 10), (1, 10)],
+                                     PlacementStrategy.BEST_FIT,
+                                     trunk_budget={0: 100, 1: 100})
+        assert generous is not None
+        starved = plan_multi_region(self.SHAPE, [(0, 10), (1, 10)],
+                                    PlacementStrategy.BEST_FIT,
+                                    trunk_budget={0: 1, 1: 1})
+        assert starved is None
+
+    def test_insufficient_capacity_returns_none(self):
+        assert plan_multi_region(self.SHAPE, [(0, 8), (1, 7)],
+                                 PlacementStrategy.BEST_FIT) is None
+
+    def test_sub_block_returns_none(self):
+        assert plan_multi_region((2, 2, 4), [(0, 8), (1, 8)],
+                                 PlacementStrategy.BEST_FIT) is None
+
+    def test_deterministic(self):
+        pools = [(0, 7), (1, 9), (2, 5)]
+        first = plan_multi_region(self.SHAPE, pools,
+                                  PlacementStrategy.BEST_FIT)
+        second = plan_multi_region(self.SHAPE, pools,
+                                   PlacementStrategy.BEST_FIT)
+        assert first == second
+
+    def test_exposed_on_slice_scheduler(self):
+        assert SliceScheduler.place_multi(
+            self.SHAPE, [(0, 10), (1, 10)]) is not None
+
+
+class TestMachineFabric:
+    def _fabric(self, num_pods=2, blocks_per_pod=8, trunk_ports=48):
+        return MachineFabric(num_pods, blocks_per_pod, trunk_ports)
+
+    def _cross_plan(self, fabric, job_id=1):
+        # (4, 8, 16): 8 blocks on a (1, 2, 4) grid, split 5 + 3.
+        return fabric.plan(job_id, (4, 8, 16),
+                           [(0, [0, 1, 2, 3, 4]), (1, [0, 1, 2])])
+
+    def test_single_pod_plan_has_no_trunks(self):
+        fabric = self._fabric()
+        plan = fabric.plan(1, (4, 4, 8), [(0, [2, 5])])
+        assert not plan.cross_pod
+        assert plan.num_adjacencies == 3 * 2
+        assert plan.num_circuits == 6 * FACE_LINKS
+
+    def test_cross_pod_plan_splits_layers(self):
+        plan = self._cross_plan(self._fabric())
+        assert plan.cross_pod
+        # Every adjacency lands in exactly one layer.
+        assert plan.num_adjacencies == 3 * 8
+        assert plan.num_trunk_circuits == \
+            len(plan.trunk_adjacencies) * FACE_LINKS
+        assert plan.total_trunk_ports == 2 * len(plan.trunk_adjacencies)
+        assert 0.0 < plan.cross_fraction < 1.0
+
+    def test_cross_pod_latency_exceeds_single_pod(self):
+        fabric = self._fabric()
+        cross = self._cross_plan(fabric)
+        single = fabric.plan(2, (8, 8, 8), [(0, list(range(8)))])
+        assert cross.latency_seconds(30.0, 0.01, 15.0) > \
+            single.latency_seconds(30.0, 0.01, 15.0)
+        assert single.latency_seconds(30.0, 0.01, 15.0) == \
+            pytest.approx(30.0 + 0.01 * single.pod_plans[0][1]
+                          .moves_per_switch)
+
+    def test_apply_release_roundtrip(self):
+        fabric = self._fabric()
+        plan = self._cross_plan(fabric)
+        created = fabric.apply(plan)
+        assert created == plan.num_circuits
+        assert fabric.holds_trunks(1)
+        assert fabric.trunk_in_use() == plan.total_trunk_ports
+        fabric.check_trunk_accounting()
+        removed = fabric.release(1)
+        assert removed == created
+        assert fabric.trunk_in_use() == 0
+        assert not fabric.holds_trunks(1)
+        fabric.check_trunk_accounting()
+
+    def test_double_apply_rejected(self):
+        fabric = self._fabric()
+        fabric.apply(self._cross_plan(fabric))
+        with pytest.raises(OCSError):
+            fabric.apply(self._cross_plan(fabric))
+
+    def test_oversubscribed_trunks_rejected_atomically(self):
+        fabric = self._fabric(trunk_ports=1)
+        plan = self._cross_plan(fabric)
+        with pytest.raises(OCSError):
+            fabric.apply(plan)
+        # Nothing leaked: ports intact, no pod programmed.
+        assert fabric.trunk_in_use() == 0
+        assert all(pod.live_circuits == 0 for pod in fabric.pods)
+
+    def test_budget_reflects_held_ports(self):
+        fabric = self._fabric()
+        plan = self._cross_plan(fabric)
+        fabric.apply(plan)
+        budget = fabric.trunk_budget()
+        for pod_id, ports in plan.trunk_ports_by_pod().items():
+            assert budget[pod_id] == 48 - ports
+
+
+class TestSpareRepairs:
+    def _config(self, **overrides):
+        overrides.setdefault("num_pods", 1)
+        overrides.setdefault("blocks_per_pod", 8)
+        overrides.setdefault("max_job_blocks", 8)
+        overrides.setdefault("optical_failure_fraction", 1.0)
+        overrides.setdefault("spare_ports", 2)
+        overrides.setdefault("port_repair_seconds", 60.0)
+        return FleetConfig(**overrides)
+
+    def test_optical_outages_shortened(self):
+        config = self._config()
+        trace = build_failure_trace(config, np.random.default_rng(0),
+                                    repair_rng=np.random.default_rng(1))
+        repaired = [o for o in trace if o.via_spare]
+        assert repaired, "expected spare-port repairs"
+        assert all(o.duration <= 60.0 + 1e-9 for o in repaired)
+        assert spare_repair_count(trace) == len(repaired)
+
+    def test_spares_can_exhaust(self):
+        # Every outage optical, one spare, long quarantines: overlapping
+        # failures must fall back to full outages.
+        config = self._config(spare_ports=1,
+                              host_mtbf_seconds=4 * 86400.0)
+        trace = build_failure_trace(config, np.random.default_rng(3),
+                                    repair_rng=np.random.default_rng(4))
+        assert any(o.via_spare for o in trace)
+        assert any(not o.via_spare for o in trace)
+
+    def test_repair_never_lengthens_an_outage(self):
+        config = self._config(port_repair_seconds=1e9)
+        rng = np.random.default_rng(0)
+        base = build_failure_trace(config, np.random.default_rng(0))
+        repaired = apply_spare_repairs(config, base, rng)
+        for before, after in zip(base, repaired):
+            assert after.duration <= before.duration + 1e-9
+
+    def test_zero_fraction_leaves_trace_untouched(self):
+        config = self._config(optical_failure_fraction=0.0)
+        with_stream = build_failure_trace(
+            config, np.random.default_rng(0),
+            repair_rng=np.random.default_rng(1))
+        without = build_failure_trace(config, np.random.default_rng(0))
+        assert with_stream == without
+        assert spare_repair_count(with_stream) == 0
+
+    def test_repairs_deterministic(self):
+        config = self._config()
+        first = build_failure_trace(config, np.random.default_rng(5),
+                                    repair_rng=np.random.default_rng(6))
+        second = build_failure_trace(config, np.random.default_rng(5),
+                                     repair_rng=np.random.default_rng(6))
+        assert first == second
+
+
+class TestLargePreset:
+    def test_machine_wide_by_construction(self):
+        config = preset_config("large")
+        assert config.machine_wide_jobs
+        assert config.cross_pod
+        assert config.spare_ports > 0
+        assert config.optical_failure_fraction > 0
+
+    def test_replace_toggles_cross_pod_without_revalidation_error(self):
+        config = dataclasses.replace(preset_config("large"),
+                                     cross_pod=False)
+        assert not config.cross_pod
+        assert config.machine_wide_jobs  # the mix still spans pods

@@ -15,11 +15,13 @@ from repro.sim.events import Simulator
 
 def _make(policy=PlacementPolicy.OCS, num_pods=1, blocks_per_pod=8,
           **overrides):
+    overrides.setdefault("max_job_blocks", blocks_per_pod)
     config = FleetConfig(num_pods=num_pods, blocks_per_pod=blocks_per_pod,
-                         max_job_blocks=blocks_per_pod, **overrides)
+                         **overrides)
     sim = Simulator()
     state = FleetState(num_pods, blocks_per_pod,
-                       with_fabric=policy is PlacementPolicy.OCS)
+                       with_fabric=policy is PlacementPolicy.OCS,
+                       trunk_ports=config.trunk_ports)
     telemetry = FleetTelemetry()
     return FleetScheduler(config, policy, sim, state, telemetry)
 
@@ -330,3 +332,159 @@ class TestStrategies:
         scheduler.submit(_train(1, (8, 8, 8), 0.0, 100.0))
         assert 1 not in scheduler.running
         assert scheduler.telemetry.defrag_migrations == 0
+
+
+class TestCrossPod:
+    """Machine-wide placement over the trunk layer."""
+
+    def _make_wide(self, **overrides):
+        overrides.setdefault("num_pods", 2)
+        overrides.setdefault("max_job_blocks", 16)
+        return _make(policy=overrides.pop("policy", PlacementPolicy.OCS),
+                     **overrides)
+
+    #: 16 blocks — twice an 8-block pod, cross-pod or nothing.
+    WIDE = (8, 8, 16)
+
+    def test_larger_than_pod_spans_pods(self):
+        scheduler = self._make_wide()
+        scheduler.submit(_train(0, self.WIDE, 0.0, 1000.0))
+        active = scheduler.running[0]
+        assert active.is_cross_pod
+        assert {pod_id for pod_id, _ in active.assignments} == {0, 1}
+        assert len(active.blocks) == 16
+        assert active.trunk_tax > 0.0
+        assert active.trunk_ports_held > 0
+        assert scheduler.state.machine.trunk_in_use() == \
+            active.trunk_ports_held
+        record = scheduler.telemetry.records[0]
+        assert record.cross_pod_placements == 1
+
+    def test_completion_frees_blocks_and_trunks(self):
+        scheduler = self._make_wide()
+        scheduler.submit(_train(0, self.WIDE, 0.0, 1000.0))
+        scheduler.sim.run()
+        assert scheduler.telemetry.records[0].completed
+        assert scheduler.state.total_free == 16
+        assert scheduler.state.machine.trunk_in_use() == 0
+        assert scheduler.telemetry.trunk_port_seconds > 0
+        # The job's own credit is exactly its demand; the stall rode
+        # inside the goodput bucket on top of it.
+        record = scheduler.telemetry.records[0]
+        assert record.useful_seconds == pytest.approx(1000.0)
+        assert record.trunk_stall_seconds > 0.0
+        assert scheduler.telemetry.trunk_stall_block_seconds == \
+            pytest.approx(record.trunk_stall_seconds * 16)
+
+    def test_trunk_tax_slows_completion(self):
+        taxed = self._make_wide(trunk_bandwidth_tax=0.5)
+        untaxed = self._make_wide(trunk_bandwidth_tax=0.0)
+        for scheduler in (taxed, untaxed):
+            scheduler.submit(_train(0, self.WIDE, 0.0, 1000.0))
+            scheduler.sim.run()
+        assert taxed.telemetry.records[0].completed_at > \
+            untaxed.telemetry.records[0].completed_at
+
+    def test_cross_pod_reconfig_pays_trunk_window(self):
+        scheduler = self._make_wide(reconfig_base_seconds=30.0,
+                                    trunk_reconfig_seconds=45.0)
+        scheduler.submit(_train(0, self.WIDE, 0.0, 1000.0))
+        assert scheduler.running[0].pending_reconfig > 30.0 + 45.0
+        assert scheduler.telemetry.trunk_circuits_programmed > 0
+
+    def test_disabled_cross_pod_queues_forever(self):
+        scheduler = self._make_wide(cross_pod=False)
+        scheduler.submit(_train(0, self.WIDE, 0.0, 1000.0))
+        assert 0 not in scheduler.running
+        assert len(scheduler.queue) == 1
+
+    def test_static_policy_never_spans(self):
+        scheduler = self._make_wide(policy=PlacementPolicy.STATIC)
+        scheduler.submit(_train(0, self.WIDE, 0.0, 1000.0))
+        assert 0 not in scheduler.running
+
+    def test_no_trunk_ports_no_cross_pod(self):
+        scheduler = self._make_wide(trunk_ports=0)
+        scheduler.submit(_train(0, self.WIDE, 0.0, 1000.0))
+        assert 0 not in scheduler.running
+
+    def test_pod_sized_jobs_never_spill(self):
+        # A job that fits one pod must wait for one, not fragment
+        # across the trunk layer.
+        scheduler = self._make_wide()
+        scheduler.on_block_down(0, 7)
+        scheduler.on_block_down(1, 7)  # both pods: 7 free
+        scheduler.submit(_train(0, (8, 8, 8), 0.0, 1000.0))
+        assert 0 not in scheduler.running
+
+    def test_failure_on_any_pod_interrupts_whole_slice(self):
+        scheduler = self._make_wide()
+        scheduler.submit(_train(0, self.WIDE, 0.0, 50000.0))
+        scheduler.sim.run(until=10000.0)
+        scheduler.on_block_down(1, 0)  # second pod of the slice
+        record = scheduler.telemetry.records[0]
+        assert record.interruptions == 1
+        assert 0 not in scheduler.running
+        # Every pod's blocks and every trunk port came back.
+        assert scheduler.state.machine.trunk_in_use() == 0
+        assert scheduler.state.pods[0].num_busy == 0
+        scheduler.on_block_up(1, 0)
+        assert scheduler.running[0].is_cross_pod  # re-placed and resumed
+
+    def test_serving_preempts_cross_pod_batch(self):
+        scheduler = self._make_wide()
+        scheduler.submit(_train(0, self.WIDE, 0.0, 50000.0))
+        scheduler.submit(_serve(1, (4, 4, 4), 0.0, 1000.0))
+        assert 1 in scheduler.running
+        assert scheduler.telemetry.records[0].preemptions == 1
+        assert scheduler.state.machine.trunk_in_use() == 0
+
+
+class TestCancelledDefragMigration:
+    def test_cancelled_migration_keeps_every_index_clean(self):
+        # The drift regression behind FleetState.check_invariants: a
+        # defrag migration whose planned checkpoint covers the donor's
+        # whole remaining work is cancelled mid-plan — the donor
+        # completes instead of moving — and the freed blocks must be
+        # visible to the very same defrag pass, with every incremental
+        # index (free masks, counters, trunk ledger) still exact.
+        scheduler = _make(num_pods=2, strategy="defrag")
+        donor = _train(0, (4, 4, 8), 0.0, 1000.0)      # 2 blocks, pod 0
+        scheduler.submit(donor)
+        scheduler.submit(_train(1, (4, 4, 4), 0.0, 1e8))   # 1 block, pod 0
+        # Park a long job on pod 1 while pod 0's free blocks are down.
+        for block in (3, 4, 5, 6, 7):
+            scheduler.on_block_down(0, block)
+        scheduler.submit(_train(2, (4, 8, 8), 0.0, 1e8))   # 4 blocks, pod 1
+        assert scheduler.running[2].pod_id == 1
+        for block in (3, 4, 5, 6, 7):
+            scheduler.on_block_up(0, block)
+
+        active = scheduler.running[0]
+        # Fire the stuck arrival a hair before the donor's completion:
+        # the planned migration checkpoint then covers all but ~5e-10s
+        # of the donor's work — under the scheduler's epsilon, so the
+        # migration is cancelled and the donor simply completes.
+        t_mig = active.pending_reconfig + \
+            (donor.work_seconds - 5e-10) * active.overhead
+        big = _train(3, (4, 4, 28), t_mig, 100.0)          # 7 blocks
+        scheduler.sim.schedule_at(t_mig, lambda: scheduler.submit(big))
+        scheduler.sim.run(until=t_mig)
+
+        record = scheduler.telemetry.records[0]
+        assert record.completed
+        assert record.completed_at == t_mig
+        assert record.migrations == 0, "cancelled move must not count"
+        assert 0 not in scheduler.running
+        # The stuck job took the compacted pod in the same pass.
+        assert scheduler.running[3].pod_id == 0
+        assert scheduler.running[3].blocks_on(0) == 7
+        # And the from-scratch recomputation agrees with every index.
+        scheduler.state.check_invariants()
+        telemetry = scheduler.telemetry
+        parts = (telemetry.useful_block_seconds +
+                 telemetry.replay_block_seconds +
+                 telemetry.restore_block_seconds +
+                 telemetry.checkpoint_block_seconds +
+                 telemetry.reconfig_block_seconds)
+        assert telemetry.busy_block_seconds == pytest.approx(parts)
