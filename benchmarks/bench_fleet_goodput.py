@@ -1,20 +1,25 @@
-"""Benchmark: fleet-scale goodput — policies, strategies, cross-pod.
+"""Benchmark: fleet-scale goodput — policies, strategies, cross-pod, traces.
 
-Three headline claims ride here: the Figure 4 OCS-over-static goodput
+Five headline claims ride here: the Figure 4 OCS-over-static goodput
 gap (on identical failure traces), the placement-strategy family —
 best_fit and defrag must buy goodput over first_fit on the `medium`
 preset even though every OCS placement now pays real reconfiguration
-latency — and the machine-wide claim: on the `large` preset, whose
+latency — the machine-wide claim: on the `large` preset, whose
 Table 2 mix includes slices bigger than a pod, cross-pod placement over
 the trunk OCS layer must strictly beat the per-pod-only scheduler on
 goodput or median queue wait, even after paying trunk reconfiguration
-latency and the trunk-hop bandwidth tax.  The strategy sweep is also
-the dispatch-loop perf gate: three medium runs (a simulated month of
-4-pod fleet time) ride on the pod free-block index.
+latency and the trunk-hop bandwidth tax — the trace claim: a replayed
+JSONL recording must reproduce the recorded run's telemetry exactly —
+and the deployment claim: under the same multi-day rollout drain
+schedule, OCS goodput must stay strictly above static.  The strategy
+sweep is also the dispatch-loop perf gate: three medium runs (a
+simulated month of 4-pod fleet time) ride on the pod free-block index.
 """
 
-from repro.core.scheduler import PlacementStrategy
-from repro.fleet import compare_cross_pod, compare_strategies, preset_config
+from repro.core.scheduler import PlacementPolicy, PlacementStrategy
+from repro.fleet import (FleetSimulator, compare_cross_pod,
+                         compare_deployment, compare_strategies,
+                         dumps_trace, loads_trace, preset_config, trace_of)
 
 IDENTITY_PARTS = ("goodput", "replay_fraction", "restore_fraction",
                   "checkpoint_fraction", "reconfig_fraction")
@@ -96,3 +101,59 @@ def test_fleet_cross_pod_large(benchmark):
     # Spare-port repair absorbed some optical outages in both runs.
     assert enabled["spare_port_repairs"] > 0
     assert enabled["spare_port_repairs"] == disabled["spare_port_repairs"]
+
+
+def test_fleet_trace_replay_exact(run_report):
+    result = run_report("fleet_replay")
+    # The tentpole contract: a replayed trace reproduces the recorded
+    # run's telemetry byte for byte — scheduling is measured against
+    # replayed load, never fresh dice.
+    assert result.measured[
+        "replay reproduces recorded telemetry byte-for-byte"] == "yes"
+    assert result.measured["trace records round-tripped"] > 0
+    assert result.measured["jobs in trace"] > 0
+    assert result.measured["outages in trace"] > 0
+
+
+def test_fleet_trace_replay_under_sweep(benchmark):
+    # The replay substrate composes with the strategy machinery: replay
+    # the same recording under every strategy; the inputs never move.
+    config = preset_config("replay")
+    trace = loads_trace(dumps_trace(trace_of(FleetSimulator(config,
+                                                            seed=0))))
+
+    def sweep():
+        simulator = FleetSimulator.from_trace(trace)
+        return {s.value: simulator.run(PlacementPolicy.OCS, s)
+                for s in PlacementStrategy}
+
+    reports = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    failures = {r.summary["block_failures"] for r in reports.values()}
+    submitted = {r.summary["jobs_submitted"] for r in reports.values()}
+    assert len(failures) == 1 and len(submitted) == 1
+
+
+def test_fleet_deployment_scenario(benchmark):
+    config = preset_config("deploy_week")
+    # The scenario only bites when the preset actually drains capacity.
+    assert config.deploy_schedule == "deploy_week"
+
+    reports = benchmark.pedantic(compare_deployment, args=(config,),
+                                 kwargs={"seed": 0}, rounds=1,
+                                 iterations=1)
+    for report in reports.values():
+        print()
+        print(report.render())
+    ocs, static = reports["ocs"].summary, reports["static"].summary
+
+    # Identical planned capacity loss for both policies.
+    assert ocs["drain_fraction"] == static["drain_fraction"]
+    assert ocs["drain_fraction"] > 0
+    assert ocs["block_failures"] == static["block_failures"]
+    # The deployment claim: the OCS reconfigures around the drain
+    # schedule and keeps goodput strictly above static wiring.
+    assert ocs["goodput"] > static["goodput"]
+    # The accounting identity survives the drain overlay exactly.
+    for summary in (ocs, static):
+        parts = sum(summary[key] for key in IDENTITY_PARTS)
+        assert abs(summary["utilization"] - parts) < 1e-9

@@ -8,6 +8,10 @@
     python -m repro fleet --preset medium --strategy all --json
     python -m repro fleet --preset large --policy ocs --cross-pod
     python -m repro fleet --preset large --policy ocs --no-cross-pod
+    python -m repro fleet --preset deploy_week                # drain overlay
+    python -m repro fleet --preset small --deploy-schedule maintenance
+    python -m repro fleet record --preset replay --seed 0 --trace run.jsonl
+    python -m repro fleet replay --trace run.jsonl --json
 """
 
 from __future__ import annotations
@@ -18,9 +22,11 @@ import json
 import sys
 
 from repro.core.scheduler import PlacementPolicy, PlacementStrategy
+from repro.errors import TraceError
 from repro.experiments import list_experiments, run
-from repro.fleet import (FleetSimulator, compare_policies,
-                         compare_strategies, preset_config, preset_names)
+from repro.fleet import (FleetSimulator, load_trace, preset_config,
+                         preset_names, save_trace, schedule_for,
+                         schedule_names, trace_of)
 
 
 def _cmd_list(args: argparse.Namespace) -> int:
@@ -42,8 +48,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_fleet(args: argparse.Namespace) -> int:
-    config = preset_config(args.preset)
+def _apply_fleet_overrides(config, args: argparse.Namespace):
+    """Per-run knob overrides shared by run, record, and replay modes."""
     if args.reconfig_seconds is not None:
         config = dataclasses.replace(
             config, reconfig_base_seconds=args.reconfig_seconds)
@@ -51,24 +57,80 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         config = dataclasses.replace(config, trunk_ports=args.trunk_ports)
     if args.cross_pod is not None:
         config = dataclasses.replace(config, cross_pod=args.cross_pod)
+    if args.strategy not in (None, "all"):
+        config = dataclasses.replace(
+            config, strategy=PlacementStrategy(args.strategy))
+    return config
+
+
+def _fleet_simulator(args: argparse.Namespace) -> FleetSimulator | int:
+    """Build the run's simulator, or return an exit code on bad usage.
+
+    `run` and `record` draw fresh inputs from the preset + seed and
+    overlay the deployment schedule named by `--deploy-schedule` (or
+    the config's own `deploy_schedule`); `replay` takes everything —
+    config, seed, jobs, outages, drain windows — from the trace file,
+    so its stdout can be byte-diffed against the recorded run's.
+    """
+    if args.mode in ("record", "replay") and args.trace is None:
+        print(f"fleet {args.mode} requires --trace PATH", file=sys.stderr)
+        return 2
+    if args.mode == "replay":
+        if args.preset is not None or args.seed is not None:
+            print("fleet replay reads the preset config and seed from "
+                  "the trace; drop --preset/--seed", file=sys.stderr)
+            return 2
+        try:
+            trace = load_trace(args.trace)
+        except TraceError as exc:
+            print(f"fleet replay: {exc}", file=sys.stderr)
+            return 2
+        config = _apply_fleet_overrides(trace.config, args)
+        windows = None  # the trace's own windows
+        if args.deploy_schedule is not None:
+            windows = () if args.deploy_schedule == "none" else \
+                schedule_for(args.deploy_schedule, config).windows
+        return FleetSimulator.from_trace(trace, config=config,
+                                         windows=windows)
+    config = _apply_fleet_overrides(
+        preset_config(args.preset if args.preset is not None else "small"),
+        args)
+    schedule_name = args.deploy_schedule if args.deploy_schedule is not None \
+        else (config.deploy_schedule or "none")
+    windows = () if schedule_name == "none" else \
+        schedule_for(schedule_name, config).windows
+    simulator = FleetSimulator(
+        config, seed=args.seed if args.seed is not None else 0,
+        windows=windows)
+    if args.mode == "record":
+        trace = trace_of(simulator)
+        path = save_trace(trace, args.trace)
+        # stderr, so record/replay stdout stays byte-comparable.
+        print(f"fleet: recorded {trace.num_records} trace records to "
+              f"{path}", file=sys.stderr)
+    return simulator
+
+
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    simulator = _fleet_simulator(args)
+    if isinstance(simulator, int):
+        return simulator
     if args.strategy == "all":
         # Strategy sweep: identical inputs, one report per strategy.
         # An explicit --policy is honored; the 'both' default means OCS
         # here (defrag needs switches that can rewire).
         policy = PlacementPolicy.OCS if args.policy == "both" \
             else PlacementPolicy(args.policy)
-        reports = compare_strategies(config, seed=args.seed,
-                                     policy=policy)
-    elif args.strategy is not None:
-        config = dataclasses.replace(
-            config, strategy=PlacementStrategy(args.strategy))
-    if args.strategy != "all":
-        if args.policy == "both":
-            reports = compare_policies(config, seed=args.seed)
-        else:
-            policy = PlacementPolicy(args.policy)
-            reports = {policy.value: FleetSimulator(
-                config, seed=args.seed).run(policy)}
+        reports = {strategy.value: simulator.run(policy, strategy)
+                   for strategy in PlacementStrategy}
+    elif args.policy == "both":
+        reports = {
+            "ocs": simulator.run(PlacementPolicy.OCS),
+            "static": simulator.run(PlacementPolicy.STATIC),
+        }
+    else:
+        policy = PlacementPolicy(args.policy)
+        reports = {policy.value: simulator.run(policy)}
     if args.json:
         print(json.dumps({name: report.summary
                           for name, report in reports.items()},
@@ -121,11 +183,29 @@ def build_parser() -> argparse.ArgumentParser:
 
     fleet_cmd = sub.add_parser(
         "fleet", help="simulate a multi-pod fleet scenario")
-    fleet_cmd.add_argument("--preset", default="small",
+    fleet_cmd.add_argument(
+        "mode", nargs="?", default="run",
+        choices=["run", "record", "replay"],
+        help="run: simulate fresh draws (default); record: also save "
+             "the run's inputs as a JSONL trace (--trace); replay: "
+             "re-run a recorded trace byte-for-byte (--trace)")
+    fleet_cmd.add_argument("--preset", default=None,
                            choices=preset_names(),
-                           help="scenario preset (default: small)")
-    fleet_cmd.add_argument("--seed", type=_seed, default=0,
-                           help="RNG seed for jobs and failures")
+                           help="scenario preset (default: small; "
+                                "replay takes it from the trace)")
+    fleet_cmd.add_argument("--seed", type=_seed, default=None,
+                           help="RNG seed for jobs and failures "
+                                "(default: 0; replay takes it from the "
+                                "trace)")
+    fleet_cmd.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="trace file to write (record) or read (replay)")
+    fleet_cmd.add_argument(
+        "--deploy-schedule", default=None,
+        choices=schedule_names() + ["none"],
+        help="overlay a deployment drain schedule on the run "
+             "(default: the preset's deploy_schedule, or none; 'none' "
+             "disables the preset's)")
     fleet_cmd.add_argument("--policy", default="both",
                            choices=["both", "ocs", "static"],
                            help="placement policy to simulate")

@@ -33,3 +33,7 @@ class SimulationError(ReproError):
 
 class ConfigurationError(ReproError):
     """A model/chip/parallelism configuration is invalid."""
+
+
+class TraceError(ReproError):
+    """A recorded workload trace is malformed or unsupported."""

@@ -10,11 +10,16 @@ identical block-outage trace.
 
 from __future__ import annotations
 
+import json
+
+from repro.core.scheduler import PlacementPolicy
 from repro.experiments.base import ExperimentResult
 from repro.fleet.presets import preset_config
-from repro.fleet.simulator import (compare_cross_pod, compare_policies,
-                                   compare_strategies)
-from repro.units import HOUR
+from repro.fleet.scenario import compare_deployment, schedule_for
+from repro.fleet.simulator import (FleetSimulator, compare_cross_pod,
+                                   compare_policies, compare_strategies)
+from repro.fleet.trace import dumps_trace, loads_trace, trace_of
+from repro.units import DAY, HOUR
 
 
 def run_fleet_experiment(preset: str = "tiny",
@@ -190,4 +195,118 @@ def run_fleet_crosspod(preset: str = "large",
         "with cross-pod disabled the machine-wide jobs never place — "
         "the modern-fleet version of draining a job around hardware it "
         "cannot reach")
+    return result
+
+
+def run_fleet_replay(preset: str = "replay",
+                     seed: int = 0) -> ExperimentResult:
+    """Trace record/replay round-trip: replayed telemetry is identical.
+
+    The retrospective's evaluation discipline (Jouppi et al., "Google's
+    Training Supercomputers from TPU v2 to Ironwood"): fleet resilience
+    is measured against replayed production-shaped load, not fresh RNG
+    draws.  This experiment records one run's inputs, round-trips them
+    through the versioned JSONL schema as text, replays them, and
+    checks the replayed run's telemetry JSON is byte-identical to the
+    recorded run's — the property that makes traces a substrate for
+    every future scenario study.
+    """
+    config = preset_config(preset)
+    recorded = FleetSimulator(config, seed=seed)
+    trace = trace_of(recorded)
+    loaded = loads_trace(dumps_trace(trace))
+    replayed = FleetSimulator.from_trace(loaded)
+
+    first = recorded.run(PlacementPolicy.OCS)
+    second = replayed.run(PlacementPolicy.OCS)
+    first_json = json.dumps(first.summary, sort_keys=True)
+    second_json = json.dumps(second.summary, sort_keys=True)
+
+    result = ExperimentResult(
+        experiment_id="fleet_replay",
+        title="Workload trace record/replay: byte-identical telemetry",
+        columns=["metric", "recorded", "replayed"],
+    )
+    for key in ("jobs_submitted", "jobs_completed", "goodput",
+                "utilization", "block_failures", "mean_queue_wait"):
+        result.rows.append([key, round(first.summary[key], 6),
+                            round(second.summary[key], 6)])
+    result.rows.append(["events_fired", first.events_fired,
+                        second.events_fired])
+
+    result.paper["replay reproduces recorded telemetry byte-for-byte"] = \
+        "yes"
+    result.measured["replay reproduces recorded telemetry "
+                    "byte-for-byte"] = \
+        "yes" if first_json == second_json else "NO"
+    result.measured["trace records round-tripped"] = trace.num_records
+    result.measured["jobs in trace"] = len(trace.jobs)
+    result.measured["outages in trace"] = len(trace.outages)
+    result.notes.append(
+        f"preset {preset!r}, seed {seed}: inputs frozen by "
+        f"repro.fleet.trace (schema version {loaded.version}), "
+        f"serialized to JSONL text and parsed back before the replay "
+        f"run — floats survive via shortest-repr round-tripping")
+    return result
+
+
+def run_fleet_deploy(preset: str = "deploy_week",
+                     seed: int = 0) -> ExperimentResult:
+    """Multi-day deployment scenario: OCS vs static around drains.
+
+    Section 2.4's incremental-deployment claim composed with live
+    traffic: two pods are pulled for upgrade mid-week and their blocks
+    return one by one as hardware lands (delivery dates from
+    `core/deployment.sample_delivery_days`).  Both policies lose the
+    identical planned capacity; the OCS keeps scheduling around the
+    holes while static wiring fragments — the fleet-scale version of
+    "each 4x4x4 block enters production as soon as it is ready".
+    """
+    config = preset_config(preset)
+    schedule = schedule_for(config.deploy_schedule or "deploy_week",
+                            config)
+    reports = compare_deployment(config, schedule=schedule, seed=seed)
+    ocs, static = reports["ocs"].summary, reports["static"].summary
+
+    result = ExperimentResult(
+        experiment_id="fleet_deploy",
+        title="Deployment scenario: rollout drains over live traffic",
+        columns=["metric", "OCS", "static"],
+    )
+    for key, scale, unit in [
+        ("jobs_submitted", 1.0, ""), ("jobs_completed", 1.0, ""),
+        ("goodput", 1.0, ""), ("utilization", 1.0, ""),
+        ("drain_fraction", 1.0, ""),
+        ("mean_queue_wait", 1 / HOUR, "h"),
+        ("p95_queue_wait", 1 / HOUR, "h"),
+        ("job_interruptions", 1.0, ""),
+        ("block_failures", 1.0, ""),
+    ]:
+        result.rows.append([
+            key + (f" ({unit})" if unit else ""),
+            round(ocs[key] * scale, 4), round(static[key] * scale, 4)])
+
+    result.paper["OCS reconfigures around drains (Secs 2.4-2.5)"] = \
+        "higher goodput under the same schedule"
+    result.measured["OCS reconfigures around drains (Secs 2.4-2.5)"] = (
+        f"{ocs['goodput'] - static['goodput']:+.3f} goodput"
+        if ocs["goodput"] > static["goodput"] else "NO")
+    result.paper["drain schedule identical across policies"] = "yes"
+    result.measured["drain schedule identical across policies"] = (
+        "yes" if ocs["drain_fraction"] == static["drain_fraction"]
+        else "NO")
+    result.measured["OCS goodput"] = round(ocs["goodput"], 3)
+    result.measured["static goodput"] = round(static["goodput"], 3)
+    result.measured["capacity drained"] = round(ocs["drain_fraction"], 4)
+    result.notes.append(
+        f"preset {preset!r}, seed {seed}, schedule "
+        f"{schedule.name!r}: {len(schedule.windows)} drain windows over "
+        f"{schedule.pods_touched} pods "
+        f"({schedule.drain_block_seconds / DAY:.0f} block-days), "
+        f"identical job stream, outage trace, and drains for both "
+        f"policies")
+    result.notes.append(
+        "drained capacity is charged through the existing utilization "
+        "identity: drained blocks simply host no work, so goodput and "
+        "utilization drop by the capacity loss plus fragmentation")
     return result

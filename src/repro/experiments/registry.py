@@ -41,6 +41,8 @@ EXPERIMENTS: dict[str, Runner] = {
     "fleet": exp_fleet.run_fleet_experiment,
     "fleet_strategies": exp_fleet.run_fleet_strategies,
     "fleet_crosspod": exp_fleet.run_fleet_crosspod,
+    "fleet_replay": exp_fleet.run_fleet_replay,
+    "fleet_deploy": exp_fleet.run_fleet_deploy,
 }
 
 

@@ -20,29 +20,44 @@ Quickstart::
 from repro.fleet.config import FleetConfig
 from repro.fleet.cluster import FleetState, Pod
 from repro.fleet.fabric import PodFabric, ReconfigPlan
-from repro.fleet.failures import (BlockOutage, apply_spare_repairs,
-                                  build_failure_trace, spare_repair_count)
+from repro.fleet.failures import (BlockOutage, DrainWindow,
+                                  apply_spare_repairs, build_failure_trace,
+                                  overlay_windows, spare_repair_count)
 from repro.fleet.machine import MachineFabric, MachinePlan
 from repro.fleet.presets import PRESETS, preset_config, preset_names
+from repro.fleet.scenario import (DeploymentSchedule, SCHEDULES,
+                                  compare_deployment, incremental_rollout,
+                                  rolling_maintenance, run_scenario,
+                                  schedule_for, schedule_names)
 from repro.fleet.scheduler import ActiveJob, FleetScheduler
 from repro.fleet.simulator import (FleetReport, FleetSimulator,
                                    compare_cross_pod, compare_policies,
                                    compare_strategies, run_fleet)
 from repro.fleet.telemetry import FleetTelemetry, JobRecord
-from repro.fleet.workload import (FleetJob, generate_jobs, model_type_mix,
-                                  serving_shape, truncated_slice_mix)
+from repro.fleet.trace import (FleetTrace, TRACE_VERSION, dumps_trace,
+                               load_trace, loads_trace, record_trace,
+                               save_trace, trace_of, validate_trace)
+from repro.fleet.workload import (FleetJob, TraceWorkload, generate_jobs,
+                                  model_type_mix, serving_shape,
+                                  truncated_slice_mix)
 
 __all__ = [
     "FleetConfig", "FleetState", "Pod",
     "PodFabric", "ReconfigPlan",
     "MachineFabric", "MachinePlan",
-    "BlockOutage", "apply_spare_repairs", "build_failure_trace",
-    "spare_repair_count",
+    "BlockOutage", "DrainWindow", "apply_spare_repairs",
+    "build_failure_trace", "overlay_windows", "spare_repair_count",
     "PRESETS", "preset_config", "preset_names",
+    "DeploymentSchedule", "SCHEDULES", "compare_deployment",
+    "incremental_rollout", "rolling_maintenance", "run_scenario",
+    "schedule_for", "schedule_names",
     "ActiveJob", "FleetScheduler",
     "FleetReport", "FleetSimulator", "compare_cross_pod",
     "compare_policies", "compare_strategies", "run_fleet",
     "FleetTelemetry", "JobRecord",
-    "FleetJob", "generate_jobs", "model_type_mix", "serving_shape",
-    "truncated_slice_mix",
+    "FleetTrace", "TRACE_VERSION", "dumps_trace", "load_trace",
+    "loads_trace", "record_trace", "save_trace", "trace_of",
+    "validate_trace",
+    "FleetJob", "TraceWorkload", "generate_jobs", "model_type_mix",
+    "serving_shape", "truncated_slice_mix",
 ]

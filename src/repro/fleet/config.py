@@ -103,6 +103,12 @@ class FleetConfig:
         port_repair_seconds: block downtime of a spare-port repair — the
             mirror move plus light-level validation, orders of magnitude
             under `mean_repair_seconds`.
+        deploy_schedule: name of a deployment-drain schedule from
+            :data:`repro.fleet.scenario.SCHEDULES` to overlay on runs
+            of this config ('' = none).  The name is resolved at use
+            time (CLI/experiments) so configs stay a plain data layer;
+            recorded traces store the materialized windows, never the
+            name.
     """
 
     num_pods: int = 2
@@ -132,6 +138,7 @@ class FleetConfig:
     spare_ports: int = 8
     optical_failure_fraction: float = 0.0
     port_repair_seconds: float = 300.0
+    deploy_schedule: str = ""
 
     def __post_init__(self) -> None:
         if isinstance(self.strategy, str):  # accept CLI/preset spellings
@@ -193,6 +200,10 @@ class FleetConfig:
                 "optical_failure_fraction must be in [0, 1]")
         if self.port_repair_seconds < 0:
             raise ConfigurationError("port_repair_seconds must be >= 0")
+        if not isinstance(self.deploy_schedule, str):
+            raise ConfigurationError(
+                "deploy_schedule must be a schedule name string ('' for "
+                "none); schedules are materialized by repro.fleet.scenario")
 
     @property
     def total_blocks(self) -> int:

@@ -48,6 +48,78 @@ class BlockOutage:
         return self.end - self.start
 
 
+@dataclass(frozen=True)
+class DrainWindow:
+    """One planned capacity hole: a block pulled for deployment work.
+
+    Unlike a :class:`BlockOutage`, a drain is scheduled — the Section
+    2.4 incremental-deployment story at fleet scale: a pod's blocks
+    leave service for an upgrade and return one by one as their
+    hardware is ready.  Drains are policy-independent inputs exactly
+    like failure traces, so the same schedule replays under OCS and
+    static placement.
+    """
+
+    pod_id: int
+    block_id: int
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        """Seconds the block is drained."""
+        return self.end - self.start
+
+
+def overlay_windows(outages: list[BlockOutage],
+                    windows: list[DrainWindow] | tuple[DrainWindow, ...]
+                    ) -> list[BlockOutage]:
+    """Merge drain windows into a failure trace as one down/up sequence.
+
+    The simulator drives block health with paired down/up events; a
+    drain overlapping a failure must not emit interleaved ups that
+    revive a block still out for the other reason.  Per block, the
+    union of all down intervals is computed and re-emitted as
+    :class:`BlockOutage` entries in the trace's canonical
+    (start, pod, block) order.  An interval that is exactly one
+    spare-repaired outage keeps its `via_spare` flag; anything merged
+    loses it (the spare repair no longer bounds the hole).  With no
+    windows the trace is returned unchanged, so the overlay path is
+    byte-transparent for plain runs.
+    """
+    if not windows:
+        return outages
+    by_block: dict[tuple[int, int], list[tuple[float, float, bool]]] = {}
+    for outage in outages:
+        by_block.setdefault((outage.pod_id, outage.block_id), []).append(
+            (outage.start, outage.end, outage.via_spare))
+    for window in windows:
+        if window.end <= window.start:
+            continue
+        by_block.setdefault((window.pod_id, window.block_id), []).append(
+            (window.start, window.end, False))
+    merged: list[BlockOutage] = []
+    for (pod_id, block_id), intervals in by_block.items():
+        intervals.sort()
+        start, end, via_spare = intervals[0]
+        coalesced = 1
+        for nxt_start, nxt_end, nxt_spare in intervals[1:]:
+            if nxt_start <= end:
+                end = max(end, nxt_end)
+                coalesced += 1
+                continue
+            merged.append(BlockOutage(
+                pod_id=pod_id, block_id=block_id, start=start, end=end,
+                via_spare=via_spare and coalesced == 1))
+            start, end, via_spare = nxt_start, nxt_end, nxt_spare
+            coalesced = 1
+        merged.append(BlockOutage(
+            pod_id=pod_id, block_id=block_id, start=start, end=end,
+            via_spare=via_spare and coalesced == 1))
+    merged.sort(key=lambda o: (o.start, o.pod_id, o.block_id))
+    return merged
+
+
 def _pod_repair_switch(config: FleetConfig) -> RepairableSwitch:
     """One pod's repair-capable OCS view: a port per block plus spares."""
     return RepairableSwitch(OpticalCircuitSwitch(

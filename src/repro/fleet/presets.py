@@ -3,8 +3,11 @@
 Presets trade fidelity for runtime: `tiny` keeps unit tests fast,
 `small` is the CLI/CI smoke scenario, `medium` stresses queueing across
 four pods, `serving` skews the mix toward Section 3.1 serving
-residencies to exercise preemption, and `large` is the machine-wide
-scenario — eight small pods whose job mix includes Table 2's biggest
+residencies to exercise preemption, `replay` is the compact
+record/replay round-trip scenario, `deploy_week` overlays the
+'deploy_week' rollout-drain schedule on a week of live traffic
+(Section 2.4 incremental deployment against real load), and `large` is
+the machine-wide scenario — eight small pods whose job mix includes Table 2's biggest
 slices (48 blocks, against 27-block pods), so those jobs *must* span
 pods over the trunk OCS layer, and whose failures include spare-port-
 repairable optical faults.
@@ -58,6 +61,28 @@ PRESETS: dict[str, FleetConfig] = {
         cross_pod=True, trunk_ports=64,
         spare_ports=8, optical_failure_fraction=0.3,
         port_repair_seconds=5 * MINUTE),
+    # Record/replay smoke scenario: between tiny and small — enough
+    # traffic that a trace exercises every record type, short enough
+    # that `fleet record` + `fleet replay` round-trips stay fast in CI
+    # and the fleet_replay experiment.
+    "replay": FleetConfig(
+        num_pods=2, blocks_per_pod=64,
+        horizon_seconds=1 * DAY, arrival_window_seconds=18 * HOUR,
+        mean_interarrival_seconds=5 * MINUTE, mean_job_seconds=3 * HOUR,
+        max_job_blocks=16, serving_fraction=0.1,
+        mean_serving_seconds=12 * HOUR,
+        host_mtbf_seconds=60 * DAY, mean_repair_seconds=2 * HOUR),
+    # A week of live traffic with two staggered pod upgrades (the
+    # 'deploy_week' drain schedule): pod 3 pulled on day 1, pod 2 on
+    # day 3, each returning block by block over ~1.5 days as hardware
+    # lands — §2.4 incremental deployment composed with §2.5 placement.
+    "deploy_week": FleetConfig(
+        num_pods=4, blocks_per_pod=64,
+        horizon_seconds=7 * DAY, arrival_window_seconds=6 * DAY,
+        mean_interarrival_seconds=7 * MINUTE, mean_job_seconds=10 * HOUR,
+        max_job_blocks=32, serving_fraction=0.1,
+        host_mtbf_seconds=120 * DAY, mean_repair_seconds=4 * HOUR,
+        strategy="best_fit", deploy_schedule="deploy_week"),
     # Serving-heavy mix: long residencies plus background training.
     "serving": FleetConfig(
         num_pods=2, blocks_per_pod=64,

@@ -24,21 +24,31 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Sequence
 
 from repro.core.scheduler import PlacementPolicy, PlacementStrategy
 from repro.fleet.cluster import FleetState
 from repro.fleet.config import (FleetConfig, NUM_STREAMS, STREAM_ARRIVALS,
                                 STREAM_FAILURES, STREAM_REPAIRS,
                                 STREAM_SHAPES)
-from repro.fleet.failures import (BlockOutage, build_failure_trace,
-                                  downtime_block_seconds,
+from repro.fleet.failures import (BlockOutage, DrainWindow,
+                                  build_failure_trace,
+                                  downtime_block_seconds, overlay_windows,
                                   spare_repair_count)
 from repro.fleet.scheduler import FleetScheduler
 from repro.fleet.telemetry import FleetTelemetry
-from repro.fleet.workload import FleetJob, generate_jobs
+from repro.fleet.workload import FleetJob, TraceWorkload, generate_jobs
 from repro.sim.events import Simulator
 from repro.sim.rng import spawn_rngs
 from repro.units import HOUR
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (trace -> here)
+    from repro.fleet.trace import FleetTrace
+
+#: Anything that yields a job stream under the generate_jobs calling
+#: convention: the synthetic Table 2 generator itself, or a
+#: :class:`repro.fleet.workload.TraceWorkload` replaying a recording.
+JobSource = Callable[..., "list[FleetJob]"]
 
 
 @dataclass
@@ -52,6 +62,8 @@ class FleetReport:
     summary: dict[str, float]
     events_fired: int
     downtime_fraction: float
+    #: Capacity share the deployment schedule drained (0 for plain runs).
+    drain_fraction: float = 0.0
 
     def render(self) -> str:
         """Human-readable report block."""
@@ -90,26 +102,66 @@ class FleetReport:
             f"{self.summary['restore_fraction']:.4f}  checkpoint writes "
             f"{self.summary['checkpoint_fraction']:.4f}",
         ]
+        if self.drain_fraction > 0:
+            lines.append(
+                f"  deployment: {self.drain_fraction:.3f} of capacity "
+                f"drained by the rollout schedule")
         return "\n".join(lines)
 
 
 @dataclass
 class FleetSimulator:
-    """Builds and runs one fleet scenario end to end."""
+    """Builds and runs one fleet scenario end to end.
+
+    Inputs are pluggable: `workload` may be any :data:`JobSource` — by
+    default the synthetic Table 2 generator, or a
+    :class:`~repro.fleet.workload.TraceWorkload` replaying a recorded
+    stream — and `failure_trace` may replace the drawn outage trace
+    with a recorded one.  `windows` overlays planned deployment drains
+    (:class:`~repro.fleet.failures.DrainWindow`) onto the failure
+    trace, so multi-day rollout scenarios ride the same event loop and
+    the same utilization identity as plain runs.
+    """
 
     config: FleetConfig
     seed: int = 0
+    workload: JobSource | None = None
+    failure_trace: Sequence[BlockOutage] | None = None
+    windows: Sequence[DrainWindow] = ()
     jobs: list[FleetJob] = field(init=False)
     trace: list[BlockOutage] = field(init=False)
 
     def __post_init__(self) -> None:
         rngs = spawn_rngs(self.seed, NUM_STREAMS)
-        self.jobs = generate_jobs(self.config,
-                                  arrival_rng=rngs[STREAM_ARRIVALS],
-                                  shape_rng=rngs[STREAM_SHAPES])
-        self.trace = build_failure_trace(self.config,
-                                         rngs[STREAM_FAILURES],
-                                         repair_rng=rngs[STREAM_REPAIRS])
+        source: JobSource = self.workload if self.workload is not None \
+            else generate_jobs
+        self.jobs = list(source(self.config,
+                                arrival_rng=rngs[STREAM_ARRIVALS],
+                                shape_rng=rngs[STREAM_SHAPES]))
+        self.trace = list(self.failure_trace) \
+            if self.failure_trace is not None else \
+            build_failure_trace(self.config, rngs[STREAM_FAILURES],
+                                repair_rng=rngs[STREAM_REPAIRS])
+        self.windows = tuple(self.windows)
+
+    @classmethod
+    def from_trace(cls, trace: FleetTrace, *,
+                   config: FleetConfig | None = None,
+                   windows: Sequence[DrainWindow] | None = None
+                   ) -> FleetSimulator:
+        """A simulator replaying a recorded trace instead of fresh draws.
+
+        The trace's config and seed carry over (`config` overrides for
+        replay-under-different-knobs studies — the job stream and the
+        outage trace stay exactly as recorded either way), and the
+        trace's deployment windows overlay unless `windows` replaces
+        them.
+        """
+        return cls(config if config is not None else trace.config,
+                   seed=trace.seed,
+                   workload=TraceWorkload(tuple(trace.jobs)),
+                   failure_trace=trace.outages,
+                   windows=trace.windows if windows is None else windows)
 
     def run(self, policy: PlacementPolicy,
             strategy: PlacementStrategy | None = None) -> FleetReport:
@@ -119,22 +171,29 @@ class FleetSimulator:
         calling `run` repeatedly with different policies or strategies
         compares them on identical inputs.  `strategy=None` uses the
         config's default.  OCS runs get live per-pod fabrics; a static
-        machine has no switches to program.
+        machine has no switches to program.  Deployment windows are
+        merged into the down/up event sequence here — with none, the
+        merged trace IS the failure trace, byte for byte.
         """
         strategy = strategy if strategy is not None else \
             self.config.strategy
+        horizon = self.config.horizon_seconds
         sim = Simulator()
         state = FleetState(self.config.num_pods, self.config.blocks_per_pod,
                            with_fabric=policy is PlacementPolicy.OCS,
                            trunk_ports=self.config.trunk_ports)
         telemetry = FleetTelemetry()
-        telemetry.spare_port_repairs = spare_repair_count(self.trace)
         scheduler = FleetScheduler(self.config, policy, sim, state,
                                    telemetry, strategy=strategy)
+        outages = overlay_windows(self.trace, self.windows)
+        # Counted after the drain overlay: a spare repair swallowed by
+        # a drain window no longer bounds any downtime in the run
+        # actually simulated, so it must not be reported.
+        telemetry.spare_port_repairs = spare_repair_count(outages)
         for job in self.jobs:
             sim.schedule_at(job.arrival,
                             lambda j=job: scheduler.submit(j))
-        for outage in self.trace:
+        for outage in outages:
             sim.schedule_at(
                 outage.start,
                 lambda o=outage: scheduler.on_block_down(o.pod_id,
@@ -143,20 +202,29 @@ class FleetSimulator:
                 outage.end,
                 lambda o=outage: scheduler.on_block_up(o.pod_id,
                                                        o.block_id))
-        sim.run(until=self.config.horizon_seconds)
-        scheduler.finalize(self.config.horizon_seconds)
-        capacity = self.config.total_blocks * self.config.horizon_seconds
+        sim.run(until=horizon)
+        scheduler.finalize(horizon)
+        capacity = self.config.total_blocks * horizon
         trunk_total = self.config.trunk_capacity \
             if policy is PlacementPolicy.OCS else 0
+        drained = sum(
+            max(0.0, min(w.end, horizon) - min(w.start, horizon))
+            for w in self.windows)
+        summary = telemetry.summary(
+            total_blocks=self.config.total_blocks,
+            horizon_seconds=horizon,
+            trunk_ports_total=trunk_total)
+        # The deployment overlay's own capacity demand, next to the
+        # failure taxes (0.0 for plain runs — the key is always there
+        # so JSON consumers never branch on its presence).
+        summary["drain_fraction"] = drained / capacity
         return FleetReport(
             policy=policy, strategy=strategy, config=self.config,
             seed=self.seed,
-            summary=telemetry.summary(
-                total_blocks=self.config.total_blocks,
-                horizon_seconds=self.config.horizon_seconds,
-                trunk_ports_total=trunk_total),
+            summary=summary,
             events_fired=sim.events_fired,
-            downtime_fraction=downtime_block_seconds(self.trace) / capacity)
+            downtime_fraction=downtime_block_seconds(outages) / capacity,
+            drain_fraction=drained / capacity)
 
 
 def run_fleet(config: FleetConfig, *, seed: int = 0,

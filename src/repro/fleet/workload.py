@@ -131,6 +131,32 @@ def serving_shape(config: FleetConfig) -> SliceShape:
     return shape
 
 
+@dataclass(frozen=True)
+class TraceWorkload:
+    """A recorded job stream, interchangeable with :func:`generate_jobs`.
+
+    Wraps the jobs of a loaded :class:`repro.fleet.trace.FleetTrace`
+    behind the same calling convention as the synthetic generator, so
+    :class:`repro.fleet.simulator.FleetSimulator` treats "replay this
+    trace" and "draw from Table 2" as the same kind of input.  The RNG
+    arguments are accepted and ignored: a trace's dice were already
+    rolled when it was recorded, which is the whole point — replayed
+    runs measure scheduling, never fresh draws.
+    """
+
+    jobs: tuple[FleetJob, ...]
+
+    def __call__(self, config: FleetConfig, *,
+                 arrival_rng: np.random.Generator | None = None,
+                 shape_rng: np.random.Generator | None = None
+                 ) -> list[FleetJob]:
+        """Return the recorded stream (RNGs ignored, see class docs)."""
+        return list(self.jobs)
+
+    def __len__(self) -> int:
+        return len(self.jobs)
+
+
 def generate_jobs(config: FleetConfig, *,
                   arrival_rng: np.random.Generator,
                   shape_rng: np.random.Generator) -> list[FleetJob]:

@@ -82,3 +82,97 @@ class TestFleetCLI:
         assert set(payload) == {"ocs", "static"}
         # Exit code 0 already asserts the Figure 4 qualitative claim:
         assert payload["ocs"]["goodput"] > payload["static"]["goodput"]
+
+    def test_fleet_unknown_mode_is_usage_error(self):
+        assert main(["fleet", "rewind"]) == 2
+
+
+class TestFleetTraceCLI:
+    def test_record_then_replay_stdout_byte_identical(self, tmp_path,
+                                                      capsys):
+        trace_path = str(tmp_path / "run.jsonl")
+        argv_tail = ["--trace", trace_path, "--json"]
+        assert main(["fleet", "record", "--preset", "tiny", "--seed",
+                     "0"] + argv_tail) == 0
+        captured = capsys.readouterr()
+        recorded = captured.out
+        assert "recorded" in captured.err  # the note rides on stderr
+        assert main(["fleet", "replay"] + argv_tail) == 0
+        assert capsys.readouterr().out == recorded
+
+    def test_record_writes_loadable_trace(self, tmp_path, capsys):
+        from repro.fleet import load_trace
+        trace_path = tmp_path / "run.jsonl"
+        assert main(["fleet", "record", "--preset", "tiny",
+                     "--trace", str(trace_path)]) == 0
+        capsys.readouterr()
+        trace = load_trace(trace_path)
+        assert trace.seed == 0
+        assert len(trace.jobs) > 0
+
+    def test_record_requires_trace_path(self, capsys):
+        assert main(["fleet", "record", "--preset", "tiny"]) == 2
+        assert "--trace" in capsys.readouterr().err
+
+    def test_replay_requires_trace_path(self, capsys):
+        assert main(["fleet", "replay"]) == 2
+        assert "--trace" in capsys.readouterr().err
+
+    def test_replay_rejects_preset_and_seed(self, tmp_path, capsys):
+        trace_path = str(tmp_path / "run.jsonl")
+        assert main(["fleet", "record", "--preset", "tiny",
+                     "--trace", trace_path]) == 0
+        capsys.readouterr()
+        assert main(["fleet", "replay", "--trace", trace_path,
+                     "--preset", "tiny"]) == 2
+        assert main(["fleet", "replay", "--trace", trace_path,
+                     "--seed", "1"]) == 2
+
+    def test_replay_missing_file_fails_cleanly(self, tmp_path, capsys):
+        assert main(["fleet", "replay", "--trace",
+                     str(tmp_path / "nope.jsonl")]) == 2
+        assert "does not exist" in capsys.readouterr().err
+
+    def test_replay_malformed_trace_fails_cleanly(self, tmp_path,
+                                                  capsys):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"type": "job"}\n')
+        assert main(["fleet", "replay", "--trace", str(bad)]) == 2
+        assert "header" in capsys.readouterr().err
+
+    def test_replay_honors_policy_flag(self, tmp_path, capsys):
+        trace_path = str(tmp_path / "run.jsonl")
+        assert main(["fleet", "record", "--preset", "tiny",
+                     "--trace", trace_path]) == 0
+        capsys.readouterr()
+        assert main(["fleet", "replay", "--trace", trace_path,
+                     "--policy", "ocs", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert set(payload) == {"ocs"}
+
+    def test_deploy_schedule_flag_drains_capacity(self, capsys):
+        assert main(["fleet", "--preset", "tiny", "--policy", "ocs",
+                     "--deploy-schedule", "maintenance",
+                     "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ocs"]["drain_fraction"] > 0
+
+    def test_deploy_schedule_none_disables_presets(self, capsys):
+        assert main(["fleet", "--preset", "tiny", "--policy", "ocs",
+                     "--deploy-schedule", "none", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ocs"]["drain_fraction"] == 0
+
+    def test_recorded_schedule_replays_drains(self, tmp_path, capsys):
+        trace_path = str(tmp_path / "drained.jsonl")
+        assert main(["fleet", "record", "--preset", "tiny",
+                     "--deploy-schedule", "maintenance",
+                     "--trace", trace_path, "--policy", "ocs",
+                     "--json"]) == 0
+        recorded = json.loads(capsys.readouterr().out)
+        assert recorded["ocs"]["drain_fraction"] > 0
+        # Replay needs no schedule registry: windows ride in the trace.
+        assert main(["fleet", "replay", "--trace", trace_path,
+                     "--policy", "ocs", "--json"]) == 0
+        replayed = json.loads(capsys.readouterr().out)
+        assert replayed == recorded

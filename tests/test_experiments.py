@@ -19,6 +19,7 @@ class TestRegistry:
             "section29", "section210", "section73", "section76",
             "section79", "section710",
             "fleet", "fleet_strategies", "fleet_crosspod",
+            "fleet_replay", "fleet_deploy",
         }
         assert set(ALL_EXPERIMENTS) == expected
 
@@ -106,6 +107,17 @@ class TestHeadlineClaims:
         result = run("section210")
         assert float(result.measured["optics cost fraction"].rstrip("%")) < 5
         assert float(result.measured["optics power fraction"].rstrip("%")) < 3
+
+    def test_fleet_replay_byte_identical(self):
+        result = _cached("fleet_replay")
+        assert result.measured[
+            "replay reproduces recorded telemetry byte-for-byte"] == "yes"
+
+    def test_fleet_deploy_ocs_advantage(self):
+        result = _cached("fleet_deploy")
+        assert result.measured["OCS goodput"] > \
+            result.measured["static goodput"]
+        assert result.measured["capacity drained"] > 0
 
 
 class TestResultContainer:
