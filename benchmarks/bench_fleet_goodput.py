@@ -1,6 +1,9 @@
 """Benchmark: fleet-scale goodput — policies, strategies, cross-pod, traces.
 
-Five headline claims ride here: the Figure 4 OCS-over-static goodput
+Six headline claims ride here (the sixth, contention: on `large` under
+a hostile low-priority background mix, best_fit with cross-pod
+preemption must strictly beat the pod-local scheduler's goodput for
+the 48-block job class).  The original five: the Figure 4 OCS-over-static goodput
 gap (on identical failure traces), the placement-strategy family —
 best_fit and defrag must buy goodput over first_fit on the `medium`
 preset even though every OCS placement now pays real reconfiguration
@@ -16,10 +19,14 @@ sweep is also the dispatch-loop perf gate: three medium runs (a
 simulated month of 4-pod fleet time) ride on the pod free-block index.
 """
 
+import dataclasses
+
 from repro.core.scheduler import PlacementPolicy, PlacementStrategy
 from repro.fleet import (FleetSimulator, compare_cross_pod,
-                         compare_deployment, compare_strategies,
-                         dumps_trace, loads_trace, preset_config, trace_of)
+                         compare_deployment, compare_preemption,
+                         compare_strategies, dumps_trace,
+                         hostile_background_mix, loads_trace,
+                         preset_config, trace_of)
 
 IDENTITY_PARTS = ("goodput", "replay_fraction", "restore_fraction",
                   "checkpoint_fraction", "reconfig_fraction")
@@ -101,6 +108,51 @@ def test_fleet_cross_pod_large(benchmark):
     # Spare-port repair absorbed some optical outages in both runs.
     assert enabled["spare_port_repairs"] > 0
     assert enabled["spare_port_repairs"] == disabled["spare_port_repairs"]
+
+
+def test_fleet_cross_pod_preemption_large(benchmark):
+    # The contention gate: on the large preset under a hostile
+    # low-priority background mix (every pod packed with batch work
+    # that outlives the run), best_fit *with cross-pod preemption*
+    # must strictly beat the pod-local contention scheduler for the
+    # 48-block job class — which without the machine-wide path
+    # starves to exactly zero.
+    config = dataclasses.replace(preset_config("large"),
+                                 preempt_priority=1)
+    assert config.max_job_blocks > config.blocks_per_pod
+
+    reports = benchmark.pedantic(
+        compare_preemption, args=(config,),
+        kwargs={"seed": 0, "strategy": PlacementStrategy.BEST_FIT,
+                "workload": hostile_background_mix},
+        rounds=1, iterations=1)
+    for report in reports.values():
+        print()
+        print(report.render())
+    enabled, disabled = reports["preemption"], reports["queueing"]
+
+    # Identical inputs: the contention flag never perturbs the dice.
+    assert enabled.summary["jobs_submitted"] == \
+        disabled.summary["jobs_submitted"]
+    assert enabled.summary["block_failures"] == \
+        disabled.summary["block_failures"]
+    # The machine-wide path actually fired — and only when enabled.
+    assert enabled.summary["cross_pod_preemptions"] > 0
+    assert disabled.summary["cross_pod_preemptions"] == 0
+    # The hostile mix's foreground class is Table 2's 48-block slice.
+    target = max(record.blocks for record in enabled.job_records)
+    assert target == 48
+    # The gate: the 48-block class earns strictly more goodput via
+    # cross-pod preemption than under PR 4's pod-local contention,
+    # where it never runs at all.
+    assert enabled.goodput_for_blocks(target) > \
+        disabled.goodput_for_blocks(target)
+    assert disabled.goodput_for_blocks(target) == 0.0
+    assert disabled.summary["jobs_never_ran"] > 0
+    # The accounting identity survives eviction-heavy contention.
+    for summary in (enabled.summary, disabled.summary):
+        parts = sum(summary[key] for key in IDENTITY_PARTS)
+        assert abs(summary["utilization"] - parts) < 1e-9
 
 
 def test_fleet_trace_replay_exact(run_report):

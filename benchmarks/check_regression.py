@@ -23,16 +23,19 @@ instead of silent.
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import json
 import sys
 from pathlib import Path
 
 from repro.core.scheduler import PlacementPolicy, PlacementStrategy
-from repro.fleet import (FleetSimulator, compare_deployment, preset_config)
+from repro.fleet import (FleetSimulator, compare_deployment,
+                         compare_preemption, hostile_background_mix,
+                         preset_config)
 
 BASELINE_PATH = Path(__file__).parent / "baselines" / \
     "fleet_goodput_baseline.json"
-BASELINE_SCHEMA = 1
+BASELINE_SCHEMA = 2
 DEFAULT_TOLERANCE = 0.02
 GATE_SEED = 0
 
@@ -57,6 +60,20 @@ def measure() -> dict[str, float]:
         PlacementPolicy.OCS, PlacementStrategy.BEST_FIT)
     deploy = compare_deployment(preset_config("deploy_week"),
                                 seed=GATE_SEED)
+    # The cross-pod preemption gate (schema 2): on the large preset
+    # under a hostile low-priority background mix, best_fit with
+    # machine-wide preemption must keep serving the 48-block class —
+    # the pod-local scheduler starves it to exactly zero, so any drop
+    # here means the contention path quietly stopped firing.
+    hostile = dataclasses.replace(preset_config("large"),
+                                  preempt_priority=1)
+    contention = compare_preemption(hostile, seed=GATE_SEED,
+                                    strategy=PlacementStrategy.BEST_FIT,
+                                    workload=hostile_background_mix)
+    target = max(record.blocks
+                 for record in contention["preemption"].job_records)
+    edge = FleetSimulator(preset_config("edge"), seed=GATE_SEED).run(
+        PlacementPolicy.OCS)
     return {
         "large_best_fit_goodput": large.summary["goodput"],
         "medium_best_fit_goodput": medium.summary["goodput"],
@@ -64,6 +81,12 @@ def measure() -> dict[str, float]:
         "deploy_week_ocs_minus_static_goodput":
             deploy["ocs"].summary["goodput"] -
             deploy["static"].summary["goodput"],
+        "large_hostile_preempt_48_goodput":
+            contention["preemption"].goodput_for_blocks(target),
+        "large_hostile_preempt_48_goodput_gain":
+            contention["preemption"].goodput_for_blocks(target) -
+            contention["queueing"].goodput_for_blocks(target),
+        "edge_defrag_goodput": edge.summary["goodput"],
     }
 
 

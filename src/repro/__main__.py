@@ -8,6 +8,7 @@
     python -m repro fleet --preset medium --strategy all --json
     python -m repro fleet --preset large --policy ocs --cross-pod
     python -m repro fleet --preset large --policy ocs --no-cross-pod
+    python -m repro fleet --preset edge --policy ocs --no-cross-pod-preemption
     python -m repro fleet --preset deploy_week                # drain overlay
     python -m repro fleet --preset small --deploy-schedule maintenance
     python -m repro fleet record --preset replay --seed 0 --trace run.jsonl
@@ -57,6 +58,9 @@ def _apply_fleet_overrides(config, args: argparse.Namespace):
         config = dataclasses.replace(config, trunk_ports=args.trunk_ports)
     if args.cross_pod is not None:
         config = dataclasses.replace(config, cross_pod=args.cross_pod)
+    if args.cross_pod_preemption is not None:
+        config = dataclasses.replace(
+            config, cross_pod_preemption=args.cross_pod_preemption)
     if args.strategy not in (None, "all"):
         config = dataclasses.replace(
             config, strategy=PlacementStrategy(args.strategy))
@@ -229,6 +233,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="enable/disable cross-pod slices over the trunk layer "
              "(default: the preset's; run once with --cross-pod and "
              "once with --no-cross-pod for an A/B on identical inputs)")
+    fleet_cmd.add_argument(
+        "--cross-pod-preemption", default=None,
+        action=argparse.BooleanOptionalAction,
+        help="enable/disable machine-wide contention resolution: a "
+             "preempting job bigger than one pod may assemble a "
+             "cross-pod placement out of evictions (default: the "
+             "preset's; --no-cross-pod-preemption reproduces the "
+             "pod-local contention behavior on identical inputs)")
     fleet_cmd.add_argument("--json", action="store_true",
                            help="emit telemetry summaries as JSON")
     fleet_cmd.set_defaults(func=_cmd_fleet)

@@ -12,13 +12,17 @@ from __future__ import annotations
 
 import json
 
-from repro.core.scheduler import PlacementPolicy
+import dataclasses
+
+from repro.core.scheduler import PlacementPolicy, PlacementStrategy
 from repro.experiments.base import ExperimentResult
 from repro.fleet.presets import preset_config
 from repro.fleet.scenario import compare_deployment, schedule_for
 from repro.fleet.simulator import (FleetSimulator, compare_cross_pod,
-                                   compare_policies, compare_strategies)
+                                   compare_policies, compare_preemption,
+                                   compare_strategies)
 from repro.fleet.trace import dumps_trace, loads_trace, trace_of
+from repro.fleet.workload import hostile_background_mix
 from repro.units import DAY, HOUR
 
 
@@ -195,6 +199,91 @@ def run_fleet_crosspod(preset: str = "large",
         "with cross-pod disabled the machine-wide jobs never place — "
         "the modern-fleet version of draining a job around hardware it "
         "cannot reach")
+    return result
+
+
+def run_fleet_contention(preset: str = "large",
+                         seed: int = 0) -> ExperimentResult:
+    """Machine-wide contention A/B: cross-pod preemption on vs off.
+
+    The paper's central operational claim is that OCS reconfigurability
+    keeps large slices schedulable as the fleet fills and fragments
+    around them — but a pod-local contention path silently degrades
+    the cross-pod story to queueing.  This experiment replays one
+    adversarial stream (every pod packed wall to wall with batch work
+    that outlives the run, plus periodic production-priority arrivals
+    at the largest machine-wide Table 2 shape) with machine-wide
+    preemption enabled and disabled, on identical inputs: disabled,
+    the outsized class starves outright; enabled, each arrival
+    assembles a cross-pod placement out of evictions under the live
+    trunk budget.
+    """
+    config = dataclasses.replace(preset_config(preset),
+                                 preempt_priority=1)
+    reports = compare_preemption(config, seed=seed,
+                                 strategy=PlacementStrategy.BEST_FIT,
+                                 workload=hostile_background_mix)
+    enabled = reports["preemption"]
+    disabled = reports["queueing"]
+    target = max(record.blocks for record in enabled.job_records)
+
+    result = ExperimentResult(
+        experiment_id="fleet_contention",
+        title="Cross-pod preemption: machine-wide contention vs "
+              "pod-local queueing",
+        columns=["metric", "preemption", "queueing"],
+    )
+    for key, scale, unit in [
+        ("jobs_submitted", 1.0, ""), ("jobs_completed", 1.0, ""),
+        ("jobs_never_ran", 1.0, ""),
+        ("goodput", 1.0, ""), ("utilization", 1.0, ""),
+        ("cross_pod_preemptions", 1.0, ""),
+        ("trunk_freeing_migrations", 1.0, ""),
+        ("trunk_ports_reclaimed", 1.0, ""),
+        ("job_preemptions", 1.0, ""),
+        ("replay_fraction", 1.0, ""),
+        ("median_queue_wait", 1 / HOUR, "h"),
+    ]:
+        result.rows.append([
+            key + (f" ({unit})" if unit else ""),
+            round(enabled.summary[key] * scale, 4),
+            round(disabled.summary[key] * scale, 4)])
+    result.rows.append([
+        f"goodput of the {target}-block class",
+        round(enabled.goodput_for_blocks(target), 4),
+        round(disabled.goodput_for_blocks(target), 4)])
+
+    result.paper["large slices stay schedulable under contention "
+                 "(Secs 2.5, 3)"] = "cross-pod preemption places them"
+    result.measured["large slices stay schedulable under contention "
+                    "(Secs 2.5, 3)"] = (
+        "yes" if enabled.summary["cross_pod_preemptions"] > 0 and
+        enabled.goodput_for_blocks(target) >
+        disabled.goodput_for_blocks(target) else "NO")
+    result.paper["identical inputs across the A/B"] = "yes"
+    result.measured["identical inputs across the A/B"] = (
+        "yes" if enabled.summary["jobs_submitted"] ==
+        disabled.summary["jobs_submitted"] and
+        enabled.summary["block_failures"] ==
+        disabled.summary["block_failures"] else "NO")
+    result.measured[f"{target}-block goodput with preemption"] = round(
+        enabled.goodput_for_blocks(target), 4)
+    result.measured[f"{target}-block goodput queueing only"] = round(
+        disabled.goodput_for_blocks(target), 4)
+    result.measured["cross-pod preemption evictions"] = round(
+        enabled.summary["cross_pod_preemptions"])
+    result.notes.append(
+        f"preset {preset!r} (preempt_priority lowered to 1), seed "
+        f"{seed}: hostile deterministic mix — "
+        f"{config.num_pods} pods x {config.blocks_per_pod} blocks "
+        f"packed with batch work outliving the run, "
+        f"{target}-block production arrivals every "
+        f"{config.arrival_window_seconds / 8 / HOUR:.1f}h; identical "
+        f"stream and outage trace for both runs")
+    result.notes.append(
+        "evictions are scheduler decisions, not inputs: the A/B flag "
+        "never perturbs the dice, and record/replay byte-identity "
+        "holds with the contention paths enabled")
     return result
 
 

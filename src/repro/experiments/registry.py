@@ -41,6 +41,7 @@ EXPERIMENTS: dict[str, Runner] = {
     "fleet": exp_fleet.run_fleet_experiment,
     "fleet_strategies": exp_fleet.run_fleet_strategies,
     "fleet_crosspod": exp_fleet.run_fleet_crosspod,
+    "fleet_contention": exp_fleet.run_fleet_contention,
     "fleet_replay": exp_fleet.run_fleet_replay,
     "fleet_deploy": exp_fleet.run_fleet_deploy,
 }

@@ -32,14 +32,15 @@ from repro.fleet.scenario import (DeploymentSchedule, SCHEDULES,
 from repro.fleet.scheduler import ActiveJob, FleetScheduler
 from repro.fleet.simulator import (FleetReport, FleetSimulator,
                                    compare_cross_pod, compare_policies,
-                                   compare_strategies, run_fleet)
+                                   compare_preemption, compare_strategies,
+                                   run_fleet)
 from repro.fleet.telemetry import FleetTelemetry, JobRecord
 from repro.fleet.trace import (FleetTrace, TRACE_VERSION, dumps_trace,
                                load_trace, loads_trace, record_trace,
                                save_trace, trace_of, validate_trace)
 from repro.fleet.workload import (FleetJob, TraceWorkload, generate_jobs,
-                                  model_type_mix, serving_shape,
-                                  truncated_slice_mix)
+                                  hostile_background_mix, model_type_mix,
+                                  serving_shape, truncated_slice_mix)
 
 __all__ = [
     "FleetConfig", "FleetState", "Pod",
@@ -53,11 +54,13 @@ __all__ = [
     "schedule_for", "schedule_names",
     "ActiveJob", "FleetScheduler",
     "FleetReport", "FleetSimulator", "compare_cross_pod",
-    "compare_policies", "compare_strategies", "run_fleet",
+    "compare_policies", "compare_preemption", "compare_strategies",
+    "run_fleet",
     "FleetTelemetry", "JobRecord",
     "FleetTrace", "TRACE_VERSION", "dumps_trace", "load_trace",
     "loads_trace", "record_trace", "save_trace", "trace_of",
     "validate_trace",
-    "FleetJob", "TraceWorkload", "generate_jobs", "model_type_mix",
-    "serving_shape", "truncated_slice_mix",
+    "FleetJob", "TraceWorkload", "generate_jobs",
+    "hostile_background_mix", "model_type_mix", "serving_shape",
+    "truncated_slice_mix",
 ]

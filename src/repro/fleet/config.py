@@ -85,6 +85,17 @@ class FleetConfig:
         trunk_ports: block-level trunk fibers each pod terminates on the
             machine OCS bank; every cross-pod block adjacency holds one
             port on both endpoint pods for the life of the slice.
+        cross_pod_preemption: allow machine-wide contention resolution
+            for jobs whose block demand exceeds one pod: a preemptor
+            may assemble a *cross-pod* placement out of evictions
+            (candidate victims credited hypothetically — their blocks
+            per pod, plus the trunk ports a cross-pod victim would
+            hand back — and evicted only once a victim set yields a
+            real machine-wide plan), and the defrag strategy may
+            checkpoint-migrate cross-pod donors into snugger
+            placements to free trunk ports.  Disabling it reproduces
+            the pod-local contention behavior of earlier PRs, where
+            oversized jobs under pressure could only queue.
         trunk_bandwidth_tax: fractional slowdown of a slice whose links
             all ride the trunk layer; an actual placement pays the tax
             scaled by its cross-link share, modeling the bisection hit
@@ -133,6 +144,7 @@ class FleetConfig:
     defrag_max_moves: int = 3
     cross_pod: bool = True
     trunk_ports: int = 48
+    cross_pod_preemption: bool = True
     trunk_bandwidth_tax: float = 0.1
     trunk_reconfig_seconds: float = 15.0
     spare_ports: int = 8

@@ -30,6 +30,7 @@ fabrics and the trunk bank before handover).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Iterable
 
 from repro.core.slicing import SliceShape, block_grid, canonical_shape
 from repro.errors import OCSError
@@ -144,6 +145,12 @@ class MachineFabric:
         self.pods = [PodFabric(blocks_per_pod) for _ in range(num_pods)]
         self._trunk_free = [trunk_ports] * num_pods
         self._held_trunks: dict[int, dict[int, int]] = {}
+        #: Monotone count of releases that actually freed trunk ports.
+        #: The fleet scheduler's dispatch pass watches it to invalidate
+        #: its cross-pod failure caches: within one pass free space
+        #: normally only shrinks, but preemption and trunk-freeing
+        #: defragmentation can hand ports back mid-pass.
+        self.trunk_release_count = 0
 
     # -- trunk index --------------------------------------------------------------
 
@@ -173,6 +180,30 @@ class MachineFabric:
     def holds_trunks(self, job_id: int) -> bool:
         """True while `job_id` has circuits on the trunk layer."""
         return job_id in self._held_trunks
+
+    def trunk_ports_of(self, job_id: int) -> dict[int, int]:
+        """Trunk ports `job_id` holds per pod (a copy; {} if none).
+
+        The what-if credit of one candidate victim: evicting or
+        migrating the job to a single pod would hand exactly these
+        ports back to each pod's budget.
+        """
+        return dict(self._held_trunks.get(job_id, {}))
+
+    def trunk_budget_excluding(self, job_ids: Iterable[int]
+                               ) -> dict[int, int]:
+        """The trunk budget as if `job_ids` had already released.
+
+        What-if accounting for contention planning — nothing is
+        released; the live ledger is merely re-summed with the given
+        jobs' holdings credited back.
+        """
+        budget = self.trunk_budget()
+        for job_id in job_ids:
+            for pod_id, count in self._held_trunks.get(job_id,
+                                                       {}).items():
+                budget[pod_id] += count
+        return budget
 
     # -- plan / apply / release ---------------------------------------------------
 
@@ -247,6 +278,8 @@ class MachineFabric:
         ports = self._held_trunks.pop(job_id, {})
         for pod_id, count in ports.items():
             self._trunk_free[pod_id] += count
+        if ports:
+            self.trunk_release_count += 1
         removed += sum(ports.values()) // 2 * FACE_LINKS
         return removed
 

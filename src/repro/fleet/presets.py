@@ -10,7 +10,10 @@ record/replay round-trip scenario, `deploy_week` overlays the
 the machine-wide scenario — eight small pods whose job mix includes Table 2's biggest
 slices (48 blocks, against 27-block pods), so those jobs *must* span
 pods over the trunk OCS layer, and whose failures include spare-port-
-repairable optical faults.
+repairable optical faults — and `edge` is the contention edge-case
+scenario, tuned so cross-pod preemption (and, rarely, trunk-freeing
+defrag) fires under generated load, anchoring the record/replay
+byte-identity smoke for the machine-wide contention paths.
 
 Every preset carries the config's placement strategy (first_fit by
 default), the OCS reconfiguration-latency knobs, and the trunk/spare
@@ -83,6 +86,23 @@ PRESETS: dict[str, FleetConfig] = {
         max_job_blocks=32, serving_fraction=0.1,
         host_mtbf_seconds=120 * DAY, mean_repair_seconds=4 * HOUR,
         strategy="best_fit", deploy_schedule="deploy_week"),
+    # Contention edge-case scenario: small pods under a machine-wide
+    # mix, a low preemption bar (production training may evict batch),
+    # the defrag strategy, and a trunk bank tight enough that
+    # concurrent cross-pod slices fight over ports — so cross-pod
+    # preemption and trunk-freeing defrag both fire under generated
+    # load.  The record/replay smoke rides this preset: evictions and
+    # migrations are scheduler *decisions*, not inputs, so a recorded
+    # trace must replay byte-identically with every new path enabled.
+    "edge": FleetConfig(
+        num_pods=4, blocks_per_pod=8,
+        horizon_seconds=1 * DAY, arrival_window_seconds=18 * HOUR,
+        mean_interarrival_seconds=5 * MINUTE, mean_job_seconds=2 * HOUR,
+        max_job_blocks=16, serving_fraction=0.05,
+        prod_fraction=0.2, mean_serving_seconds=12 * HOUR,
+        host_mtbf_seconds=60 * DAY, mean_repair_seconds=2 * HOUR,
+        preempt_priority=1, strategy="defrag", defrag_max_moves=2,
+        cross_pod=True, trunk_ports=20),
     # Serving-heavy mix: long residencies plus background training.
     "serving": FleetConfig(
         num_pods=2, blocks_per_pod=64,

@@ -17,6 +17,15 @@ every link that leaves the pod taxes the job's step time — the
 trunk-hop bandwidth tax, charged as a slowdown proportional to the
 placement's cross-link share.
 
+Contention resolution is machine-wide too.  Each dispatch escalates
+free placement → defrag → cross-pod → preemption (the last resort): a
+preemptor too big for any one pod assembles a cross-pod placement out
+of hypothetical victim credits (blocks per pod, plus the trunk ports a
+cross-pod victim would hand back) and evicts only the victims the
+winning plan needs; and when a cross-pod plan fails on trunk ports
+rather than blocks, the defrag strategy checkpoint-migrates cross-pod
+donors into snugger placements that release trunk endpoints.
+
 OCS placement is flexible but not free: starting a slice rewires the
 optical fabric, and that switching latency is charged on the job's
 critical path before its first segment runs.  The placement *strategy*
@@ -34,8 +43,10 @@ from dataclasses import dataclass, field
 
 from repro.core.block import HOSTS_PER_BLOCK
 from repro.core.checkpoint import CheckpointParams, optimal_interval
-from repro.core.scheduler import (PlacementPolicy, PlacementStrategy,
-                                  SliceScheduler, plan_multi_region)
+from repro.core.scheduler import (MultiRegionPlacement, PlacementPolicy,
+                                  PlacementStrategy, SliceScheduler,
+                                  plan_multi_region,
+                                  plan_multi_region_hypothetical)
 from repro.errors import SchedulingError
 from repro.fleet.cluster import FleetState, Pod
 from repro.fleet.config import FleetConfig
@@ -112,6 +123,12 @@ class FleetScheduler:
         self.telemetry = telemetry
         self.queue: list[ActiveJob] = []
         self.running: dict[int, ActiveJob] = {}
+        #: Run the from-scratch index recomputation after every
+        #: dispatch.  Defaults to the interpreter's debug mode (python
+        #: -O compiles the guard out for production-speed sweeps); tests
+        #: force it on explicitly so the drift guard itself is testable
+        #: regardless of interpreter flags.
+        self.verify_invariants = __debug__
 
     # -- queue discipline --------------------------------------------------------
 
@@ -134,7 +151,7 @@ class FleetScheduler:
         """
         while self._dispatch_pass():
             pass
-        if __debug__:
+        if self.verify_invariants:
             self.state.check_invariants()
 
     def _dispatch_pass(self) -> bool:
@@ -149,6 +166,24 @@ class FleetScheduler:
         failed_defrags: set[int] = set()
         failed_cross: set = set()
         failed_preemptions: set = set()
+        # ...except for the trunk layer: preemption and trunk-freeing
+        # defragmentation can hand trunk ports back mid-pass, so any
+        # release observed on the machine fabric invalidates the caches
+        # whose entries depend on the trunk budget.  (The block-freeing
+        # paths below clear every cache at their success sites; this
+        # watcher catches releases on any path that does not.)
+        machine = self.state.machine
+        trunk_epoch = machine.trunk_release_count \
+            if machine is not None else 0
+
+        def refresh_trunk_caches() -> None:
+            nonlocal trunk_epoch
+            if machine is not None and \
+                    machine.trunk_release_count != trunk_epoch:
+                trunk_epoch = machine.trunk_release_count
+                failed_cross.clear()
+                failed_preemptions.clear()
+
         for active in sorted(self.queue, key=self._queue_order):
             shape = active.job.shape
             can_preempt = active.job.priority >= self.config.preempt_priority
@@ -169,6 +204,11 @@ class FleetScheduler:
                     failed_preemptions.clear()
                 else:
                     failed_defrags.add(active.job.blocks)
+            # Any contention path — this job's defrag attempt just now,
+            # or an earlier iteration's — may have released trunk ports
+            # without reaching the blanket clears above; the
+            # trunk-dependent caches are stale the moment that happens.
+            refresh_trunk_caches()
             if placement is None and shape not in failed_cross:
                 placement = self._find_cross_pod(active.job)
                 if placement is None:
@@ -245,9 +285,7 @@ class FleetScheduler:
             trunk_budget=machine.trunk_budget())
         if placement is None:
             return None
-        return [(self.state.pods[pod_id],
-                 self.state.pods[pod_id].first_free(take))
-                for pod_id, take in placement.region_blocks]
+        return self._materialize(placement)
 
     # -- preemption ---------------------------------------------------------------
 
@@ -257,12 +295,20 @@ class FleetScheduler:
         Victims are considered hypothetically first — lowest priority,
         then least progress lost (most recently started) — and evicted
         only once a victim set that actually yields a placement is
-        found, and then only the victims whose blocks that placement
-        uses, so neither static-fragmentation dead ends nor bystanders
-        in the considered set suffer pointless churn.  A cross-pod
-        victim loses its whole slice (its other pods' blocks free as a
-        side effect), which only helps later queue entries.
+        found, and then only the victims that placement actually needs,
+        so neither static-fragmentation dead ends nor bystanders in the
+        considered set suffer pointless churn.  A cross-pod victim
+        loses its whole slice (its other pods' blocks free as a side
+        effect), which only helps later queue entries.
+
+        A job too big for any one pod takes the machine-wide path
+        instead: its placement is assembled across pods out of
+        hypothetical victim credits (blocks per pod, plus the trunk
+        ports a cross-pod victim would hand back) under the trunk
+        budget, via :func:`plan_multi_region_hypothetical`.
         """
+        if active.job.blocks > self.state.pods[0].num_blocks:
+            return self._preempt_cross_pod(active)
         for pod in self.state.pods_by_space():
             victims = sorted(
                 (self.running[job_id] for job_id in pod.jobs_on()
@@ -290,6 +336,80 @@ class FleetScheduler:
                 return [(pod, blocks)]
         return None
 
+    def _preempt_cross_pod(self, active: ActiveJob) -> Placement | None:
+        """Assemble a cross-pod placement out of evictions, or None.
+
+        The machine-wide contention path: a job that must span pods
+        cannot be rescued by any single pod's victims, so candidates
+        are ranked fleet-wide (lowest priority, then least progress
+        lost) and accumulated into hypothetical per-pod free masks and
+        a hypothetical trunk budget — a cross-pod victim is credited
+        with the trunk ports it would release — until a victim set
+        yields a :class:`MultiRegionPlacement`.  The set is then pruned
+        to the victims the winning plan actually needs (necessity is
+        monotone: dropping one victim's credits never makes another
+        droppable), and only those are evicted.
+        """
+        machine = self.state.machine
+        if machine is None or not self.config.cross_pod or \
+                not self.config.cross_pod_preemption or \
+                self.policy is not PlacementPolicy.OCS or \
+                len(self.state.pods) < 2:
+            return None
+        victims = sorted(
+            (candidate for candidate in self.running.values()
+             if candidate.job.priority < active.job.priority),
+            key=lambda a: (a.job.priority, -a.started_at, a.job.job_id))
+        if not victims:
+            return None
+        free = self.state.free_by_pod()
+
+        def plan_with(considered: list[ActiveJob]
+                      ) -> MultiRegionPlacement | None:
+            block_credits: dict[int, int] = {}
+            for victim in considered:
+                for pod_id, blocks in victim.assignments:
+                    block_credits[pod_id] = \
+                        block_credits.get(pod_id, 0) + len(blocks)
+            return plan_multi_region_hypothetical(
+                active.job.shape, free, self.strategy,
+                trunk_budget=machine.trunk_budget_excluding(
+                    victim.job.job_id for victim in considered),
+                block_credits=block_credits)
+
+        considered: list[ActiveJob] = []
+        plan: MultiRegionPlacement | None = None
+        for victim in victims:
+            considered.append(victim)
+            plan = plan_with(considered)
+            if plan is not None:
+                break
+        if plan is None:
+            return None
+        survivors = list(considered)
+        for victim in considered:
+            trimmed = [v for v in survivors if v is not victim]
+            replanned = plan_with(trimmed)
+            if replanned is not None:
+                survivors, plan = trimmed, replanned
+        for victim in survivors:
+            self.telemetry.cross_pod_preemptions += 1
+            self.telemetry.trunk_ports_reclaimed += \
+                victim.trunk_ports_held
+            self._interrupt(victim, preempted=True)
+        return self._materialize(plan)
+
+    def _materialize(self, plan: MultiRegionPlacement) -> Placement:
+        """Resolve a multi-region plan's counts to physical blocks."""
+        placement: Placement = []
+        for pod_id, take in plan.region_blocks:
+            blocks = self.state.pods[pod_id].first_free(take)
+            if blocks is None:  # pragma: no cover - plan guarantees fit
+                raise SchedulingError(
+                    f"pod {pod_id} cannot supply {take} planned blocks")
+            placement.append((self.state.pods[pod_id], blocks))
+        return placement
+
     # -- defragmentation ----------------------------------------------------------
 
     def _defrag_for(self, active: ActiveJob) -> Placement | None:
@@ -312,6 +432,10 @@ class FleetScheduler:
         needed = active.job.blocks
         if self.state.total_free < needed:
             return None  # compaction cannot conjure capacity
+        if needed > self.state.pods[0].num_blocks:
+            # No single pod can ever host this job; the only defrag
+            # that helps is freeing the *trunk layer* it must ride.
+            return self._defrag_trunks_for(active)
         for pod in sorted(self.state.pods,
                           key=lambda p: (needed - p.num_free, p.pod_id)):
             if needed > pod.num_blocks:
@@ -329,6 +453,125 @@ class FleetScheduler:
                 raise SchedulingError("defrag plan failed to free the pod")
             return [(pod, blocks)]
         return None
+
+    def _defrag_trunks_for(self, active: ActiveJob) -> Placement | None:
+        """Free trunk ports by re-packing cross-pod donors, or None.
+
+        The defrag strategy's machine-wide move, symmetric to block
+        compaction: the stuck job must span pods, the fleet holds
+        enough free blocks, but the cross-pod plan fails on the *trunk
+        budget* — the ports are held by running cross-pod slices.
+        Donors (cross-pod, below the preemption band, biggest trunk
+        holders first) are hypothetically lifted off the machine until
+        the stuck job plans, then checkpoint-migrated into the
+        snuggest placements that fit *around* the stuck job's
+        reservation — minimal pod spill, then minimal trunk usage
+        (single-pod is the limit case, every trunk endpoint released
+        via :meth:`MachineFabric.release`).  Bounded by
+        `defrag_max_moves`, and committed only once the whole move set
+        is known to succeed — no job moves for nothing.
+        """
+        machine = self.state.machine
+        if machine is None or not self.config.cross_pod or \
+                not self.config.cross_pod_preemption or \
+                len(self.state.pods) < 2:
+            return None
+        shape = active.job.shape
+        free = self.state.free_by_pod()
+        budget = machine.trunk_budget()
+        plan = plan_multi_region(shape, free, self.strategy,
+                                 trunk_budget=budget)
+        if plan is not None:
+            # Feasible as-is: no migration needed.  Report failure so
+            # the cross-pod rung right after this one places it — a
+            # defrag "success" here would set moved_any and wipe every
+            # failure cache for a placement that moved nothing.
+            return None
+        if plan_multi_region(shape, free, self.strategy) is None:
+            return None  # blocks are the shortage; moves conserve blocks
+        donors = sorted(
+            (candidate for candidate in self.running.values()
+             if candidate.is_cross_pod and candidate.job.priority <
+             self.config.preempt_priority),
+            key=lambda a: (-a.trunk_ports_held, a.job.job_id))
+        hypo_free = dict(free)
+        lifted: list[ActiveJob] = []
+        relocations: list[tuple[ActiveJob, MultiRegionPlacement]] = []
+        plan = None
+        for donor in donors:
+            if len(lifted) == self.config.defrag_max_moves:
+                break
+            lifted.append(donor)
+            for pod_id, blocks in donor.assignments:
+                hypo_free[pod_id] += len(blocks)
+            hypo_budget = machine.trunk_budget_excluding(
+                mover.job.job_id for mover in lifted)
+            plan = plan_multi_region(shape, list(hypo_free.items()),
+                                     self.strategy,
+                                     trunk_budget=hypo_budget)
+            if plan is None:
+                continue  # lift another donor
+            # Reserve the stuck job's claim, then re-place every lifted
+            # donor in what remains; all-or-nothing.
+            rest_free = dict(hypo_free)
+            rest_budget = dict(hypo_budget)
+            for pod_id, take in plan.region_blocks:
+                rest_free[pod_id] -= take
+            for pod_id, ports in plan.trunk_ports_by_region().items():
+                rest_budget[pod_id] -= ports
+            relocations = []
+            for mover in lifted:
+                new_place = plan_multi_region(
+                    mover.job.shape, list(rest_free.items()),
+                    PlacementStrategy.BEST_FIT,
+                    trunk_budget=rest_budget)
+                if new_place is None:
+                    break
+                for pod_id, take in new_place.region_blocks:
+                    rest_free[pod_id] -= take
+                for pod_id, ports in \
+                        new_place.trunk_ports_by_region().items():
+                    rest_budget[pod_id] -= ports
+                relocations.append((mover, new_place))
+            if len(relocations) == len(lifted):
+                break
+            plan = None
+        if plan is None:
+            return None  # no move set frees enough trunk ports
+        # Commit in two phases: checkpoint-halt EVERY donor first, so
+        # all their blocks and trunk ports release together, then
+        # restart each on its planned relocation.  Interleaving (halt
+        # one, restart it, halt the next) could land one donor's
+        # relocation on blocks a later donor still holds — the
+        # relocations were planned against pools where all lifted
+        # donors have vacated.
+        pending: list[tuple[ActiveJob, MultiRegionPlacement, int]] = []
+        for donor, new_place in relocations:
+            held_before = donor.trunk_ports_held
+            if self._halt_for_migration(donor):
+                pending.append((donor, new_place, held_before))
+            else:
+                # The planned checkpoint completed the donor outright:
+                # every endpoint it held came back.
+                self.telemetry.trunk_ports_reclaimed += held_before
+        for donor, new_place, held_before in pending:
+            self.telemetry.trunk_freeing_migrations += 1
+            self._restart_migrated(donor, self._materialize(new_place))
+            # Net ports handed back: the donor's old endpoints minus
+            # whatever its re-packed slice still holds.
+            self.telemetry.trunk_ports_reclaimed += \
+                max(0, held_before - donor.trunk_ports_held)
+        # Re-plan against the live state rather than trusting the
+        # hypothesis: a planned checkpoint that covers a donor's whole
+        # remaining work completes it instead of moving it, freeing
+        # strictly more than planned — never less.
+        plan = plan_multi_region(shape, self.state.free_by_pod(),
+                                 self.strategy,
+                                 trunk_budget=machine.trunk_budget())
+        if plan is None:  # pragma: no cover - moves guarantee feasibility
+            raise SchedulingError(
+                "trunk defrag failed to free the trunk layer")
+        return self._materialize(plan)
 
     def _plan_moves(self, pod: Pod, deficit: int
                     ) -> list[tuple[ActiveJob, Pod]] | None:
@@ -393,23 +636,54 @@ class FleetScheduler:
                 best, best_left = pod, left
         return best
 
-    def _migrate(self, active: ActiveJob, dest: Pod) -> None:
-        """Planned checkpoint-migrate-restore of one running job."""
-        job = active.job
+    def _halt_for_migration(self, active: ActiveJob) -> bool:
+        """Checkpoint-halt a donor for a planned move; its blocks and
+        trunk ports release here.  Returns False when the checkpoint
+        covered everything left — the donor completed outright and
+        there is nothing to move (even better than moving)."""
+        if self.policy is not PlacementPolicy.OCS:
+            # Migration destinations are picked by flat block count and
+            # materialized with first_free — valid only because OCS
+            # makes any free blocks of a pod equivalent.  A statically
+            # wired machine cannot rewire a running job at all (its
+            # defrag degrades to best_fit before ever reaching here),
+            # so landing here under static wiring is a scheduler bug,
+            # not a placement failure.
+            raise SchedulingError(
+                f"job {active.job.job_id}: defrag migration is an OCS "
+                f"rewiring; a statically-wired machine cannot relocate "
+                f"a running job")
         self._halt_segment(active, planned=True)
-        record = self.telemetry.record_for(job)
         if active.remaining <= _EPSILON:
-            # The planned checkpoint covered everything left; the job
-            # is done and its blocks are free — even better than moving.
-            record.completed_at = self.sim.now
-            return
-        record.migrations += 1
+            self.telemetry.record_for(active.job).completed_at = \
+                self.sim.now
+            return False
+        return True
+
+    def _restart_migrated(self, active: ActiveJob,
+                          placement: Placement) -> None:
+        """Restart a halted donor on its new placement (restore paid)."""
+        self.telemetry.record_for(active.job).migrations += 1
         active.pending_restore = self.config.restore_seconds
-        blocks = dest.first_free(job.blocks)
-        if blocks is None:  # pragma: no cover - reservation guarantees fit
+        self._start(active, placement, migration=True)
+
+    def _migrate(self, active: ActiveJob, dest: Pod) -> None:
+        """Planned checkpoint-migrate-restore onto one destination pod.
+
+        The block-compaction defrag move.  The physical blocks are
+        resolved only after the donor's own blocks are released, so a
+        donor may resettle partly onto blocks it just vacated.  (The
+        trunk-freeing defrag drives :meth:`_halt_for_migration` /
+        :meth:`_restart_migrated` directly: with several donors in one
+        plan, every halt must happen before any restart.)
+        """
+        if not self._halt_for_migration(active):
+            return
+        blocks = dest.first_free(active.job.blocks)
+        if blocks is None:  # pragma: no cover - reservation fits
             raise SchedulingError(
                 f"migration target pod {dest.pod_id} has no room")
-        self._start(active, [(dest, blocks)], migration=True)
+        self._restart_migrated(active, [(dest, blocks)])
 
     # -- job lifecycle -----------------------------------------------------------
 

@@ -36,7 +36,7 @@ from repro.fleet.failures import (BlockOutage, DrainWindow,
                                   downtime_block_seconds, overlay_windows,
                                   spare_repair_count)
 from repro.fleet.scheduler import FleetScheduler
-from repro.fleet.telemetry import FleetTelemetry
+from repro.fleet.telemetry import FleetTelemetry, JobRecord
 from repro.fleet.workload import FleetJob, TraceWorkload, generate_jobs
 from repro.sim.events import Simulator
 from repro.sim.rng import spawn_rngs
@@ -64,6 +64,26 @@ class FleetReport:
     downtime_fraction: float
     #: Capacity share the deployment schedule drained (0 for plain runs).
     drain_fraction: float = 0.0
+    #: Per-job lifetime records, for per-class analysis (e.g. the
+    #: 48-block goodput gate); the JSON-facing summary stays flat.
+    job_records: tuple[JobRecord, ...] = ()
+
+    def goodput_for_blocks(self, blocks: int) -> float:
+        """Goodput of one job class — jobs of exactly `blocks` blocks.
+
+        Useful block-seconds the class banked, over the whole machine's
+        capacity.  A class that never runs scores 0 regardless of what
+        the rest of the fleet achieved.  Note this counts each job's
+        *useful-progress credit* only: the trunk-stall time that the
+        summary's `goodput` bucket additionally carries for cross-pod
+        slices is excluded, so per-class values sum to slightly under
+        `summary["goodput"]` when the bandwidth tax is nonzero.
+        """
+        capacity = self.config.total_blocks * self.config.horizon_seconds
+        useful = sum(record.useful_seconds * record.blocks
+                     for record in self.job_records
+                     if record.blocks == blocks)
+        return useful / capacity if capacity > 0 else 0.0
 
     def render(self) -> str:
         """Human-readable report block."""
@@ -94,6 +114,13 @@ class FleetReport:
             f"block-time, trunk util "
             f"{self.summary['trunk_utilization']:.3f}, stall "
             f"{self.summary['trunk_stall_fraction']:.4f}",
+            f"  contention: "
+            f"{self.summary['cross_pod_preemptions']:.0f} cross-pod "
+            f"preemption evictions, "
+            f"{self.summary['trunk_freeing_migrations']:.0f} "
+            f"trunk-freeing migrations, "
+            f"{self.summary['trunk_ports_reclaimed']:.0f} trunk ports "
+            f"reclaimed",
             f"  repairs: {self.summary['spare_port_repairs']:.0f} of "
             f"{self.summary['block_failures']:.0f} outages absorbed by "
             f"spare ports",
@@ -224,7 +251,8 @@ class FleetSimulator:
             summary=summary,
             events_fired=sim.events_fired,
             downtime_fraction=downtime_block_seconds(outages) / capacity,
-            drain_fraction=drained / capacity)
+            drain_fraction=drained / capacity,
+            job_records=tuple(telemetry.records.values()))
 
 
 def run_fleet(config: FleetConfig, *, seed: int = 0,
@@ -256,6 +284,32 @@ def compare_strategies(config: FleetConfig, *, seed: int = 0,
     simulator = FleetSimulator(config, seed=seed)
     return {strategy.value: simulator.run(policy, strategy)
             for strategy in PlacementStrategy}
+
+
+def compare_preemption(config: FleetConfig, *, seed: int = 0,
+                       strategy: PlacementStrategy | None = None,
+                       workload: JobSource | None = None
+                       ) -> dict[str, FleetReport]:
+    """OCS runs with machine-wide preemption on and off, same inputs.
+
+    The contention A/B: `cross_pod_preemption` gates only how the
+    scheduler resolves contention (evictions are decisions, not
+    inputs), so both runs replay byte-identical job streams and outage
+    traces — disabled reproduces the pod-local contention behavior
+    where oversized jobs can only queue.  `workload` plugs in an
+    adversarial stream (e.g. :func:`~repro.fleet.workload.
+    hostile_background_mix`) in place of the Table 2 generator.
+    """
+    enabled = dataclasses.replace(config, cross_pod_preemption=True)
+    disabled = dataclasses.replace(config, cross_pod_preemption=False)
+    return {
+        "preemption": FleetSimulator(
+            enabled, seed=seed, workload=workload).run(
+                PlacementPolicy.OCS, strategy),
+        "queueing": FleetSimulator(
+            disabled, seed=seed, workload=workload).run(
+                PlacementPolicy.OCS, strategy),
+    }
 
 
 def compare_cross_pod(config: FleetConfig, *, seed: int = 0,

@@ -93,6 +93,13 @@ class FleetTelemetry:
     ocs_reconfigurations: int = 0
     circuits_programmed: int = 0
     trunk_circuits_programmed: int = 0
+    #: Contention-resolution counters (machine-wide paths): victims
+    #: evicted so a job bigger than one pod could span pods, donors
+    #: checkpoint-migrated off the trunk layer to free its ports, and
+    #: the trunk ports those two paths handed back to the budget.
+    cross_pod_preemptions: int = 0
+    trunk_freeing_migrations: int = 0
+    trunk_ports_reclaimed: int = 0
 
     @property
     def preemption_events(self) -> int:
@@ -147,6 +154,10 @@ class FleetTelemetry:
             "circuits_programmed": float(self.circuits_programmed),
             "trunk_circuits_programmed": float(
                 self.trunk_circuits_programmed),
+            "cross_pod_preemptions": float(self.cross_pod_preemptions),
+            "trunk_freeing_migrations": float(
+                self.trunk_freeing_migrations),
+            "trunk_ports_reclaimed": float(self.trunk_ports_reclaimed),
             "utilization": _fraction(self.busy_block_seconds, capacity),
             "goodput": _fraction(self.useful_block_seconds, capacity),
             "replay_fraction": _fraction(self.replay_block_seconds,

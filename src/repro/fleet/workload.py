@@ -157,6 +157,57 @@ class TraceWorkload:
         return len(self.jobs)
 
 
+def hostile_background_mix(config: FleetConfig, *,
+                           arrival_rng: np.random.Generator | None = None,
+                           shape_rng: np.random.Generator | None = None
+                           ) -> list[FleetJob]:
+    """A deterministic contention probe: saturating low-priority load
+    plus periodic machine-wide high-priority arrivals.
+
+    The adversarial stream behind the cross-pod-preemption gate (and a
+    :data:`~repro.fleet.simulator.JobSource`, so it plugs into
+    :class:`~repro.fleet.simulator.FleetSimulator` like any workload;
+    the RNG arguments are accepted and ignored — hostility is exact,
+    not sampled).  Background: every pod is packed wall to wall with
+    batch-priority training jobs that outlive the run, so no capacity
+    ever frees on its own.  Foreground: the largest machine-wide
+    Table 2 shape under the config's cap arrives on a fixed cadence at
+    production priority — with `preempt_priority` at or below that
+    band, each arrival can only ever run by assembling a cross-pod
+    placement out of evictions.  Without machine-wide preemption the
+    foreground class starves outright, which is exactly the A/B the
+    benchmark gate measures.
+    """
+    shapes, _ = truncated_slice_mix(config.max_job_blocks)
+    foreground = max(
+        (shape for shape in shapes
+         if blocks_needed(shape) > config.blocks_per_pod),
+        key=blocks_needed, default=None)
+    if foreground is None:
+        raise ConfigurationError(
+            f"hostile mix needs a machine-wide shape; no Table 2 shape "
+            f"exceeds one {config.blocks_per_pod}-block pod under the "
+            f"{config.max_job_blocks}-block cap")
+    # Background jobs a third of a pod each: big enough that evicting
+    # a few frees real capacity, small enough to pack pods exactly.
+    grain = max(1, config.blocks_per_pod // 3)
+    background = (4, 4, 4 * grain)
+    per_pod = config.blocks_per_pod // grain
+    jobs = [
+        FleetJob(job_id=job_id, kind="train", model_type="LLM",
+                 shape=background, arrival=0.0,
+                 work_seconds=2 * config.horizon_seconds,
+                 priority=PRIORITY_BATCH)
+        for job_id in range(config.num_pods * per_pod)]
+    cadence = config.arrival_window_seconds / 8
+    for beat in range(1, 7):
+        jobs.append(FleetJob(
+            job_id=len(jobs), kind="train", model_type="LLM",
+            shape=foreground, arrival=beat * cadence,
+            work_seconds=cadence * 0.3, priority=PRIORITY_PROD))
+    return jobs
+
+
 def generate_jobs(config: FleetConfig, *,
                   arrival_rng: np.random.Generator,
                   shape_rng: np.random.Generator) -> list[FleetJob]:

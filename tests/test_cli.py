@@ -86,6 +86,21 @@ class TestFleetCLI:
     def test_fleet_unknown_mode_is_usage_error(self):
         assert main(["fleet", "rewind"]) == 2
 
+    def test_cross_pod_preemption_flag_round_trip(self, capsys):
+        # The A/B pair: identical inputs, only the contention knob
+        # differs; disabling must zero the new counters.
+        argv = ["fleet", "--preset", "edge", "--seed", "0",
+                "--policy", "ocs", "--json"]
+        assert main(argv + ["--cross-pod-preemption"]) == 0
+        enabled = json.loads(capsys.readouterr().out)["ocs"]
+        assert main(argv + ["--no-cross-pod-preemption"]) == 0
+        disabled = json.loads(capsys.readouterr().out)["ocs"]
+        assert enabled["cross_pod_preemptions"] > 0
+        assert disabled["cross_pod_preemptions"] == 0.0
+        assert disabled["trunk_freeing_migrations"] == 0.0
+        assert enabled["jobs_submitted"] == disabled["jobs_submitted"]
+        assert enabled["block_failures"] == disabled["block_failures"]
+
 
 class TestFleetTraceCLI:
     def test_record_then_replay_stdout_byte_identical(self, tmp_path,

@@ -19,7 +19,7 @@ class TestRegistry:
             "section29", "section210", "section73", "section76",
             "section79", "section710",
             "fleet", "fleet_strategies", "fleet_crosspod",
-            "fleet_replay", "fleet_deploy",
+            "fleet_contention", "fleet_replay", "fleet_deploy",
         }
         assert set(ALL_EXPERIMENTS) == expected
 

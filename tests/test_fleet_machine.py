@@ -182,6 +182,37 @@ class TestMachineFabric:
         for pod_id, ports in plan.trunk_ports_by_pod().items():
             assert budget[pod_id] == 48 - ports
 
+    def test_what_if_accounting_never_mutates(self):
+        # The contention planner's what-if views: per-victim holdings
+        # and an excluding budget, both pure reads.
+        fabric = self._fabric()
+        plan = self._cross_plan(fabric)
+        fabric.apply(plan)
+        held = fabric.trunk_ports_of(1)
+        assert held == plan.trunk_ports_by_pod()
+        held[0] = 999  # a copy — the ledger must not see this
+        assert fabric.trunk_ports_of(1) == plan.trunk_ports_by_pod()
+        assert fabric.trunk_ports_of(42) == {}
+        excluding = fabric.trunk_budget_excluding([1])
+        assert excluding == {0: 48, 1: 48}  # as if job 1 had released
+        # ...but the live budget and ledger are untouched.
+        assert fabric.trunk_in_use() == plan.total_trunk_ports
+        assert fabric.holds_trunks(1)
+        fabric.check_trunk_accounting()
+
+    def test_release_bumps_the_release_counter(self):
+        # The dispatch pass's cache-invalidation signal: only releases
+        # that actually hand trunk ports back count.
+        fabric = self._fabric()
+        assert fabric.trunk_release_count == 0
+        fabric.apply(self._cross_plan(fabric))
+        fabric.release(99)   # held nothing: no trunk came back
+        assert fabric.trunk_release_count == 0
+        fabric.release(1)
+        assert fabric.trunk_release_count == 1
+        fabric.release(1)    # already gone: idempotent, no bump
+        assert fabric.trunk_release_count == 1
+
 
 class TestSpareRepairs:
     def _config(self, **overrides):

@@ -224,3 +224,111 @@ def test_random_scenario_invariants(seed):
         _check_structure(scheduler)
     scheduler.finalize(HORIZON)
     _check_accounting(scheduler)
+
+
+class _AuditedScheduler(FleetScheduler):
+    """Asserts the preemption victim-selection contract on every call.
+
+    The contract: considering a victim hypothetically is free — a
+    bystander in the considered set is never actually interrupted
+    unless the final placement needs it.  "Needs" means its blocks
+    intersect the placement; on the machine-wide path a cross-pod
+    victim may instead be evicted for the trunk ports it releases, in
+    which case those ports must sit on a pod the placement spans.  And
+    a preemption attempt that yields no placement must evict no one.
+    """
+
+    def _preempt_for(self, active):
+        held_before = {
+            job_id: {(pod_id, block)
+                     for pod_id, blocks in candidate.assignments
+                     for block in blocks}
+            for job_id, candidate in self.running.items()}
+        machine = self.state.machine
+        ports_before = {
+            job_id: (machine.trunk_ports_of(job_id)
+                     if machine is not None else {})
+            for job_id in self.running}
+        placement = super()._preempt_for(active)
+        evicted = set(held_before) - set(self.running)
+        if placement is None:
+            assert not evicted, \
+                f"job {active.job.job_id}: eviction without a placement"
+            return None
+        placed = {(pod.pod_id, block)
+                  for pod, blocks in placement for block in blocks}
+        placed_pods = {pod.pod_id for pod, _ in placement}
+        cross_pod = len(placement) > 1
+        for job_id in evicted:
+            intersects = bool(held_before[job_id] & placed)
+            ports_on_placement = cross_pod and any(
+                pod_id in placed_pods
+                for pod_id in ports_before[job_id])
+            assert intersects or ports_on_placement, (
+                f"bystander {job_id} interrupted: holds "
+                f"{sorted(held_before[job_id])}, placement {sorted(placed)}")
+        return placement
+
+
+def _build_preempt_heavy(seed):
+    """A contention-heavy random fleet: three priority bands, a low
+    preemption bar, machine-wide shapes, and a tight-ish trunk bank —
+    so both the pod-local and the cross-pod preemption paths fire."""
+    rng = np.random.default_rng(1_000_000 + seed)
+    num_pods = int(rng.integers(2, 5))
+    strategy = list(PlacementStrategy)[int(rng.integers(0, 3))]
+    policy = (PlacementPolicy.OCS, PlacementPolicy.STATIC)[
+        int(rng.integers(0, 4) == 0)]  # mostly OCS; static still audited
+    trunk_ports = int(rng.choice([8, 16, 24, 64]))
+    config = FleetConfig(
+        num_pods=num_pods, blocks_per_pod=8,
+        max_job_blocks=min(32, num_pods * 8),
+        horizon_seconds=HORIZON, arrival_window_seconds=HORIZON * 0.8,
+        mean_job_seconds=60_000.0, strategy=strategy,
+        preempt_priority=1,
+        reconfig_base_seconds=float(rng.choice([0.0, 60.0])),
+        defrag_max_moves=int(rng.integers(0, 3)),
+        cross_pod=bool(rng.integers(0, 2)), trunk_ports=trunk_ports)
+    sim = Simulator()
+    state = FleetState(num_pods, 8,
+                       with_fabric=policy is PlacementPolicy.OCS,
+                       trunk_ports=trunk_ports)
+    scheduler = _AuditedScheduler(config, policy, sim, state,
+                                  FleetTelemetry())
+    shapes = SHAPES + MACHINE_SHAPES
+    for job_id in range(int(rng.integers(10, 24))):
+        shape = shapes[int(rng.integers(0, len(shapes)))]
+        priority = int(rng.integers(0, 3))
+        job = FleetJob(
+            job_id=job_id,
+            kind="serve" if priority == 2 and rng.random() < 0.3
+            else "train",
+            model_type="LLM", shape=shape,
+            arrival=float(rng.uniform(0, config.arrival_window_seconds)),
+            work_seconds=float(rng.exponential(config.mean_job_seconds)),
+            priority=priority)
+        sim.schedule_at(job.arrival, lambda j=job: scheduler.submit(j))
+    for _ in range(int(rng.integers(0, 5))):
+        pod_id = int(rng.integers(0, num_pods))
+        block = int(rng.integers(0, 8))
+        start = float(rng.uniform(0, HORIZON * 0.9))
+        end = start + float(rng.exponential(20_000.0))
+        sim.schedule_at(start, lambda p=pod_id, b=block:
+                        scheduler.on_block_down(p, b))
+        if end < HORIZON:
+            sim.schedule_at(end, lambda p=pod_id, b=block:
+                            scheduler.on_block_up(p, b))
+    return scheduler
+
+
+@pytest.mark.parametrize("seed", range(100))
+def test_preemption_victim_selection(seed):
+    """No bystander in the considered set is ever interrupted unless
+    the final placement needs it — across randomized contention-heavy
+    scenarios including cross-pod victims (the audit lives inside
+    :class:`_AuditedScheduler` and fires on every preemption)."""
+    scheduler = _build_preempt_heavy(seed)
+    scheduler.sim.run(until=HORIZON)
+    _check_structure(scheduler)
+    scheduler.finalize(HORIZON)
+    _check_accounting(scheduler)

@@ -97,6 +97,24 @@ class TestSummary:
         assert telemetry.defrag_migrations == 2  # per-job roll-up
         assert summary["reconfig_fraction"] == pytest.approx(0.5)
 
+    def test_contention_counters_reach_the_summary(self):
+        telemetry = FleetTelemetry()
+        telemetry.cross_pod_preemptions = 4
+        telemetry.trunk_freeing_migrations = 2
+        telemetry.trunk_ports_reclaimed = 28
+        summary = telemetry.summary(total_blocks=8,
+                                    horizon_seconds=100.0)
+        assert summary["cross_pod_preemptions"] == 4.0
+        assert summary["trunk_freeing_migrations"] == 2.0
+        assert summary["trunk_ports_reclaimed"] == 28.0
+        # Present (and zero) in the empty summary too — JSON consumers
+        # never branch on key existence.
+        empty = FleetTelemetry().summary(total_blocks=0,
+                                         horizon_seconds=0.0)
+        for key in ("cross_pod_preemptions", "trunk_freeing_migrations",
+                    "trunk_ports_reclaimed"):
+            assert empty[key] == 0.0
+
     def test_job_counters_roll_up(self):
         telemetry = FleetTelemetry()
         done = telemetry.record_for(self._job(0))
