@@ -20,6 +20,7 @@ simulated month of 4-pod fleet time) ride on the pod free-block index.
 """
 
 import dataclasses
+import time
 
 from repro.core.scheduler import PlacementPolicy, PlacementStrategy
 from repro.fleet import (FleetSimulator, compare_cross_pod,
@@ -30,6 +31,24 @@ from repro.fleet import (FleetSimulator, compare_cross_pod,
 
 IDENTITY_PARTS = ("goodput", "replay_fraction", "restore_fraction",
                   "checkpoint_fraction", "reconfig_fraction")
+
+
+def _timed(label, fn):
+    """Wrap a benchmarked callable with a visible wall-clock line.
+
+    The ROADMAP wants perf decay visible, not just goodput decay:
+    pytest-benchmark's stats live in its JSON artifact, while this line
+    lands in the captured stdout next to the reports (report-only; the
+    gated numbers stay in check_regression's baseline, which records
+    its own wall_seconds).
+    """
+    def wrapped(*args, **kwargs):
+        began = time.perf_counter()
+        result = fn(*args, **kwargs)
+        print(f"\nwall-clock seconds: "
+              f"{time.perf_counter() - began:.2f} ({label})")
+        return result
+    return wrapped
 
 
 def test_fleet_goodput(run_report):
@@ -48,8 +67,9 @@ def test_fleet_strategies_medium(benchmark):
     # The comparison is only meaningful when rewiring costs something.
     assert config.reconfig_base_seconds > 0
 
-    reports = benchmark.pedantic(compare_strategies, args=(config,),
-                                 kwargs={"seed": 0}, rounds=1, iterations=1)
+    reports = benchmark.pedantic(
+        _timed("strategy sweep, medium", compare_strategies),
+        args=(config,), kwargs={"seed": 0}, rounds=1, iterations=1)
     for name, report in reports.items():
         print()
         print(report.render())
@@ -79,7 +99,8 @@ def test_fleet_cross_pod_large(benchmark):
     assert config.max_job_blocks > config.blocks_per_pod
 
     reports = benchmark.pedantic(
-        compare_cross_pod, args=(config,),
+        _timed("cross-pod A/B, large", compare_cross_pod),
+        args=(config,),
         kwargs={"seed": 0, "strategy": PlacementStrategy.BEST_FIT},
         rounds=1, iterations=1)
     for report in reports.values():
@@ -122,7 +143,8 @@ def test_fleet_cross_pod_preemption_large(benchmark):
     assert config.max_job_blocks > config.blocks_per_pod
 
     reports = benchmark.pedantic(
-        compare_preemption, args=(config,),
+        _timed("hostile contention A/B, large", compare_preemption),
+        args=(config,),
         kwargs={"seed": 0, "strategy": PlacementStrategy.BEST_FIT,
                 "workload": hostile_background_mix},
         rounds=1, iterations=1)
@@ -179,7 +201,8 @@ def test_fleet_trace_replay_under_sweep(benchmark):
         return {s.value: simulator.run(PlacementPolicy.OCS, s)
                 for s in PlacementStrategy}
 
-    reports = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    reports = benchmark.pedantic(_timed("replayed strategy sweep", sweep),
+                                 rounds=1, iterations=1)
     failures = {r.summary["block_failures"] for r in reports.values()}
     submitted = {r.summary["jobs_submitted"] for r in reports.values()}
     assert len(failures) == 1 and len(submitted) == 1
@@ -190,9 +213,10 @@ def test_fleet_deployment_scenario(benchmark):
     # The scenario only bites when the preset actually drains capacity.
     assert config.deploy_schedule == "deploy_week"
 
-    reports = benchmark.pedantic(compare_deployment, args=(config,),
-                                 kwargs={"seed": 0}, rounds=1,
-                                 iterations=1)
+    reports = benchmark.pedantic(
+        _timed("deployment A/B, deploy_week", compare_deployment),
+        args=(config,), kwargs={"seed": 0}, rounds=1,
+        iterations=1)
     for report in reports.values():
         print()
         print(report.render())

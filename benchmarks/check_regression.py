@@ -26,18 +26,37 @@ import argparse
 import dataclasses
 import json
 import sys
+import time
 from pathlib import Path
 
 from repro.core.scheduler import PlacementPolicy, PlacementStrategy
 from repro.fleet import (FleetSimulator, compare_deployment,
                          compare_preemption, hostile_background_mix,
                          preset_config)
+from repro.fleet.telemetry import SUMMARY_SCHEMA
 
 BASELINE_PATH = Path(__file__).parent / "baselines" / \
     "fleet_goodput_baseline.json"
-BASELINE_SCHEMA = 2
+BASELINE_SCHEMA = 3
 DEFAULT_TOLERANCE = 0.02
 GATE_SEED = 0
+
+
+def _assert_summary_schema(summary: dict) -> None:
+    """Fail loudly when the summary dict's shape drifted.
+
+    Every gated value is picked out of `FleetTelemetry.summary()` by
+    key; if that dict's key set changes without a `SUMMARY_SCHEMA`
+    bump (or the baseline was recorded against an older schema), the
+    gate would silently compare mismatched shapes.  Exit 2, not 1:
+    this is gate misconfiguration, not a perf regression.
+    """
+    got = summary.get("schema_version")
+    if got != float(SUMMARY_SCHEMA):
+        print(f"regression gate: summary schema_version {got!r} != "
+              f"library SUMMARY_SCHEMA {SUMMARY_SCHEMA}; summary shape "
+              f"drifted without a schema bump", file=sys.stderr)
+        raise SystemExit(2)
 
 
 def measure() -> dict[str, float]:
@@ -74,6 +93,11 @@ def measure() -> dict[str, float]:
                  for record in contention["preemption"].job_records)
     edge = FleetSimulator(preset_config("edge"), seed=GATE_SEED).run(
         PlacementPolicy.OCS)
+    for summary in (large.summary, medium.summary,
+                    deploy["ocs"].summary, deploy["static"].summary,
+                    contention["preemption"].summary,
+                    contention["queueing"].summary, edge.summary):
+        _assert_summary_schema(summary)
     return {
         "large_best_fit_goodput": large.summary["goodput"],
         "medium_best_fit_goodput": medium.summary["goodput"],
@@ -100,6 +124,12 @@ def load_baseline() -> dict:
         print(f"regression gate: unsupported baseline schema "
               f"{baseline.get('schema')!r}", file=sys.stderr)
         raise SystemExit(2)
+    if baseline.get("summary_schema") != SUMMARY_SCHEMA:
+        print(f"regression gate: baseline was recorded against summary "
+              f"schema {baseline.get('summary_schema')!r}, the library "
+              f"now emits {SUMMARY_SCHEMA}; re-record with --update",
+              file=sys.stderr)
+        raise SystemExit(2)
     return baseline
 
 
@@ -111,7 +141,9 @@ def main(argv: list[str] | None = None) -> int:
                         help="emit the measured metrics as JSON")
     args = parser.parse_args(argv)
 
+    began = time.perf_counter()
     measured = measure()
+    wall_seconds = time.perf_counter() - began
     if args.json:
         print(json.dumps(measured, indent=2, sort_keys=True))
     if args.update:
@@ -119,7 +151,11 @@ def main(argv: list[str] | None = None) -> int:
         BASELINE_PATH.write_text(json.dumps({
             "schema": BASELINE_SCHEMA,
             "seed": GATE_SEED,
+            "summary_schema": SUMMARY_SCHEMA,
             "tolerance": DEFAULT_TOLERANCE,
+            # Report-only (machines differ; see the wall-clock line in
+            # the compare output) — NOT in `metrics`, so never gated.
+            "wall_seconds": round(wall_seconds, 3),
             "metrics": measured,
         }, indent=2, sort_keys=True) + "\n")
         print(f"regression gate: baseline updated at {BASELINE_PATH}")
@@ -144,6 +180,13 @@ def main(argv: list[str] | None = None) -> int:
     for name in sorted(set(measured) - set(baseline["metrics"])):
         print(f"{name}: measured {measured[name]:.6f} (not gated; "
               f"--update to start gating it)")
+    recorded = baseline.get("wall_seconds")
+    print(f"wall-clock seconds: {wall_seconds:.2f} measured vs "
+          f"{recorded:.2f} at baseline recording"
+          if recorded is not None else
+          f"wall-clock seconds: {wall_seconds:.2f} measured "
+          f"(baseline has none)", end="")
+    print(" [report-only, not gated]")
     if failures:
         print("\nregression gate FAILED:", file=sys.stderr)
         for failure in failures:

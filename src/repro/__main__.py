@@ -13,6 +13,9 @@
     python -m repro fleet --preset small --deploy-schedule maintenance
     python -m repro fleet record --preset replay --seed 0 --trace run.jsonl
     python -m repro fleet replay --trace run.jsonl --json
+    python -m repro fleet --preset edge --policy ocs --trace-out edge.json
+    python -m repro fleet report --trace edge.json
+    python -m repro fleet profile --preset large --policy ocs
 """
 
 from __future__ import annotations
@@ -25,9 +28,10 @@ import sys
 from repro.core.scheduler import PlacementPolicy, PlacementStrategy
 from repro.errors import TraceError
 from repro.experiments import list_experiments, run
-from repro.fleet import (FleetSimulator, load_trace, preset_config,
-                         preset_names, save_trace, schedule_for,
-                         schedule_names, trace_of)
+from repro.fleet import (DispatchProfiler, FleetSimulator, load_obs,
+                         load_trace, preset_config, preset_names,
+                         render_report, save_obs, save_trace,
+                         schedule_for, schedule_names, trace_of)
 
 
 def _cmd_list(args: argparse.Namespace) -> int:
@@ -64,6 +68,11 @@ def _apply_fleet_overrides(config, args: argparse.Namespace):
     if args.strategy not in (None, "all"):
         config = dataclasses.replace(
             config, strategy=PlacementStrategy(args.strategy))
+    if args.sample_every is not None:
+        config = dataclasses.replace(
+            config, obs_sample_every_seconds=args.sample_every)
+    if args.trace_out is not None:
+        config = dataclasses.replace(config, observability=True)
     return config
 
 
@@ -115,7 +124,57 @@ def _fleet_simulator(args: argparse.Namespace) -> FleetSimulator | int:
     return simulator
 
 
+def _cmd_fleet_report(args: argparse.Namespace) -> int:
+    """Render a recorded observability trace (either export format)."""
+    if args.trace is None:
+        print("fleet report requires --trace PATH", file=sys.stderr)
+        return 2
+    try:
+        recorder = load_obs(args.trace)
+    except TraceError as exc:
+        print(f"fleet report: {exc}", file=sys.stderr)
+        return 2
+    print(render_report(recorder, limit=args.limit))
+    return 0
+
+
+def _cmd_fleet_profile(args: argparse.Namespace) -> int:
+    """One instrumented run: the fleet report plus the wall-clock profile."""
+    simulator = _fleet_simulator(args)
+    if isinstance(simulator, int):
+        return simulator
+    # 'both' makes no sense for a profile; default to the OCS policy
+    # (the one with a dispatch loop worth profiling).
+    policy = PlacementPolicy.OCS if args.policy == "both" \
+        else PlacementPolicy(args.policy)
+    profiler = DispatchProfiler()
+    report = simulator.run(policy, profiler=profiler)
+    if args.trace_out is not None and report.obs is not None:
+        path = save_obs(report.obs, args.trace_out)
+        print(f"fleet: wrote observability trace "
+              f"({report.obs.num_records} records) to {path}",
+              file=sys.stderr)
+    if args.json:
+        print(json.dumps({"summary": report.summary,
+                          "profile": profiler.report()},
+                         indent=2, sort_keys=True))
+    else:
+        print(report.render())
+        print()
+        print(profiler.render())
+    return 0
+
+
 def _cmd_fleet(args: argparse.Namespace) -> int:
+    if args.mode == "report":
+        return _cmd_fleet_report(args)
+    if args.mode == "profile":
+        return _cmd_fleet_profile(args)
+    if args.trace_out is not None and \
+            (args.policy == "both" or args.strategy == "all"):
+        print("--trace-out records one run; pick --policy ocs|static "
+              "and a single --strategy", file=sys.stderr)
+        return 2
     simulator = _fleet_simulator(args)
     if isinstance(simulator, int):
         return simulator
@@ -135,6 +194,13 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
     else:
         policy = PlacementPolicy(args.policy)
         reports = {policy.value: simulator.run(policy)}
+    if args.trace_out is not None:
+        report = next(iter(reports.values()))
+        path = save_obs(report.obs, args.trace_out)
+        # stderr, so run stdout stays byte-comparable across reruns.
+        print(f"fleet: wrote observability trace "
+              f"({report.obs.num_records} records) to {path}",
+              file=sys.stderr)
     if args.json:
         print(json.dumps({name: report.summary
                           for name, report in reports.items()},
@@ -189,10 +255,13 @@ def build_parser() -> argparse.ArgumentParser:
         "fleet", help="simulate a multi-pod fleet scenario")
     fleet_cmd.add_argument(
         "mode", nargs="?", default="run",
-        choices=["run", "record", "replay"],
+        choices=["run", "record", "replay", "report", "profile"],
         help="run: simulate fresh draws (default); record: also save "
              "the run's inputs as a JSONL trace (--trace); replay: "
-             "re-run a recorded trace byte-for-byte (--trace)")
+             "re-run a recorded trace byte-for-byte (--trace); "
+             "report: render a recorded observability trace "
+             "(--trace); profile: one instrumented run with the "
+             "dispatch-loop wall-clock profile")
     fleet_cmd.add_argument("--preset", default=None,
                            choices=preset_names(),
                            help="scenario preset (default: small; "
@@ -203,7 +272,21 @@ def build_parser() -> argparse.ArgumentParser:
                                 "trace)")
     fleet_cmd.add_argument(
         "--trace", default=None, metavar="PATH",
-        help="trace file to write (record) or read (replay)")
+        help="trace file to write (record) or read (replay, report)")
+    fleet_cmd.add_argument(
+        "--trace-out", default=None, metavar="PATH",
+        help="record the run's observability log and write it here: "
+             "Chrome trace-event JSON (open in Perfetto), or "
+             "versioned JSONL when PATH ends in .jsonl; needs a "
+             "single policy and strategy")
+    fleet_cmd.add_argument(
+        "--sample-every", type=float, default=None, metavar="SECONDS",
+        help="sim-time cadence of the observability time-series "
+             "sampler (default: the preset's "
+             "obs_sample_every_seconds)")
+    fleet_cmd.add_argument(
+        "--limit", type=int, default=30, metavar="N",
+        help="fleet report: show at most N per-job timeline rows")
     fleet_cmd.add_argument(
         "--deploy-schedule", default=None,
         choices=schedule_names() + ["none"],

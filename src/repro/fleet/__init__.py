@@ -24,6 +24,10 @@ from repro.fleet.failures import (BlockOutage, DrainWindow,
                                   apply_spare_repairs, build_failure_trace,
                                   overlay_windows, spare_repair_count)
 from repro.fleet.machine import MachineFabric, MachinePlan
+from repro.fleet.obs import (DispatchProfiler, MetricsSampler, ObsRecorder,
+                             dumps_chrome_trace, dumps_obs, load_obs,
+                             loads_obs, render_report, save_obs,
+                             validate_chrome_trace)
 from repro.fleet.presets import PRESETS, preset_config, preset_names
 from repro.fleet.scenario import (DeploymentSchedule, SCHEDULES,
                                   compare_deployment, incremental_rollout,
@@ -46,6 +50,9 @@ __all__ = [
     "FleetConfig", "FleetState", "Pod",
     "PodFabric", "ReconfigPlan",
     "MachineFabric", "MachinePlan",
+    "DispatchProfiler", "MetricsSampler", "ObsRecorder",
+    "dumps_chrome_trace", "dumps_obs", "load_obs", "loads_obs",
+    "render_report", "save_obs", "validate_chrome_trace",
     "BlockOutage", "DrainWindow", "apply_spare_repairs",
     "build_failure_trace", "overlay_windows", "spare_repair_count",
     "PRESETS", "preset_config", "preset_names",

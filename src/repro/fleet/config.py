@@ -120,6 +120,17 @@ class FleetConfig:
             time (CLI/experiments) so configs stay a plain data layer;
             recorded traces store the materialized windows, never the
             name.
+        observability: record the run's observability log (job
+            lifecycle spans, the scheduler decision log, time-series
+            samples; see :mod:`repro.fleet.obs`).  Off by default: the
+            disabled path holds the shared no-op recorder and the
+            dispatch loop pays one attribute check per queued job.
+            Enabling it never changes results — the recorder only
+            observes — but the extra sampler events grow
+            `events_fired`.
+        obs_sample_every_seconds: sim-time cadence of the time-series
+            sampler (free blocks per pod, trunk-port occupancy, queue
+            depth, running jobs) when observability is on.
     """
 
     num_pods: int = 2
@@ -151,6 +162,8 @@ class FleetConfig:
     optical_failure_fraction: float = 0.0
     port_repair_seconds: float = 300.0
     deploy_schedule: str = ""
+    observability: bool = False
+    obs_sample_every_seconds: float = 15 * MINUTE
 
     def __post_init__(self) -> None:
         if isinstance(self.strategy, str):  # accept CLI/preset spellings
@@ -216,6 +229,9 @@ class FleetConfig:
             raise ConfigurationError(
                 "deploy_schedule must be a schedule name string ('' for "
                 "none); schedules are materialized by repro.fleet.scenario")
+        if self.obs_sample_every_seconds <= 0:
+            raise ConfigurationError(
+                "obs_sample_every_seconds must be > 0")
 
     @property
     def total_blocks(self) -> int:

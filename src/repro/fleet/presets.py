@@ -102,7 +102,11 @@ PRESETS: dict[str, FleetConfig] = {
         prod_fraction=0.2, mean_serving_seconds=12 * HOUR,
         host_mtbf_seconds=60 * DAY, mean_repair_seconds=2 * HOUR,
         preempt_priority=1, strategy="defrag", defrag_max_moves=2,
-        cross_pod=True, trunk_ports=20),
+        cross_pod=True, trunk_ports=20,
+        # Contention swings fast here (2h jobs on 8-block pods); the
+        # observability sampler needs a tighter cadence than the
+        # 15-minute default to resolve queue-depth spikes.
+        obs_sample_every_seconds=5 * MINUTE),
     # Serving-heavy mix: long residencies plus background training.
     "serving": FleetConfig(
         num_pods=2, blocks_per_pod=64,

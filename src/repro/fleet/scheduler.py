@@ -50,6 +50,7 @@ from repro.core.scheduler import (MultiRegionPlacement, PlacementPolicy,
 from repro.errors import SchedulingError
 from repro.fleet.cluster import FleetState, Pod
 from repro.fleet.config import FleetConfig
+from repro.fleet.obs.tracer import NULL_RECORDER, NullRecorder, ObsRecorder
 from repro.fleet.telemetry import FleetTelemetry
 from repro.fleet.workload import FleetJob
 from repro.sim.events import AnyEvent, Simulator
@@ -114,13 +115,18 @@ class FleetScheduler:
     def __init__(self, config: FleetConfig, policy: PlacementPolicy,
                  sim: Simulator, state: FleetState,
                  telemetry: FleetTelemetry,
-                 strategy: PlacementStrategy | None = None) -> None:
+                 strategy: PlacementStrategy | None = None,
+                 obs: ObsRecorder | NullRecorder = NULL_RECORDER) -> None:
         self.config = config
         self.policy = policy
         self.strategy = strategy if strategy is not None else config.strategy
         self.sim = sim
         self.state = state
         self.telemetry = telemetry
+        #: Observability sink; the shared no-op recorder unless the run
+        #: asked for a log.  Cold-path hooks call it unconditionally;
+        #: the dispatch loop's decision log gates on `obs.enabled`.
+        self.obs = obs
         self.queue: list[ActiveJob] = []
         self.running: dict[int, ActiveJob] = {}
         #: Run the from-scratch index recomputation after every
@@ -175,6 +181,11 @@ class FleetScheduler:
         machine = self.state.machine
         trunk_epoch = machine.trunk_release_count \
             if machine is not None else 0
+        # Hoisted out of the per-job loop: this sweep visits every
+        # queued job on every pass (tens of thousands of iterations on
+        # the medium preset), so the disabled path must not pay even
+        # the attribute lookups.
+        obs_enabled = self.obs.enabled
 
         def refresh_trunk_caches() -> None:
             nonlocal trunk_epoch
@@ -188,15 +199,22 @@ class FleetScheduler:
             shape = active.job.shape
             can_preempt = active.job.priority >= self.config.preempt_priority
             placement = None
+            via = ""        # the rung that placed it, for the decision log
+            attempted = False  # did ANY rung run, or were all cache-skipped
             if shape not in failed_shapes:
+                attempted = True
                 placement = self._find_anywhere(active.job)
                 if placement is None:
                     failed_shapes.add(shape)
+                else:
+                    via = "pod_local"
             if placement is None and \
                     self.strategy is PlacementStrategy.DEFRAG and \
                     active.job.blocks not in failed_defrags:
+                attempted = True
                 placement = self._defrag_for(active)
                 if placement is not None:  # migrations moved blocks
+                    via = "defrag"
                     moved_any = True
                     failed_shapes.clear()
                     failed_defrags.clear()
@@ -210,14 +228,19 @@ class FleetScheduler:
             # trunk-dependent caches are stale the moment that happens.
             refresh_trunk_caches()
             if placement is None and shape not in failed_cross:
+                attempted = True
                 placement = self._find_cross_pod(active.job)
                 if placement is None:
                     failed_cross.add(shape)
+                else:
+                    via = "cross_pod"
             if placement is None and can_preempt:
                 key = (shape, active.job.priority)
                 if key not in failed_preemptions:
+                    attempted = True
                     placement = self._preempt_for(active)
                     if placement is not None:  # eviction freed blocks
+                        via = "preemption"
                         moved_any = True
                         failed_shapes.clear()
                         failed_defrags.clear()
@@ -225,10 +248,48 @@ class FleetScheduler:
                         failed_preemptions.clear()
                     else:
                         failed_preemptions.add(key)
+            if obs_enabled:
+                self.obs.decision(
+                    self.sim.now, active.job.job_id, active.job.kind,
+                    active.job.blocks, active.job.priority,
+                    "placed" if placement is not None else "rejected",
+                    via if placement is not None else
+                    self._rejection_cause(active, attempted, can_preempt))
             if placement is None:
                 continue  # backfill: later (smaller) jobs may still fit
             self._start(active, placement)
         return moved_any
+
+    def _rejection_cause(self, active: ActiveJob, attempted: bool,
+                         can_preempt: bool) -> str:
+        """Classify one failed placement attempt for the decision log.
+
+        Only called with observability enabled, so the extra
+        unbounded-trunk probe below never runs on the default path.
+        Precedence: a fully cache-skipped attempt is a `failure_cache_hit`
+        (nothing was even tried this iteration); a preemption-capable
+        job's last resort was eviction, so its failure is `preemption_
+        declined`; otherwise the job wanted free capacity, and the
+        shortage is trunk ports exactly when a cross-pod plan succeeds
+        with the trunk budget lifted (`trunk_budget=None` = unbounded)
+        but failed under the live budget.
+        """
+        if not attempted:
+            return "failure_cache_hit"
+        if can_preempt:
+            return "preemption_declined"
+        machine = self.state.machine
+        needed = active.job.blocks
+        if machine is not None and self.config.cross_pod and \
+                self.policy is PlacementPolicy.OCS and \
+                len(self.state.pods) >= 2 and \
+                needed > self.state.pods[0].num_blocks and \
+                self.state.total_free >= needed and \
+                plan_multi_region(active.job.shape,
+                                  self.state.free_by_pod(),
+                                  self.strategy) is not None:
+            return "insufficient_trunk_ports"
+        return "insufficient_blocks"
 
     def _find_anywhere(self, job: FleetJob) -> Placement | None:
         """A free single-pod placement under the configured strategy.
@@ -657,6 +718,10 @@ class FleetScheduler:
         if active.remaining <= _EPSILON:
             self.telemetry.record_for(active.job).completed_at = \
                 self.sim.now
+            self.obs.instant("completed", self.sim.now,
+                             job_id=active.job.job_id,
+                             kind=active.job.kind,
+                             blocks=active.job.blocks)
             return False
         return True
 
@@ -664,6 +729,9 @@ class FleetScheduler:
                           placement: Placement) -> None:
         """Restart a halted donor on its new placement (restore paid)."""
         self.telemetry.record_for(active.job).migrations += 1
+        self.obs.instant("migrated", self.sim.now,
+                         job_id=active.job.job_id, kind=active.job.kind,
+                         blocks=active.job.blocks)
         active.pending_restore = self.config.restore_seconds
         self._start(active, placement, migration=True)
 
@@ -705,6 +773,8 @@ class FleetScheduler:
             record.cross_pod_placements += 1
         if not migration:
             record.queue_waits.append(self.sim.now - active.submitted_at)
+            self.obs.span("queued", job.job_id, active.submitted_at,
+                          self.sim.now, kind=job.kind, blocks=job.blocks)
         if record.first_start is None:
             record.first_start = self.sim.now
 
@@ -748,6 +818,10 @@ class FleetScheduler:
             active.trunk_tax = self.config.trunk_bandwidth_tax * \
                 plan.cross_fraction
             active.trunk_ports_held = plan.total_trunk_ports
+            self.obs.instant("trunk_reconfig", self.sim.now,
+                             job_id=job.job_id, kind=job.kind,
+                             blocks=job.blocks,
+                             trunk_ports=plan.total_trunk_ports)
         return plan.latency_seconds(self.config.reconfig_base_seconds,
                                     self.config.ocs_switch_seconds,
                                     self.config.trunk_reconfig_seconds)
@@ -783,6 +857,8 @@ class FleetScheduler:
         self._release(active)
         active.remaining = 0.0
         self.telemetry.record_for(job).completed_at = self.sim.now
+        self.obs.instant("completed", self.sim.now, job_id=job.job_id,
+                         kind=job.kind, blocks=job.blocks)
         self.dispatch()
 
     def _halt_segment(self, active: ActiveJob, *, planned: bool) -> None:
@@ -823,8 +899,14 @@ class FleetScheduler:
             record.preemptions += 1
         else:
             record.interruptions += 1
+        self.obs.instant("preempted" if preempted else "interrupted",
+                         self.sim.now, job_id=job.job_id, kind=job.kind,
+                         blocks=job.blocks)
         if active.remaining <= _EPSILON:
             record.completed_at = self.sim.now
+            self.obs.instant("completed", self.sim.now,
+                             job_id=job.job_id, kind=job.kind,
+                             blocks=job.blocks)
             return
         active.pending_restore = self.config.restore_seconds
         active.submitted_at = self.sim.now
@@ -856,6 +938,29 @@ class FleetScheduler:
         and excluded from the job's own useful-progress credit.
         """
         blocks = active.job.blocks
+        if self.obs.enabled:
+            # Span boundaries ARE the accounting boundaries: the
+            # segment's elapsed wall partitions into reconfig, then
+            # restore, then run_wall, and the running span's args carry
+            # the identity's split of run_wall (useful + replay +
+            # checkpoint writes + trunk stall) — so exported spans
+            # reconcile exactly with the telemetry buckets.
+            job = active.job
+            t0 = active.started_at
+            if reconfig > 0:
+                self.obs.span("reconfig", job.job_id, t0, t0 + reconfig,
+                              kind=job.kind, blocks=blocks)
+            if restore > 0:
+                self.obs.span("restore", job.job_id, t0 + reconfig,
+                              t0 + reconfig + restore,
+                              kind=job.kind, blocks=blocks)
+            run_wall = elapsed - reconfig - restore
+            if run_wall > 0:
+                self.obs.span("running", job.job_id,
+                              t0 + reconfig + restore, t0 + elapsed,
+                              kind=job.kind, blocks=blocks,
+                              useful=useful, replay=replay,
+                              checkpoint=writes, trunk_stall=stall)
         record = self.telemetry.record_for(active.job)
         record.useful_seconds += useful
         record.trunk_stall_seconds += stall
@@ -876,6 +981,8 @@ class FleetScheduler:
         pod = self.state.pods[pod_id]
         victim = pod.block_down(block_id)
         self.telemetry.block_failures += 1
+        self.obs.instant("block_down", self.sim.now, pod_id=pod_id,
+                         block_id=block_id)
         if victim is not None:
             self._interrupt(self.running[victim], preempted=False)
         self.dispatch()
@@ -883,6 +990,8 @@ class FleetScheduler:
     def on_block_up(self, pod_id: int, block_id: int) -> None:
         """A block came back; queued work may now fit."""
         self.state.pods[pod_id].block_up(block_id)
+        self.obs.instant("block_up", self.sim.now, pod_id=pod_id,
+                         block_id=block_id)
         self.dispatch()
 
     # -- end of run --------------------------------------------------------------

@@ -23,6 +23,7 @@ starts, keeping traces policy-independent.
 from __future__ import annotations
 
 import dataclasses
+import time
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Sequence
 
@@ -35,6 +36,9 @@ from repro.fleet.failures import (BlockOutage, DrainWindow,
                                   build_failure_trace,
                                   downtime_block_seconds, overlay_windows,
                                   spare_repair_count)
+from repro.fleet.obs.metrics import MetricsSampler
+from repro.fleet.obs.profiler import DispatchProfiler
+from repro.fleet.obs.tracer import NULL_RECORDER, ObsRecorder
 from repro.fleet.scheduler import FleetScheduler
 from repro.fleet.telemetry import FleetTelemetry, JobRecord
 from repro.fleet.workload import FleetJob, TraceWorkload, generate_jobs
@@ -67,6 +71,9 @@ class FleetReport:
     #: Per-job lifetime records, for per-class analysis (e.g. the
     #: 48-block goodput gate); the JSON-facing summary stays flat.
     job_records: tuple[JobRecord, ...] = ()
+    #: The run's observability log when recording was on; None on the
+    #: default (disabled) path.  Export via :mod:`repro.fleet.obs`.
+    obs: ObsRecorder | None = None
 
     def goodput_for_blocks(self, blocks: int) -> float:
         """Goodput of one job class — jobs of exactly `blocks` blocks.
@@ -99,7 +106,8 @@ class FleetReport:
             f"utilization {self.summary['utilization']:.3f}  "
             f"(capacity lost to outages {self.downtime_fraction:.3f})",
             f"  queue wait: mean {self.summary['mean_queue_wait'] / HOUR:.2f}h"
-            f"  p95 {self.summary['p95_queue_wait'] / HOUR:.2f}h",
+            f"  p95 {self.summary['p95_queue_wait'] / HOUR:.2f}h"
+            f"  p99 {self.summary['p99_queue_wait'] / HOUR:.2f}h",
             f"  failures {self.summary['block_failures']:.0f}  "
             f"interruptions {self.summary['job_interruptions']:.0f}  "
             f"preemptions {self.summary['job_preemptions']:.0f}  "
@@ -191,7 +199,9 @@ class FleetSimulator:
                    windows=trace.windows if windows is None else windows)
 
     def run(self, policy: PlacementPolicy,
-            strategy: PlacementStrategy | None = None) -> FleetReport:
+            strategy: PlacementStrategy | None = None, *,
+            recorder: ObsRecorder | None = None,
+            profiler: DispatchProfiler | None = None) -> FleetReport:
         """Simulate the scenario under `policy`/`strategy` and report.
 
         The job stream and outage trace are fixed at construction, so
@@ -201,17 +211,28 @@ class FleetSimulator:
         machine has no switches to program.  Deployment windows are
         merged into the down/up event sequence here — with none, the
         merged trace IS the failure trace, byte for byte.
+
+        `recorder` forces observability on for this run regardless of
+        `config.observability` (None = follow the config); `profiler`
+        instruments the dispatch loop with wall-clock counters (see
+        :class:`~repro.fleet.obs.profiler.DispatchProfiler`).  Neither
+        changes any result — observers only read — but the sampler's
+        ticks do grow `events_fired`.
         """
         strategy = strategy if strategy is not None else \
             self.config.strategy
         horizon = self.config.horizon_seconds
+        if recorder is None:
+            recorder = ObsRecorder() if self.config.observability \
+                else NULL_RECORDER
         sim = Simulator()
         state = FleetState(self.config.num_pods, self.config.blocks_per_pod,
                            with_fabric=policy is PlacementPolicy.OCS,
                            trunk_ports=self.config.trunk_ports)
         telemetry = FleetTelemetry()
         scheduler = FleetScheduler(self.config, policy, sim, state,
-                                   telemetry, strategy=strategy)
+                                   telemetry, strategy=strategy,
+                                   obs=recorder)
         outages = overlay_windows(self.trace, self.windows)
         # Counted after the drain overlay: a spare repair swallowed by
         # a drain window no longer bounds any downtime in the run
@@ -229,7 +250,33 @@ class FleetSimulator:
                 outage.end,
                 lambda o=outage: scheduler.on_block_up(o.pod_id,
                                                        o.block_id))
+        if recorder.enabled:
+            recorder.meta.update({
+                "policy": policy.value, "strategy": strategy.value,
+                "seed": self.seed, "num_pods": self.config.num_pods,
+                "blocks_per_pod": self.config.blocks_per_pod,
+                "horizon_seconds": horizon,
+                "sample_every_seconds":
+                    self.config.obs_sample_every_seconds})
+            for window in self.windows:
+                recorder.instant("drain_start", window.start,
+                                 pod_id=window.pod_id,
+                                 block_id=window.block_id)
+                recorder.instant("drain_end", window.end,
+                                 pod_id=window.pod_id,
+                                 block_id=window.block_id)
+            # Installed after arrivals and outages so a sample at time
+            # t sees the state after every same-time event (the
+            # kernel's insertion-order tie-break).
+            MetricsSampler(
+                recorder, scheduler, state,
+                self.config.obs_sample_every_seconds).install(sim, horizon)
+        if profiler is not None:
+            profiler.install(scheduler, sim)
+        began = time.perf_counter()
         sim.run(until=horizon)
+        if profiler is not None:
+            profiler.run_seconds += time.perf_counter() - began
         scheduler.finalize(horizon)
         capacity = self.config.total_blocks * horizon
         trunk_total = self.config.trunk_capacity \
@@ -252,7 +299,8 @@ class FleetSimulator:
             events_fired=sim.events_fired,
             downtime_fraction=downtime_block_seconds(outages) / capacity,
             drain_fraction=drained / capacity,
-            job_records=tuple(telemetry.records.values()))
+            job_records=tuple(telemetry.records.values()),
+            obs=recorder if recorder.enabled else None)
 
 
 def run_fleet(config: FleetConfig, *, seed: int = 0,

@@ -31,6 +31,13 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+#: Version of the flat summary dict's key set.  Emitted into every
+#: summary as `schema_version` and asserted by the bench-regression
+#: gate, so a summary-shape change that forgets to re-record baselines
+#: fails loudly instead of silently comparing mismatched shapes.  Bump
+#: when keys are added, removed, or change meaning.
+SUMMARY_SCHEMA = 1
+
 
 @dataclass
 class JobRecord:
@@ -137,6 +144,7 @@ class FleetTelemetry:
         completed = [r for r in records if r.completed]
         never_ran = [r for r in records if r.first_start is None]
         out: dict[str, float] = {
+            "schema_version": float(SUMMARY_SCHEMA),
             "jobs_submitted": float(len(records)),
             "jobs_completed": float(len(completed)),
             "jobs_unfinished": float(len(records) - len(completed)),
@@ -180,10 +188,12 @@ class FleetTelemetry:
             out["mean_queue_wait"] = sum(waits) / len(waits)
             out["median_queue_wait"] = _percentile(waits, 0.50)
             out["p95_queue_wait"] = _percentile(waits, 0.95)
+            out["p99_queue_wait"] = _percentile(waits, 0.99)
             out["max_queue_wait"] = max(waits)
         else:
             out["mean_queue_wait"] = 0.0
             out["median_queue_wait"] = 0.0
             out["p95_queue_wait"] = 0.0
+            out["p99_queue_wait"] = 0.0
             out["max_queue_wait"] = 0.0
         return out

@@ -191,3 +191,75 @@ class TestFleetTraceCLI:
                      "--policy", "ocs", "--json"]) == 0
         replayed = json.loads(capsys.readouterr().out)
         assert replayed == recorded
+
+
+class TestFleetObsCLI:
+    def test_trace_out_writes_valid_trace(self, tmp_path, capsys):
+        import json as _json
+        from repro.fleet.obs import load_obs, validate_chrome_trace
+        trace_path = tmp_path / "obs.json"
+        assert main(["fleet", "--preset", "tiny", "--seed", "0",
+                     "--policy", "ocs", "--trace-out",
+                     str(trace_path)]) == 0
+        captured = capsys.readouterr()
+        assert "wrote observability trace" in captured.err
+        validate_chrome_trace(_json.loads(trace_path.read_text()))
+        recorder = load_obs(trace_path)
+        assert recorder.spans and recorder.decisions
+
+    def test_trace_out_stdout_stays_byte_identical(self, tmp_path,
+                                                   capsys):
+        # The export note rides stderr precisely so a traced run's
+        # stdout matches an untraced one byte for byte.
+        argv = ["fleet", "--preset", "tiny", "--seed", "0",
+                "--policy", "ocs", "--json"]
+        assert main(argv) == 0
+        plain = capsys.readouterr().out
+        assert main(argv + ["--trace-out",
+                            str(tmp_path / "obs.jsonl")]) == 0
+        assert capsys.readouterr().out == plain
+
+    def test_trace_out_rejects_multi_run_modes(self, capsys):
+        assert main(["fleet", "--preset", "tiny", "--policy", "both",
+                     "--trace-out", "/tmp/never.json"]) == 2
+        assert "one run" in capsys.readouterr().err
+        assert main(["fleet", "--preset", "tiny", "--policy", "ocs",
+                     "--strategy", "all",
+                     "--trace-out", "/tmp/never.json"]) == 2
+        assert "one run" in capsys.readouterr().err
+
+    def test_report_requires_trace_path(self, capsys):
+        assert main(["fleet", "report"]) == 2
+        assert "--trace" in capsys.readouterr().err
+
+    def test_report_missing_file_fails_cleanly(self, tmp_path, capsys):
+        assert main(["fleet", "report", "--trace",
+                     str(tmp_path / "nope.json")]) == 2
+        assert "does not exist" in capsys.readouterr().err
+
+    def test_report_round_trip(self, tmp_path, capsys):
+        trace_path = str(tmp_path / "obs.jsonl")
+        assert main(["fleet", "--preset", "edge", "--seed", "0",
+                     "--policy", "ocs", "--trace-out", trace_path]) == 0
+        capsys.readouterr()
+        assert main(["fleet", "report", "--trace", trace_path,
+                     "--limit", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "placement attempts" in out
+        # The acceptance bar: at least one non-placed cause surfaces.
+        assert "top rejection causes" in out
+
+    def test_profile_renders_phase_table(self, capsys):
+        assert main(["fleet", "profile", "--preset", "tiny",
+                     "--seed", "0", "--policy", "ocs"]) == 0
+        out = capsys.readouterr().out
+        assert "dispatch-loop profile" in out
+        assert "placement_scoring" in out
+        assert "goodput" in out  # the fleet report still renders
+
+    def test_profile_json(self, capsys):
+        assert main(["fleet", "profile", "--preset", "tiny",
+                     "--seed", "0", "--policy", "ocs", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["profile"]["phases"]["dispatch_total"]["calls"] > 0
+        assert payload["summary"]["goodput"] > 0

@@ -1,0 +1,383 @@
+"""Tests for the fleet observability layer (repro.fleet.obs).
+
+The load-bearing contracts: recording never perturbs the run it
+observes, double runs export byte-identical traces, exported spans
+reconcile exactly with the telemetry identity's buckets, and both
+export formats validate strictly and round-trip.
+"""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.core.scheduler import PlacementPolicy
+from repro.errors import ConfigurationError, TraceError
+from repro.fleet import FleetSimulator, preset_config
+from repro.fleet.obs import (DispatchProfiler, MetricsSampler,
+                             NULL_RECORDER, ObsRecorder, PLACED_CAUSES,
+                             REJECTED_CAUSES, dumps_chrome_trace,
+                             dumps_obs, load_obs, loads_obs,
+                             render_report, save_obs,
+                             validate_chrome_trace)
+
+
+def _run_with_obs(preset: str, seed: int = 0, **overrides):
+    config = dataclasses.replace(preset_config(preset),
+                                 observability=True, **overrides)
+    return FleetSimulator(config, seed=seed).run(PlacementPolicy.OCS)
+
+
+class TestRecorderBasics:
+    def test_disabled_by_default(self):
+        report = FleetSimulator(preset_config("tiny"), seed=0).run(
+            PlacementPolicy.OCS)
+        assert report.obs is None
+
+    def test_null_recorder_is_inert(self):
+        assert NULL_RECORDER.enabled is False
+        assert NULL_RECORDER.span("running", 1, 0.0, 1.0) is None
+        assert NULL_RECORDER.instant("completed", 1.0) is None
+        assert NULL_RECORDER.decision(0.0, 1, "train", 2, 1,
+                                      "placed", "pod_local") is None
+        assert NULL_RECORDER.sample(0.0, 0, 0, 0, [1, 2]) is None
+
+    def test_enabled_run_attaches_recorder(self):
+        report = _run_with_obs("tiny")
+        assert isinstance(report.obs, ObsRecorder)
+        assert report.obs.enabled is True
+        assert report.obs.num_records == (
+            len(report.obs.spans) + len(report.obs.instants) +
+            len(report.obs.decisions) + len(report.obs.samples))
+        assert report.obs.meta["policy"] == "ocs"
+        assert report.obs.meta["seed"] == 0
+        assert report.obs.meta["num_pods"] == 1
+
+    def test_recording_does_not_perturb_results(self):
+        # The whole design rests on observers being read-only: the
+        # summary must be byte-identical with recording on and off
+        # (events_fired legitimately grows — sampler ticks).
+        for preset in ("tiny", "edge"):
+            config = preset_config(preset)
+            off = FleetSimulator(config, seed=0).run(PlacementPolicy.OCS)
+            on = _run_with_obs(preset)
+            assert json.dumps(off.summary, sort_keys=True) == \
+                json.dumps(on.summary, sort_keys=True)
+            assert on.events_fired > off.events_fired
+
+    def test_spans_of_and_rejection_counts(self):
+        obs = _run_with_obs("tiny").obs
+        job_id = obs.spans[0].job_id
+        mine = obs.spans_of(job_id)
+        assert mine and all(span.job_id == job_id for span in mine)
+        counts = obs.rejection_counts()
+        assert list(counts.values()) == \
+            sorted(counts.values(), reverse=True)
+
+
+class TestDoubleRunByteIdentity:
+    @pytest.mark.parametrize("preset", ["small", "edge"])
+    def test_exports_are_byte_identical(self, preset):
+        first = _run_with_obs(preset).obs
+        second = _run_with_obs(preset).obs
+        assert dumps_chrome_trace(first) == dumps_chrome_trace(second)
+        assert dumps_obs(first) == dumps_obs(second)
+
+    def test_different_seeds_differ(self):
+        assert dumps_obs(_run_with_obs("tiny", seed=0).obs) != \
+            dumps_obs(_run_with_obs("tiny", seed=1).obs)
+
+
+class TestSpanProperties:
+    @pytest.mark.parametrize("preset,seed",
+                             [("tiny", 0), ("tiny", 3),
+                              ("edge", 0), ("edge", 2)])
+    def test_spans_reconcile_with_identity(self, preset, seed):
+        report = _run_with_obs(preset, seed=seed)
+        obs, summary = report.obs, report.summary
+        config = report.config
+        capacity = config.total_blocks * config.horizon_seconds
+
+        # Per-job spans never overlap (queued / reconfig / restore /
+        # running partition the job's history).
+        per_job: dict[int, list] = {}
+        for span in obs.spans:
+            assert span.end >= span.start
+            per_job.setdefault(span.job_id, []).append(span)
+        for spans in per_job.values():
+            spans.sort(key=lambda span: (span.start, span.end))
+            for earlier, later in zip(spans, spans[1:]):
+                assert later.start >= earlier.end - 1e-6
+
+        # Each running span's args split its own duration exactly:
+        # useful + replay + checkpoint writes + trunk stall = run wall.
+        for span in obs.spans:
+            if span.name == "running":
+                parts = span.args["useful"] + span.args["replay"] + \
+                    span.args["checkpoint"] + span.args["trunk_stall"]
+                assert parts == pytest.approx(span.duration, abs=1e-6)
+
+        # Block-weighted span sums reconcile with the telemetry
+        # identity utilization = goodput + replay + restore +
+        # checkpoint + reconfig: busy time is every non-queued span,
+        # goodput is useful + trunk stall, and each tax bucket matches
+        # its span phase (or running-span arg) exactly.
+        def blockweight(name, value=None):
+            return sum(
+                (span.duration if value is None else span.args[value]) *
+                span.args["blocks"]
+                for span in obs.spans if span.name == name)
+
+        busy = sum(span.duration * span.args["blocks"]
+                   for span in obs.spans if span.name != "queued")
+        goodput = sum(
+            (span.args["useful"] + span.args["trunk_stall"]) *
+            span.args["blocks"]
+            for span in obs.spans if span.name == "running")
+        rel = dict(rel=1e-9, abs=1e-3)
+        assert busy == pytest.approx(
+            summary["utilization"] * capacity, **rel)
+        assert goodput == pytest.approx(
+            summary["goodput"] * capacity, **rel)
+        assert blockweight("running", "replay") == pytest.approx(
+            summary["replay_fraction"] * capacity, **rel)
+        assert blockweight("running", "checkpoint") == pytest.approx(
+            summary["checkpoint_fraction"] * capacity, **rel)
+        assert blockweight("restore") == pytest.approx(
+            summary["restore_fraction"] * capacity, **rel)
+        assert blockweight("reconfig") == pytest.approx(
+            summary["reconfig_fraction"] * capacity, **rel)
+
+    def test_sim_time_only(self):
+        # No span or instant may carry a wall-clock-scale timestamp:
+        # everything lives inside [0, horizon] (completions can land
+        # exactly at the horizon; drain windows may outlive it).
+        report = _run_with_obs("tiny")
+        horizon = report.config.horizon_seconds
+        for span in report.obs.spans:
+            assert 0.0 <= span.start <= span.end <= horizon
+        for decision in report.obs.decisions:
+            assert 0.0 <= decision.time <= horizon
+
+
+class TestDecisionLog:
+    def test_edge_records_rejections(self):
+        # The hostile contention preset must show real rejections with
+        # classified causes — the audit trail the tentpole promises.
+        obs = _run_with_obs("edge").obs
+        placed = [d for d in obs.decisions if d.placed]
+        rejected = [d for d in obs.decisions if not d.placed]
+        assert placed and rejected
+        assert {d.cause for d in placed} <= set(PLACED_CAUSES)
+        assert {d.cause for d in rejected} <= set(REJECTED_CAUSES)
+        # Contention machinery fired and is attributed as such.
+        assert any(d.cause == "preemption_declined" for d in rejected)
+        assert any(d.cause == "failure_cache_hit" for d in rejected)
+
+    def test_placed_decisions_match_starts(self):
+        # Every placed decision corresponds to a queued span closing
+        # at the same time (the job left the queue right there).
+        obs = _run_with_obs("tiny").obs
+        placed = [d for d in obs.decisions if d.placed]
+        queue_ends = {(span.job_id, span.end)
+                      for span in obs.spans if span.name == "queued"}
+        assert placed
+        for decision in placed:
+            assert (decision.job_id, decision.time) in queue_ends
+
+    def test_insufficient_trunk_ports_cause(self):
+        # Nobody may preempt and the trunk bank is starved: machine-
+        # wide jobs that fit in aggregate blocks must be classified as
+        # trunk-port rejections, not block rejections.
+        obs = _run_with_obs("edge", preempt_priority=99,
+                            trunk_ports=1).obs
+        causes = obs.rejection_counts()
+        assert causes.get("insufficient_trunk_ports", 0) > 0
+
+
+class TestMetricsSampler:
+    def test_cadence_and_columns(self):
+        report = _run_with_obs("tiny", obs_sample_every_seconds=3600.0)
+        samples = report.obs.samples
+        horizon = report.config.horizon_seconds
+        assert len(samples) == int(horizon // 3600.0) + 1
+        assert samples.times == sorted(samples.times)
+        assert len(samples.free_blocks) == report.config.num_pods
+        for column in (samples.queue_depth, samples.running_jobs,
+                       samples.trunk_ports_in_use):
+            assert len(column) == len(samples)
+            assert all(value >= 0 for value in column)
+        for column in samples.free_blocks:
+            assert len(column) == len(samples)
+            assert all(0 <= value <= report.config.blocks_per_pod
+                       for value in column)
+
+    def test_bad_cadence_rejected(self):
+        with pytest.raises(ConfigurationError):
+            dataclasses.replace(preset_config("tiny"),
+                                obs_sample_every_seconds=0.0)
+        with pytest.raises(ConfigurationError):
+            MetricsSampler(ObsRecorder(), None, None, -1.0)
+
+
+class TestJsonlExport:
+    def test_round_trip(self):
+        obs = _run_with_obs("tiny").obs
+        text = dumps_obs(obs)
+        loaded = loads_obs(text)
+        assert dumps_obs(loaded) == text
+        assert loaded.meta == obs.meta
+        assert loaded.spans == obs.spans
+        assert loaded.decisions == obs.decisions
+        assert len(loaded.samples) == len(obs.samples)
+
+    def test_header_first_line(self):
+        header = json.loads(dumps_obs(ObsRecorder()).splitlines()[0])
+        assert header["type"] == "header"
+        assert header["schema"] == "repro.fleet.obs"
+        assert header["version"] == 1
+
+    @pytest.mark.parametrize("mutate,needle", [
+        (lambda lines: lines[1:], "header"),
+        (lambda lines: [lines[0].replace("repro.fleet.obs", "bogus")] +
+         lines[1:], "not an observability log"),
+        (lambda lines: [lines[0].replace('"version": 1', '"version": 99')]
+         + lines[1:], "version"),
+        (lambda lines: lines + [lines[0]], "duplicate header"),
+        (lambda lines: lines + ['{"type": "mystery"}'], "unknown record"),
+        (lambda lines: lines + ["{not json"], "not valid JSON"),
+        (lambda lines: lines + ['{"type": "span", "name": "running", '
+                                '"job_id": 1, "start": 5.0, "end": 1.0, '
+                                '"args": {}}'], "before its start"),
+        (lambda lines: lines + ['{"type": "decision", "time": 0.0, '
+                                '"job_id": 1, "kind": "train", '
+                                '"blocks": 2, "priority": 1, '
+                                '"outcome": "maybe", "cause": '
+                                '"pod_local"}'], "outcome"),
+        (lambda lines: lines + ['{"type": "decision", "time": 0.0, '
+                                '"job_id": 1, "kind": "train", '
+                                '"blocks": 2, "priority": 1, '
+                                '"outcome": "rejected", "cause": '
+                                '"gremlins"}'], "cause"),
+        (lambda lines: lines + ['{"type": "sample", "time": 0.0, '
+                                '"queue_depth": 1, "running_jobs": 0, '
+                                '"trunk_ports_in_use": 0, '
+                                '"free_blocks": [1.5]}'], "free_blocks"),
+    ])
+    def test_validation_fails_loudly(self, mutate, needle):
+        lines = dumps_obs(_run_with_obs("tiny").obs).splitlines()[:1]
+        with pytest.raises(TraceError, match=needle):
+            loads_obs("\n".join(mutate(lines)))
+
+    def test_empty_text_rejected(self):
+        with pytest.raises(TraceError, match="empty"):
+            loads_obs("")
+
+
+class TestChromeExport:
+    def test_validates_and_has_tracks(self):
+        report = _run_with_obs("edge")
+        payload = json.loads(dumps_chrome_trace(report.obs))
+        validate_chrome_trace(payload)
+        events = payload["traceEvents"]
+        names = {event["name"] for event in events
+                 if event["ph"] == "M" and
+                 event["name"] == "thread_name"}
+        labels = {event["args"]["name"] for event in events
+                  if event["ph"] == "M"}
+        assert names == {"thread_name"}
+        # One track per pod and one per job class, as promised.
+        for pod_id in range(report.config.num_pods):
+            assert f"pod {pod_id}" in labels
+        assert any(label.endswith("b") for label in labels)
+        # Counter series for the sampler columns.
+        counters = {event["name"] for event in events
+                    if event["ph"] == "C"}
+        assert {"queue_depth", "running_jobs",
+                "trunk_ports_in_use"} <= counters
+        assert "free_blocks_pod0" in counters
+        # Lifecycle spans and decision instants made it across.
+        assert any(event["ph"] == "X" and event["name"] == "running"
+                   for event in events)
+        assert any(event["ph"] == "i" and
+                   event["name"].startswith("decision:")
+                   for event in events)
+
+    @pytest.mark.parametrize("corrupt,needle", [
+        ([], "JSON object"),
+        ({}, "traceEvents"),
+        ({"traceEvents": [{"ph": "Z", "pid": 1, "tid": 0,
+                           "name": "x"}]}, "phase"),
+        ({"traceEvents": [{"ph": "i", "pid": True, "tid": 0,
+                           "name": "x", "ts": 0}]}, "pid"),
+        ({"traceEvents": [{"ph": "i", "pid": 1, "tid": 0,
+                           "name": 7, "ts": 0}]}, "name"),
+        ({"traceEvents": [{"ph": "i", "pid": 1, "tid": 0,
+                           "name": "x"}]}, "ts"),
+        ({"traceEvents": [{"ph": "X", "pid": 1, "tid": 0, "name": "x",
+                           "ts": 0, "dur": -1}]}, "dur"),
+    ])
+    def test_validator_rejects_corruption(self, corrupt, needle):
+        with pytest.raises(TraceError, match=needle):
+            validate_chrome_trace(corrupt)
+
+
+class TestFileRoundTrip:
+    def test_save_load_both_formats(self, tmp_path):
+        obs = _run_with_obs("tiny").obs
+        chrome = save_obs(obs, tmp_path / "trace.json")
+        jsonl = save_obs(obs, tmp_path / "trace.jsonl")
+        from_chrome = load_obs(chrome)
+        from_jsonl = load_obs(jsonl)
+        # JSONL is lossless; Chrome rebuilds spans/instants/decisions
+        # (samples stay in counter form).
+        assert from_jsonl.spans == obs.spans
+        assert from_jsonl.decisions == obs.decisions
+        assert len(from_chrome.spans) == len(obs.spans)
+        assert len(from_chrome.decisions) == len(obs.decisions)
+        assert from_chrome.meta["seed"] == obs.meta["seed"]
+
+    def test_load_missing_and_foreign(self, tmp_path):
+        with pytest.raises(TraceError, match="does not exist"):
+            load_obs(tmp_path / "nope.json")
+        foreign = tmp_path / "foreign.json"
+        foreign.write_text('{"hello": "world"}')
+        with pytest.raises(TraceError, match="neither"):
+            load_obs(foreign)
+        alien_chrome = tmp_path / "alien.json"
+        alien_chrome.write_text('{"traceEvents": []}')
+        with pytest.raises(TraceError, match="not exported"):
+            load_obs(alien_chrome)
+
+
+class TestReportRendering:
+    def test_report_renders_causes_and_timeline(self):
+        obs = _run_with_obs("edge").obs
+        text = render_report(obs, limit=5)
+        assert "placement attempts" in text
+        assert "top rejection causes" in text
+        assert "per-job timeline" in text
+        # At least one non-placed cause shows under the hostile mix.
+        assert any(cause in text for cause in REJECTED_CAUSES)
+
+
+class TestProfiler:
+    def test_profile_counts_and_render(self):
+        simulator = FleetSimulator(preset_config("tiny"), seed=0)
+        profiler = DispatchProfiler()
+        plain = FleetSimulator(preset_config("tiny"), seed=0).run(
+            PlacementPolicy.OCS)
+        profiled = simulator.run(PlacementPolicy.OCS, profiler=profiler)
+        # Instrumentation measures, never changes, the run.
+        assert json.dumps(profiled.summary, sort_keys=True) == \
+            json.dumps(plain.summary, sort_keys=True)
+        assert profiler.run_seconds > 0
+        report = profiler.report()
+        assert report["phases"]["event_apply"]["calls"] > 0
+        assert report["phases"]["dispatch_total"]["calls"] > 0
+        assert report["phases"]["placement_scoring"]["calls"] > 0
+        assert all(phase["seconds"] >= 0
+                   for phase in report["phases"].values())
+        text = profiler.render()
+        assert "dispatch-loop profile" in text
+        assert "placement_scoring" in text
