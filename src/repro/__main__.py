@@ -16,6 +16,7 @@
     python -m repro fleet --preset edge --policy ocs --trace-out edge.json
     python -m repro fleet report --trace edge.json
     python -m repro fleet profile --preset large --policy ocs
+    python -m repro fleet sweep --preset hyperscale --seeds 16 --json
 """
 
 from __future__ import annotations
@@ -30,8 +31,9 @@ from repro.errors import TraceError
 from repro.experiments import list_experiments, run
 from repro.fleet import (DispatchProfiler, FleetSimulator, load_obs,
                          load_trace, preset_config, preset_names,
-                         render_report, save_obs, save_trace,
-                         schedule_for, schedule_names, trace_of)
+                         render_report, run_sweep, save_obs, save_trace,
+                         schedule_for, schedule_names, sweep_mean,
+                         trace_of)
 
 
 def _cmd_list(args: argparse.Namespace) -> int:
@@ -165,11 +167,58 @@ def _cmd_fleet_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fleet_sweep(args: argparse.Namespace) -> int:
+    """Fan one preset across seeds 0..N-1 on worker processes."""
+    if args.strategy == "all":
+        print("fleet sweep runs one strategy; pick it explicitly or "
+              "drop --strategy for the preset's", file=sys.stderr)
+        return 2
+    if args.seeds < 1:
+        print(f"fleet sweep needs --seeds >= 1, got {args.seeds}",
+              file=sys.stderr)
+        return 2
+    config = _apply_fleet_overrides(
+        preset_config(args.preset if args.preset is not None else "small"),
+        args)
+    # 'both' makes no sense across an ensemble; default to OCS.
+    policy = PlacementPolicy.OCS if args.policy == "both" \
+        else PlacementPolicy(args.policy)
+    results = run_sweep(config, range(args.seeds), policy=policy,
+                        processes=args.processes)
+    mean = sweep_mean(results)
+    if args.json:
+        print(json.dumps({
+            "policy": policy.value,
+            "strategy": config.strategy.value,
+            "seeds": [result.seed for result in results],
+            "mean": mean,
+            "per_seed": {str(result.seed): result.summary
+                         for result in results},
+        }, indent=2, sort_keys=True))
+        return 0
+    print(f"fleet sweep: policy={policy.value} "
+          f"strategy={config.strategy.value} "
+          f"pods={config.num_pods}x{config.blocks_per_pod} "
+          f"seeds=0..{args.seeds - 1}")
+    for result in results:
+        print(f"  seed {result.seed}: "
+              f"goodput {result.summary['goodput']:.3f}  "
+              f"utilization {result.summary['utilization']:.3f}  "
+              f"completed {result.summary['jobs_completed']:.0f}/"
+              f"{result.summary['jobs_submitted']:.0f}")
+    print(f"  mean: goodput {mean['goodput']:.3f}  "
+          f"utilization {mean['utilization']:.3f}  "
+          f"p95 queue wait {mean['p95_queue_wait'] / 3600:.2f}h")
+    return 0
+
+
 def _cmd_fleet(args: argparse.Namespace) -> int:
     if args.mode == "report":
         return _cmd_fleet_report(args)
     if args.mode == "profile":
         return _cmd_fleet_profile(args)
+    if args.mode == "sweep":
+        return _cmd_fleet_sweep(args)
     if args.trace_out is not None and \
             (args.policy == "both" or args.strategy == "all"):
         print("--trace-out records one run; pick --policy ocs|static "
@@ -255,13 +304,14 @@ def build_parser() -> argparse.ArgumentParser:
         "fleet", help="simulate a multi-pod fleet scenario")
     fleet_cmd.add_argument(
         "mode", nargs="?", default="run",
-        choices=["run", "record", "replay", "report", "profile"],
+        choices=["run", "record", "replay", "report", "profile", "sweep"],
         help="run: simulate fresh draws (default); record: also save "
              "the run's inputs as a JSONL trace (--trace); replay: "
              "re-run a recorded trace byte-for-byte (--trace); "
              "report: render a recorded observability trace "
              "(--trace); profile: one instrumented run with the "
-             "dispatch-loop wall-clock profile")
+             "dispatch-loop wall-clock profile; sweep: fan seeds "
+             "0..N-1 across worker processes (--seeds/--processes)")
     fleet_cmd.add_argument("--preset", default=None,
                            choices=preset_names(),
                            help="scenario preset (default: small; "
@@ -287,6 +337,13 @@ def build_parser() -> argparse.ArgumentParser:
     fleet_cmd.add_argument(
         "--limit", type=int, default=30, metavar="N",
         help="fleet report: show at most N per-job timeline rows")
+    fleet_cmd.add_argument(
+        "--seeds", type=int, default=8, metavar="N",
+        help="fleet sweep: number of seeds (runs 0..N-1; default 8)")
+    fleet_cmd.add_argument(
+        "--processes", type=int, default=None, metavar="P",
+        help="fleet sweep: worker processes (default: one per core, "
+             "capped at the seed count; 1 runs inline)")
     fleet_cmd.add_argument(
         "--deploy-schedule", default=None,
         choices=schedule_names() + ["none"],

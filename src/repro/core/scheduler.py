@@ -11,6 +11,7 @@ from __future__ import annotations
 import itertools
 from dataclasses import dataclass, field
 from enum import Enum
+from functools import lru_cache
 from typing import Mapping, Sequence
 
 from repro.core.slicing import (SliceShape, blocks_needed, block_grid,
@@ -145,16 +146,35 @@ class MultiRegionPlacement:
         return ports
 
 
-def _layout_trunks(adjacencies: Sequence[tuple[int, int, int]],
-                   assignment: Sequence[tuple[int, int]]
-                   ) -> tuple[tuple[int, int, int], ...]:
-    """Cross-region slot adjacencies of a region-contiguous layout."""
+@lru_cache(maxsize=None)
+def _trunk_layout(grid: tuple[int, int, int], takes: tuple[int, ...]
+                  ) -> tuple[tuple[tuple[int, int, int], ...],
+                             tuple[int, ...]]:
+    """Trunk demand of a region-contiguous layout, by *run*, memoized.
+
+    Which adjacencies cross a region boundary — and how many trunk
+    ports each region terminates — depends only on where the contiguous
+    runs of blocks break, i.e. on the grid and the tuple of per-region
+    take counts, never on which regions the runs belong to (regions in
+    an assignment are distinct, so distinct runs are distinct owners).
+    Best-fit enumerates hundreds of candidate assignments per placement
+    that share a handful of take profiles, so the layout walk is cached
+    on (grid, takes) and candidates pay a dict lookup.
+
+    Returns (trunk adjacencies in slot indices, trunk-port endpoints
+    per run index).
+    """
     owner: list[int] = []
-    for region, take in assignment:
-        owner.extend([region] * take)
-    return tuple((dim, low, high)
-                 for dim, low, high in adjacencies
-                 if owner[low] != owner[high])
+    for run, take in enumerate(takes):
+        owner.extend([run] * take)
+    trunks = tuple((dim, low, high)
+                   for dim, low, high in grid_adjacency_indices(grid)
+                   if owner[low] != owner[high])
+    ports = [0] * len(takes)
+    for _, low, high in trunks:
+        ports[owner[low]] += 1
+        ports[owner[high]] += 1
+    return trunks, tuple(ports)
 
 
 def _greedy_take(pool: Sequence[tuple[int, int]],
@@ -231,27 +251,26 @@ def plan_multi_region(shape: SliceShape,
         else:
             candidates = [greedy]
 
-    adjacencies = grid_adjacency_indices(grid)
     free_of = dict(free_by_region)
     best: MultiRegionPlacement | None = None
     best_key: tuple | None = None
     for assignment in candidates:
         if assignment is None:
             continue
-        trunks = _layout_trunks(adjacencies, assignment)
-        placement = MultiRegionPlacement(
-            shape=dims, grid=grid, region_blocks=tuple(assignment),
-            trunk_adjacencies=trunks)
+        trunks, ports_by_run = _trunk_layout(
+            grid, tuple(take for _, take in assignment))
         if trunk_budget is not None and any(
                 ports > trunk_budget.get(region, 0)
-                for region, ports
-                in placement.trunk_ports_by_region().items()):
+                for (region, _), ports in zip(assignment, ports_by_run)):
             continue
         leftover = sum(free_of[region] for region, _ in assignment) - needed
-        key = (placement.spill, placement.num_trunk_adjacencies, leftover,
+        key = (len(assignment) - 1, len(trunks), leftover,
                tuple(region for region, _ in assignment))
         if best is None or key < best_key:
-            best, best_key = placement, key
+            best = MultiRegionPlacement(
+                shape=dims, grid=grid, region_blocks=tuple(assignment),
+                trunk_adjacencies=trunks)
+            best_key = key
     return best
 
 

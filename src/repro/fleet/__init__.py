@@ -22,7 +22,8 @@ from repro.fleet.cluster import FleetState, Pod
 from repro.fleet.fabric import PodFabric, ReconfigPlan
 from repro.fleet.failures import (BlockOutage, DrainWindow,
                                   apply_spare_repairs, build_failure_trace,
-                                  overlay_windows, spare_repair_count)
+                                  drained_block_seconds, overlay_windows,
+                                  spare_repair_count)
 from repro.fleet.machine import MachineFabric, MachinePlan
 from repro.fleet.obs import (DispatchProfiler, MetricsSampler, ObsRecorder,
                              dumps_chrome_trace, dumps_obs, load_obs,
@@ -38,6 +39,7 @@ from repro.fleet.simulator import (FleetReport, FleetSimulator,
                                    compare_cross_pod, compare_policies,
                                    compare_preemption, compare_strategies,
                                    run_fleet)
+from repro.fleet.sweep import SweepResult, run_sweep, sweep_mean
 from repro.fleet.telemetry import FleetTelemetry, JobRecord
 from repro.fleet.trace import (FleetTrace, TRACE_VERSION, dumps_trace,
                                load_trace, loads_trace, record_trace,
@@ -54,7 +56,8 @@ __all__ = [
     "dumps_chrome_trace", "dumps_obs", "load_obs", "loads_obs",
     "render_report", "save_obs", "validate_chrome_trace",
     "BlockOutage", "DrainWindow", "apply_spare_repairs",
-    "build_failure_trace", "overlay_windows", "spare_repair_count",
+    "build_failure_trace", "drained_block_seconds", "overlay_windows",
+    "spare_repair_count",
     "PRESETS", "preset_config", "preset_names",
     "DeploymentSchedule", "SCHEDULES", "compare_deployment",
     "incremental_rollout", "rolling_maintenance", "run_scenario",
@@ -63,6 +66,7 @@ __all__ = [
     "FleetReport", "FleetSimulator", "compare_cross_pod",
     "compare_policies", "compare_preemption", "compare_strategies",
     "run_fleet",
+    "SweepResult", "run_sweep", "sweep_mean",
     "FleetTelemetry", "JobRecord",
     "FleetTrace", "TRACE_VERSION", "dumps_trace", "load_trace",
     "loads_trace", "record_trace", "save_trace", "trace_of",

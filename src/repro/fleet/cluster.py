@@ -24,6 +24,8 @@ remaining work).
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.core.scheduler import (PlacementPolicy, PlacementStrategy,
                                   SliceScheduler)
 from repro.core.slicing import SliceShape
@@ -36,41 +38,51 @@ class Pod:
     """One pod's block state: up/down, free/owned, fabric, and placement."""
 
     def __init__(self, pod_id: int, num_blocks: int,
-                 fabric: PodFabric | None = None) -> None:
+                 fabric: PodFabric | None = None, *,
+                 up: np.ndarray | None = None,
+                 free: np.ndarray | None = None) -> None:
         self.pod_id = pod_id
         self.num_blocks = num_blocks
-        self.up = [True] * num_blocks
+        #: Health and free state live in numpy bitmasks so the dispatch
+        #: loop's per-event queries (`first_free`, the invariant rescan)
+        #: run as C-level scans instead of Python list walks.  `owner`
+        #: stays a plain dict — it is the authoritative ownership record
+        #: the invariant checker rebuilds the masks against.  A
+        #: :class:`FleetState` passes row views of its fleet-wide
+        #: matrices so the invariant check vectorizes across all pods
+        #: at once; a standalone pod allocates its own rows.
+        self.up = np.ones(num_blocks, dtype=bool) if up is None else up
         self.owner: dict[int, int] = {}  # block id -> job id
         self.fabric = fabric
         side = round(num_blocks ** (1 / 3))
         self._grid = (side, side, side) if side ** 3 == num_blocks else None
         # Incremental free index: _free[b] == up[b] and b not owned.
-        self._free = [True] * num_blocks
+        self._free = np.ones(num_blocks, dtype=bool) if free is None \
+            else free
         self._num_free = num_blocks
+        # Down-and-unowned count, maintained incrementally so the
+        # per-dispatch conservation probe is O(1) per pod.
+        self._down_unowned = 0
 
     # -- state queries -----------------------------------------------------------
 
     def is_free(self, block: int) -> bool:
         """True when the block is healthy and unowned."""
-        return self._free[block]
+        return bool(self._free[block])
 
     def free_mask(self) -> list[bool]:
         """Per-block availability, the SliceScheduler health map (a copy)."""
-        return list(self._free)
+        return self._free.tolist()
 
     def first_free(self, count: int) -> list[int] | None:
         """The `count` lowest-id free blocks, or None if under `count`."""
         if self._num_free < count:
             return None
-        free = self._free
-        picked: list[int] = []
-        for block in range(self.num_blocks):
-            if free[block]:
-                picked.append(block)
-                if len(picked) == count:
-                    return picked
-        raise SchedulingError(       # pragma: no cover - index corruption
-            f"pod {self.pod_id} free index out of sync")
+        picked = np.flatnonzero(self._free)[:count]
+        if len(picked) < count:
+            raise SchedulingError(   # pragma: no cover - index corruption
+                f"pod {self.pod_id} free index out of sync")
+        return picked.tolist()
 
     @property
     def num_free(self) -> int:
@@ -85,7 +97,7 @@ class Pod:
     @property
     def num_down(self) -> int:
         """Blocks currently failed."""
-        return self.up.count(False)
+        return int(np.count_nonzero(~self.up))
 
     def jobs_on(self) -> set[int]:
         """Ids of jobs holding any block of this pod."""
@@ -97,7 +109,7 @@ class Pod:
                        strategy: PlacementStrategy =
                        PlacementStrategy.FIRST_FIT) -> list[int] | None:
         """Blocks for one slice under `policy`/`strategy`, or None."""
-        scheduler = SliceScheduler(self._free, grid=self._grid)
+        scheduler = SliceScheduler(self._free.tolist(), grid=self._grid)
         return scheduler.place_one(shape, policy, strategy)
 
     def assign(self, blocks: list[int], job_id: int) -> None:
@@ -119,16 +131,22 @@ class Pod:
             if self.up[block]:
                 self._free[block] = True
                 self._num_free += 1
+            else:
+                self._down_unowned += 1
         return sorted(freed)
 
     # -- failures -----------------------------------------------------------------
 
     def block_down(self, block: int) -> int | None:
         """Fail a block; returns the interrupted job id, if any."""
+        was_up = bool(self.up[block])
         self.up[block] = False
         if self._free[block]:
             self._free[block] = False
             self._num_free -= 1
+            self._down_unowned += 1
+        elif was_up and block not in self.owner:
+            self._down_unowned += 1  # pragma: no cover - defensive
         return self.owner.get(block)
 
     def block_up(self, block: int) -> None:
@@ -137,6 +155,7 @@ class Pod:
         if block not in self.owner and not self._free[block]:
             self._free[block] = True
             self._num_free += 1
+            self._down_unowned -= 1
 
 
 class FleetState:
@@ -146,9 +165,17 @@ class FleetState:
                  with_fabric: bool = False, trunk_ports: int = 0) -> None:
         self.machine = MachineFabric(num_pods, blocks_per_pod,
                                      trunk_ports) if with_fabric else None
+        # Fleet-wide bitmask matrices; each pod works on its row view,
+        # so per-pod mutations land here and the invariant rescan runs
+        # one vectorized pass over every pod at once.
+        self._up_matrix = np.ones((num_pods, blocks_per_pod), dtype=bool)
+        self._free_matrix = np.ones((num_pods, blocks_per_pod),
+                                    dtype=bool)
         self.pods = [
             Pod(pod_id, blocks_per_pod,
-                fabric=self.machine.pods[pod_id] if self.machine else None)
+                fabric=self.machine.pods[pod_id] if self.machine else None,
+                up=self._up_matrix[pod_id],
+                free=self._free_matrix[pod_id])
             for pod_id in range(num_pods)]
 
     @property
@@ -179,6 +206,25 @@ class FleetState:
         """Pods ordered most-free first (ties by id, deterministic)."""
         return sorted(self.pods, key=lambda p: (-p.num_free, p.pod_id))
 
+    def check_conservation(self) -> None:
+        """O(pods) probe: free + owned + down-unowned covers every block.
+
+        The per-dispatch guard: every incremental counter update keeps
+        the three classes a partition of the pod's blocks, so any
+        single-sided index update — including a tampered ``owner``
+        map — breaks the sum and fails here on the very next dispatch.
+        Positional drift that happens to conserve counts (a free mask
+        pointing at the wrong block) is caught by the cadenced full
+        rescan in :meth:`check_invariants`.
+        """
+        for pod in self.pods:
+            if pod._num_free + len(pod.owner) + pod._down_unowned != \
+                    pod.num_blocks:
+                raise SchedulingError(
+                    f"pod {pod.pod_id} blocks not conserved: "
+                    f"{pod.num_free} free + {pod.num_busy} busy + "
+                    f"{pod._down_unowned} down != {pod.num_blocks}")
+
     def check_invariants(self) -> None:
         """Recompute every incremental index and assert it matches.
 
@@ -190,22 +236,44 @@ class FleetState:
         corrupting placement decisions later.  Cheap enough to run
         under ``__debug__`` after every scheduler dispatch.
         """
-        for pod in self.pods:
-            rescan = [pod.up[block] and block not in pod.owner
-                      for block in range(pod.num_blocks)]
-            if pod.free_mask() != rescan:
+        num_pods, blocks_per_pod = self._up_matrix.shape
+        rescan = self._up_matrix.copy()
+        owned_pairs = [(pod.pod_id, block)
+                       for pod in self.pods for block in pod.owner]
+        if owned_pairs:
+            owned = np.asarray(owned_pairs, dtype=np.int64)
+            pod_ids, block_ids = owned[:, 0], owned[:, 1]
+            if block_ids.min() < 0 or \
+                    (block_ids >= blocks_per_pod).any():
+                bad = int(pod_ids[(block_ids < 0) |
+                                  (block_ids >= blocks_per_pod)][0])
                 raise SchedulingError(
-                    f"pod {pod.pod_id} free mask drifted from up/owner "
-                    f"state")
-            if pod.num_free != sum(rescan):
+                    f"pod {bad} owner map names an out-of-range block")
+            rescan[pod_ids, block_ids] = False
+            down_owned = np.bincount(
+                pod_ids[~self._up_matrix[pod_ids, block_ids]],
+                minlength=num_pods)
+        else:
+            down_owned = np.zeros(num_pods, dtype=np.int64)
+        if not np.array_equal(self._free_matrix, rescan):
+            drifted = (self._free_matrix != rescan).any(axis=1)
+            raise SchedulingError(
+                f"pod {int(np.flatnonzero(drifted)[0])} free mask "
+                f"drifted from up/owner state")
+        free_counts = np.count_nonzero(rescan, axis=1)
+        for pod, free_count in zip(self.pods, free_counts.tolist()):
+            if pod.num_free != free_count:
                 raise SchedulingError(
                     f"pod {pod.pod_id} free counter {pod.num_free} != "
-                    f"rescan {sum(rescan)}")
-            down_unowned = sum(1 for block in range(pod.num_blocks)
-                               if not pod.up[block] and
-                               block not in pod.owner)
-            if pod.num_free + pod.num_busy + down_unowned != \
-                    pod.num_blocks:
+                    f"rescan {free_count}")
+        down_unowned = np.count_nonzero(~self._up_matrix, axis=1) - \
+            down_owned
+        for pod, extra in zip(self.pods, down_unowned.tolist()):
+            if pod._down_unowned != extra:
+                raise SchedulingError(
+                    f"pod {pod.pod_id} down-unowned counter "
+                    f"{pod._down_unowned} != rescan {extra}")
+            if pod.num_free + pod.num_busy + extra != pod.num_blocks:
                 raise SchedulingError(
                     f"pod {pod.pod_id} blocks not conserved")
         if self.total_free + self.busy_blocks > self.total_blocks:

@@ -27,14 +27,15 @@ mesh and reconfigure nothing.
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass
+
+import numpy as np
 
 from repro.core.slicing import SliceShape, block_grid, canonical_shape
 from repro.errors import OCSError
-from repro.ocs.fabric import FACE_LINKS, OCSFabric
-from repro.ocs.reconfigure import (BlockAdjacency, block_torus_adjacencies,
-                                   program_adjacencies,
-                                   teardown_adjacencies)
+from repro.ocs.fabric import FACE_LINKS, NUM_OCS
+from repro.ocs.reconfigure import BlockAdjacency, block_torus_adjacencies
 from repro.topology.builder import is_block_multiple
 
 
@@ -73,17 +74,141 @@ class ReconfigPlan:
         return base_seconds + switch_seconds * self.moves_per_switch
 
 
+class SwitchBank:
+    """Array-of-struct peer tables for all 48 switches of one pod.
+
+    Semantically identical to 48 :class:`repro.ocs.switch.
+    OpticalCircuitSwitch` peer dicts under the Figure 1 wiring law
+    (port(block, '+') = block, port(block, '-') = num_blocks + block) —
+    but at block granularity all FACE_LINKS switches of a dimension
+    always carry the *same* peer state (every block adjacency programs
+    one circuit per face position, and nothing else ever touches the
+    fleet's switches), so the bank stores one row per dimension and
+    counts each entry as FACE_LINKS parallel chip circuits.  A whole
+    adjacency then programs as one int32 cell pair.  This is the fleet
+    hot path: every placement programs 48 circuits per block, and the
+    per-chip dict walk dominated `fleet profile` wall-clock.
+
+    Conflict detection is preserved: connecting an occupied port or
+    disconnecting a free one raises :class:`OCSError` exactly as the
+    per-switch dicts did (the error names the dimension; every face of
+    it conflicts identically).
+    """
+
+    __slots__ = ("num_blocks", "_peer", "_live")
+
+    #: One bank row stands for this many identical physical switches.
+    ROW_MULTIPLICITY = FACE_LINKS
+
+    def __init__(self, num_blocks: int) -> None:
+        if num_blocks < 1:
+            raise OCSError(f"need at least one block, got {num_blocks}")
+        self.num_blocks = num_blocks
+        #: -1 = free; else the peer port on the same switch.
+        self._peer = np.full((NUM_OCS // FACE_LINKS, 2 * num_blocks), -1,
+                             dtype=np.int32)
+        self._live = 0
+
+    @property
+    def total_circuits(self) -> int:
+        """Live chip circuits across all 48 switches."""
+        return self._live
+
+    def _layout(self, adjacencies: tuple[BlockAdjacency, ...]
+                ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        # fromiter over the flattened triples is ~2x cheaper than
+        # asarray on a nested tuple, and this conversion is the single
+        # largest cost of a connect call.
+        adj = np.fromiter(
+            itertools.chain.from_iterable(adjacencies), dtype=np.int32,
+            count=3 * len(adjacencies)).reshape(-1, 3)
+        rows = adj[:, 0]                            # dimension
+        plus_cols = adj[:, 1]                       # port(low, '+')
+        minus_cols = self.num_blocks + adj[:, 2]    # port(high, '-')
+        return rows, plus_cols, minus_cols
+
+    def _conflict(self, rows: np.ndarray, cols: np.ndarray,
+                  verb: str) -> OCSError:
+        mask = self._peer[rows, cols] != -1 if verb == "connect" \
+            else self._peer[rows, cols] == -1
+        i = int(np.flatnonzero(mask)[0])
+        dim = int(rows[i])
+        port = int(cols[i])
+        if verb == "connect":
+            return OCSError(
+                f"ocs-d{dim}: port {port} already connected "
+                f"to {int(self._peer[dim, port])}")
+        return OCSError(f"ocs-d{dim}: port {port} is not connected")
+
+    def connect(self, adjacencies: tuple[BlockAdjacency, ...],
+                layout: tuple[np.ndarray, np.ndarray, np.ndarray]
+                | None = None) -> int:
+        """Program the chip circuits of each adjacency; returns circuits.
+
+        `layout` is an optional precomputed :meth:`_layout` result for
+        the same adjacencies — holders that connect and later
+        disconnect the same plan pay the conversion once.
+        """
+        if not len(adjacencies):
+            return 0
+        rows, plus_cols, minus_cols = layout if layout is not None \
+            else self._layout(adjacencies)
+        # The occupancy check below covers cross-plan conflicts but not
+        # intra-call duplicates (a duplicate adjacency would write the
+        # same cell twice in one fancy-index assignment, which numpy
+        # resolves silently where the dicts raised) — so reject plans
+        # reusing a switch-port up front.  '+' ports collide on equal
+        # (dim, low), '-' ports on equal (dim, high); both sets are
+        # tiny.
+        if len({(d, low) for d, low, _ in adjacencies}) != \
+                len(adjacencies) or \
+                len({(d, high) for d, _, high in adjacencies}) != \
+                len(adjacencies):
+            raise OCSError("plan reuses a (switch, port) pair within "
+                           "one programming pass")
+        if (self._peer[rows, plus_cols] != -1).any():
+            raise self._conflict(rows, plus_cols, "connect")
+        if (self._peer[rows, minus_cols] != -1).any():
+            raise self._conflict(rows, minus_cols, "connect")
+        self._peer[rows, plus_cols] = minus_cols
+        self._peer[rows, minus_cols] = plus_cols
+        created = len(adjacencies) * FACE_LINKS
+        self._live += created
+        return created
+
+    def disconnect(self, adjacencies: tuple[BlockAdjacency, ...],
+                   layout: tuple[np.ndarray, np.ndarray, np.ndarray]
+                   | None = None) -> int:
+        """Tear down each adjacency's chip circuits; returns circuits."""
+        if not len(adjacencies):
+            return 0
+        rows, plus_cols, _ = layout if layout is not None \
+            else self._layout(adjacencies)
+        peers = self._peer[rows, plus_cols]
+        if (peers == -1).any():
+            raise self._conflict(rows, plus_cols, "disconnect")
+        self._peer[rows, plus_cols] = -1
+        self._peer[rows, peers] = -1
+        removed = len(adjacencies) * FACE_LINKS
+        self._live -= removed
+        return removed
+
+
 class PodFabric:
     """One pod's optical fabric: live circuits per job, plan/apply/release."""
 
     def __init__(self, num_blocks: int) -> None:
-        self.fabric = OCSFabric(num_blocks)
-        self._held: dict[int, tuple[BlockAdjacency, ...]] = {}
+        self.bank = SwitchBank(num_blocks)
+        #: job id -> (adjacencies, precomputed bank layout); the layout
+        #: is reused at release so teardown pays no conversion.
+        self._held: dict[int, tuple[tuple[BlockAdjacency, ...],
+                                    tuple[np.ndarray, np.ndarray,
+                                          np.ndarray]]] = {}
 
     @property
     def live_circuits(self) -> int:
         """Chip circuits currently programmed across the pod's switches."""
-        return self.fabric.total_circuits()
+        return self.bank.total_circuits
 
     def holds(self, job_id: int) -> bool:
         """True while `job_id` has circuits on this fabric."""
@@ -109,8 +234,9 @@ class PodFabric:
                 f"job {plan.job_id} already holds circuits on this pod")
         if not plan.adjacencies:
             return 0
-        created = program_adjacencies(self.fabric, list(plan.adjacencies))
-        self._held[plan.job_id] = plan.adjacencies
+        layout = self.bank._layout(plan.adjacencies)
+        created = self.bank.connect(plan.adjacencies, layout)
+        self._held[plan.job_id] = (plan.adjacencies, layout)
         return created
 
     def release(self, job_id: int) -> int:
@@ -119,7 +245,8 @@ class PodFabric:
         Teardown happens off any job's critical path (the blocks are
         already idle), so it carries no latency charge.
         """
-        adjacencies = self._held.pop(job_id, ())
-        if not adjacencies:
+        held = self._held.pop(job_id, None)
+        if held is None:
             return 0
-        return teardown_adjacencies(self.fabric, list(adjacencies))
+        adjacencies, layout = held
+        return self.bank.disconnect(adjacencies, layout)

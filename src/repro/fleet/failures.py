@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
@@ -118,6 +119,41 @@ def overlay_windows(outages: list[BlockOutage],
             via_spare=via_spare and coalesced == 1))
     merged.sort(key=lambda o: (o.start, o.pod_id, o.block_id))
     return merged
+
+
+def drained_block_seconds(windows: Sequence[DrainWindow],
+                          horizon: float) -> float:
+    """Block-seconds of capacity the drain schedule actually removes.
+
+    A block is either drained or it is not: windows that overlap (or
+    duplicate) on the same block must count once, exactly as
+    :func:`overlay_windows` coalesces them into one down interval when
+    merging the schedule into the failure trace.  So the total is the
+    per-block interval *union*, with every window clamped to
+    [0, horizon] first — a naive ``sum(w.duration)`` double-counts any
+    overlap and can report a drain_fraction above the capacity the
+    schedule ever held out of service.
+    """
+    by_block: dict[tuple[int, int], list[tuple[float, float]]] = {}
+    for window in windows:
+        start = max(0.0, min(window.start, horizon))
+        end = max(0.0, min(window.end, horizon))
+        if end <= start:
+            continue
+        by_block.setdefault((window.pod_id, window.block_id), []).append(
+            (start, end))
+    total = 0.0
+    for intervals in by_block.values():
+        intervals.sort()
+        start, end = intervals[0]
+        for nxt_start, nxt_end in intervals[1:]:
+            if nxt_start <= end:
+                end = max(end, nxt_end)
+                continue
+            total += end - start
+            start, end = nxt_start, nxt_end
+        total += end - start
+    return total
 
 
 def _pod_repair_switch(config: FleetConfig) -> RepairableSwitch:

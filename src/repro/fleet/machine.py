@@ -36,7 +36,8 @@ from repro.core.slicing import SliceShape, block_grid, canonical_shape
 from repro.errors import OCSError
 from repro.fleet.fabric import PodFabric, ReconfigPlan
 from repro.ocs.fabric import FACE_LINKS
-from repro.ocs.reconfigure import grid_adjacency_indices
+from repro.ocs.reconfigure import (block_torus_adjacencies,
+                                   grid_adjacency_indices)
 from repro.topology.builder import is_block_multiple
 
 #: One cross-pod block adjacency: (dim, low_pod, low_block, high_pod,
@@ -220,6 +221,22 @@ class MachineFabric:
             return MachinePlan(job_id=job_id, pod_plans=(),
                                trunk_adjacencies=())
         grid = block_grid(dims)
+        if len(assignments) == 1:
+            # Pod-local placement — the overwhelmingly common case:
+            # every adjacency is intra-pod, so the general slot
+            # classification below reduces to the plain block-torus
+            # walk.
+            pod_id, blocks = assignments[0]
+            if grid[0] * grid[1] * grid[2] != len(blocks):
+                raise OCSError(
+                    f"grid {grid} does not cover {len(blocks)} "
+                    f"assigned blocks")
+            adjacencies = block_torus_adjacencies(grid, list(blocks))
+            return MachinePlan(
+                job_id=job_id,
+                pod_plans=((pod_id, ReconfigPlan(
+                    job_id=job_id, adjacencies=tuple(adjacencies))),),
+                trunk_adjacencies=())
         slots = [(pod_id, block)
                  for pod_id, blocks in assignments for block in blocks]
         if grid[0] * grid[1] * grid[2] != len(slots):

@@ -34,6 +34,16 @@ if TYPE_CHECKING:  # import cycle guard (scheduler imports obs)
 class MetricsSampler:
     """Schedules periodic state snapshots into a recorder."""
 
+    #: Hard ceiling on eagerly scheduled sample ticks.  Eager
+    #: scheduling is what fixes the event population (and the kernel's
+    #: same-time tie-breaks) before the first event fires, so the
+    #: sampler keeps it — but a misconfigured cadence (milliseconds
+    #: against a week-long horizon) would materialize the whole tick
+    #: population in memory up front.  Rather than silently chunking
+    #: (which would change the event population and with it the
+    #: tie-break contract), an over-cap cadence is rejected outright.
+    MAX_TICKS = 100_000
+
     def __init__(self, recorder: "ObsRecorder",
                  scheduler: "FleetScheduler", state: "FleetState",
                  every_seconds: float) -> None:
@@ -51,8 +61,15 @@ class MetricsSampler:
         Ticks are scheduled eagerly (the count is known up front) rather
         than self-rescheduling, so the event population — and with it
         the run's event-order tie-breaks — is fixed before the first
-        event fires.
+        event fires.  Cadences needing more than :attr:`MAX_TICKS`
+        ticks raise :class:`ConfigurationError` instead of scheduling
+        an unbounded event flood.
         """
+        if horizon / self.every_seconds >= self.MAX_TICKS:
+            raise ConfigurationError(
+                f"sample cadence {self.every_seconds}s over a "
+                f"{horizon}s horizon needs more than {self.MAX_TICKS} "
+                f"ticks; raise obs_sample_every_seconds")
         ticks = 0
         time = 0.0
         while time <= horizon:

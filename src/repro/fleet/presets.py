@@ -10,7 +10,9 @@ record/replay round-trip scenario, `deploy_week` overlays the
 the machine-wide scenario — eight small pods whose job mix includes Table 2's biggest
 slices (48 blocks, against 27-block pods), so those jobs *must* span
 pods over the trunk OCS layer, and whose failures include spare-port-
-repairable optical faults — and `edge` is the contention edge-case
+repairable optical faults.  `hyperscale` scales that machine-wide
+scenario to 64 pods for the vectorized event core (and the `fleet
+sweep` multi-seed runner), and `edge` is the contention edge-case
 scenario, tuned so cross-pod preemption (and, rarely, trunk-freeing
 defrag) fires under generated load, anchoring the record/replay
 byte-identity smoke for the machine-wide contention paths.
@@ -58,6 +60,23 @@ PRESETS: dict[str, FleetConfig] = {
         num_pods=8, blocks_per_pod=27,
         horizon_seconds=4 * DAY, arrival_window_seconds=3 * DAY,
         mean_interarrival_seconds=12 * MINUTE, mean_job_seconds=8 * HOUR,
+        max_job_blocks=48, serving_fraction=0.1,
+        host_mtbf_seconds=120 * DAY, mean_repair_seconds=4 * HOUR,
+        strategy="best_fit",
+        cross_pod=True, trunk_ports=64,
+        spare_ports=8, optical_failure_fraction=0.3,
+        port_repair_seconds=5 * MINUTE),
+    # Sixty-four pods behind one trunk layer: the scale target of the
+    # vectorized event core.  Same per-pod sizing and machine-wide job
+    # mix as `large` (48-block slices must span 27-block pods), but
+    # eight times the pods and a denser arrival stream, so the dispatch
+    # loop, the switch banks, and the failure overlay all run at fleet
+    # scale.  Kept to two simulated days so `fleet sweep` can fan a
+    # hundred seeds across worker processes in CI-compatible time.
+    "hyperscale": FleetConfig(
+        num_pods=64, blocks_per_pod=27,
+        horizon_seconds=2 * DAY, arrival_window_seconds=1.5 * DAY,
+        mean_interarrival_seconds=2 * MINUTE, mean_job_seconds=6 * HOUR,
         max_job_blocks=48, serving_fraction=0.1,
         host_mtbf_seconds=120 * DAY, mean_repair_seconds=4 * HOUR,
         strategy="best_fit",

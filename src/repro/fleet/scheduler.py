@@ -61,9 +61,13 @@ _EPSILON = 1e-9
 Placement = list[tuple[Pod, list[int]]]
 
 
-@dataclass
+@dataclass(slots=True)
 class ActiveJob:
-    """Mutable runtime state of one job inside the scheduler."""
+    """Mutable runtime state of one job inside the scheduler.
+
+    Slotted: the dispatch loop reads these fields for every queued job
+    on every pass, and a hyperscale run keeps thousands alive at once.
+    """
 
     job: FleetJob
     remaining: float
@@ -112,6 +116,13 @@ class ActiveJob:
 class FleetScheduler:
     """Places a shared job queue onto the fleet under one policy."""
 
+    #: Dispatches between full from-scratch invariant rescans.  Every
+    #: dispatch still runs the O(pods) conservation probe, so
+    #: single-sided index updates fail immediately; only positional
+    #: drift that happens to conserve per-pod counts waits for the
+    #: cadenced rescan (and the one at finalize).
+    FULL_CHECK_EVERY = 64
+
     def __init__(self, config: FleetConfig, policy: PlacementPolicy,
                  sim: Simulator, state: FleetState,
                  telemetry: FleetTelemetry,
@@ -129,12 +140,38 @@ class FleetScheduler:
         self.obs = obs
         self.queue: list[ActiveJob] = []
         self.running: dict[int, ActiveJob] = {}
-        #: Run the from-scratch index recomputation after every
-        #: dispatch.  Defaults to the interpreter's debug mode (python
-        #: -O compiles the guard out for production-speed sweeps); tests
-        #: force it on explicitly so the drift guard itself is testable
-        #: regardless of interpreter flags.
+        #: Guard the incremental indices after every dispatch.  Defaults
+        #: to the interpreter's debug mode (python -O compiles the guard
+        #: out for production-speed sweeps); tests force it on
+        #: explicitly so the drift guard itself is testable regardless
+        #: of interpreter flags.  Every dispatch runs the O(pods)
+        #: conservation probe; the full from-scratch rescan runs every
+        #: FULL_CHECK_EVERY dispatches and once more at finalize, so
+        #: positional drift the probe cannot see is still caught within
+        #: a bounded window.
         self.verify_invariants = __debug__
+        self._dispatches_since_full_check = 0
+        #: Failure caches persisted across dispatch passes.  A failed
+        #: placement attempt mutates nothing, so its result stays valid
+        #: while capacity only *shrinks* (assignments, victimless block
+        #: failures).  `_grow_epoch` counts every capacity-growing
+        #: mutation — block releases and repairs — and the caches are
+        #: flushed whenever it (or the machine's trunk-release counter)
+        #: moved since they were filled.  With observability enabled the
+        #: caches reset every pass so the decision log's
+        #: `failure_cache_hit` classification keeps its per-pass meaning.
+        self._grow_epoch = 0
+        self._cache_epoch = -1
+        self._cache_trunk_epoch = -1
+        self._failed_shapes: set = set()
+        self._failed_defrags: set[int] = set()
+        self._failed_cross: set = set()
+        self._failed_preemptions: set = set()
+        #: Young/Daly interval per block count — a pure function of the
+        #: config's failure/checkpoint constants and the job's size,
+        #: recomputed thousands of times for the handful of sizes a
+        #: workload actually uses.
+        self._interval_by_blocks: dict[int, float] = {}
 
     # -- queue discipline --------------------------------------------------------
 
@@ -158,34 +195,51 @@ class FleetScheduler:
         while self._dispatch_pass():
             pass
         if self.verify_invariants:
-            self.state.check_invariants()
+            self._dispatches_since_full_check += 1
+            if self._dispatches_since_full_check >= self.FULL_CHECK_EVERY:
+                self._dispatches_since_full_check = 0
+                self.state.check_invariants()
+            else:
+                self.state.check_conservation()
 
     def _dispatch_pass(self) -> bool:
         """One placement sweep; returns True when a re-pass could help."""
+        if not self.queue:
+            return False
         moved_any = False
+        # Hoisted out of the per-job loop: this sweep visits every
+        # queued job on every pass (tens of thousands of iterations on
+        # the medium preset), so the disabled path must not pay even
+        # the attribute lookups.
+        obs_enabled = self.obs.enabled
         # Within a pass, free space only shrinks and (because the queue
         # is priority-sorted) no preemptible job starts before a
         # preemptor is considered — so a failed placement, defrag,
         # cross-pod, or preemption attempt stays failed for identical
         # later requests, until an eviction or migration moves blocks.
-        failed_shapes: set = set()
-        failed_defrags: set[int] = set()
-        failed_cross: set = set()
-        failed_preemptions: set = set()
+        # The same monotonicity holds *across* passes and dispatches
+        # while only shrinking mutations occurred, so the caches persist
+        # until the grow epoch (or the trunk ledger) moves.
+        machine = self.state.machine
+        trunk_epoch = machine.trunk_release_count \
+            if machine is not None else 0
+        if obs_enabled or self._cache_epoch != self._grow_epoch or \
+                self._cache_trunk_epoch != trunk_epoch:
+            self._failed_shapes.clear()
+            self._failed_defrags.clear()
+            self._failed_cross.clear()
+            self._failed_preemptions.clear()
+        epoch_at_start = self._grow_epoch
+        failed_shapes = self._failed_shapes
+        failed_defrags = self._failed_defrags
+        failed_cross = self._failed_cross
+        failed_preemptions = self._failed_preemptions
         # ...except for the trunk layer: preemption and trunk-freeing
         # defragmentation can hand trunk ports back mid-pass, so any
         # release observed on the machine fabric invalidates the caches
         # whose entries depend on the trunk budget.  (The block-freeing
         # paths below clear every cache at their success sites; this
         # watcher catches releases on any path that does not.)
-        machine = self.state.machine
-        trunk_epoch = machine.trunk_release_count \
-            if machine is not None else 0
-        # Hoisted out of the per-job loop: this sweep visits every
-        # queued job on every pass (tens of thousands of iterations on
-        # the medium preset), so the disabled path must not pay even
-        # the attribute lookups.
-        obs_enabled = self.obs.enabled
 
         def refresh_trunk_caches() -> None:
             nonlocal trunk_epoch
@@ -258,6 +312,18 @@ class FleetScheduler:
             if placement is None:
                 continue  # backfill: later (smaller) jobs may still fit
             self._start(active, placement)
+        # Stamp the caches as valid only when the pass saw no grow
+        # event at all.  A mid-pass release on a *failed* contention
+        # path (a defrag that evicted but still returned None) leaves
+        # `failed_shapes`/`failed_defrags` stale — the original
+        # per-pass caches bounded that staleness to one pass, so the
+        # persistent caches must not carry it any further.  The trunk
+        # stamp is the last value the watcher reconciled the caches
+        # against, not the machine's current count, for the same
+        # reason.
+        if self._grow_epoch == epoch_at_start:
+            self._cache_epoch = epoch_at_start
+            self._cache_trunk_epoch = trunk_epoch
         return moved_any
 
     def _rejection_cause(self, active: ActiveJob, attempted: bool,
@@ -779,11 +845,15 @@ class FleetScheduler:
             record.first_start = self.sim.now
 
         if not job.is_serving:
-            active.interval = optimal_interval(CheckpointParams(
-                num_hosts=job.blocks * HOSTS_PER_BLOCK,
-                host_mtbf_seconds=self.config.host_mtbf_seconds,
-                checkpoint_seconds=self.config.checkpoint_seconds,
-                restore_seconds=self.config.restore_seconds))
+            interval = self._interval_by_blocks.get(job.blocks)
+            if interval is None:
+                interval = optimal_interval(CheckpointParams(
+                    num_hosts=job.blocks * HOSTS_PER_BLOCK,
+                    host_mtbf_seconds=self.config.host_mtbf_seconds,
+                    checkpoint_seconds=self.config.checkpoint_seconds,
+                    restore_seconds=self.config.restore_seconds))
+                self._interval_by_blocks[job.blocks] = interval
+            active.interval = interval
             active.overhead = 1.0 + \
                 self.config.checkpoint_seconds / active.interval
         wall = active.pending_reconfig + active.pending_restore + \
@@ -913,6 +983,7 @@ class FleetScheduler:
         self.queue.append(active)
 
     def _release(self, active: ActiveJob) -> None:
+        self._grow_epoch += 1  # freed blocks can unstick cached failures
         for pod_id, _ in active.assignments:
             self.state.pods[pod_id].release(active.job.job_id)
         if self.state.machine is not None:
@@ -989,6 +1060,7 @@ class FleetScheduler:
 
     def on_block_up(self, pod_id: int, block_id: int) -> None:
         """A block came back; queued work may now fit."""
+        self._grow_epoch += 1  # repaired capacity can unstick failures
         self.state.pods[pod_id].block_up(block_id)
         self.obs.instant("block_up", self.sim.now, pod_id=pod_id,
                          block_id=block_id)
@@ -1016,3 +1088,8 @@ class FleetScheduler:
             if active.trunk_ports_held:
                 self.telemetry.trunk_port_seconds += \
                     active.trunk_ports_held * (horizon - active.started_at)
+        # End-of-run backstop for the cadenced rescan: whatever drift
+        # the per-dispatch probe could not see fails the run here
+        # rather than surviving into the report.
+        if self.verify_invariants:
+            self.state.check_invariants()

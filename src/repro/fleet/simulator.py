@@ -34,7 +34,8 @@ from repro.fleet.config import (FleetConfig, NUM_STREAMS, STREAM_ARRIVALS,
                                 STREAM_SHAPES)
 from repro.fleet.failures import (BlockOutage, DrainWindow,
                                   build_failure_trace,
-                                  downtime_block_seconds, overlay_windows,
+                                  downtime_block_seconds,
+                                  drained_block_seconds, overlay_windows,
                                   spare_repair_count)
 from repro.fleet.obs.metrics import MetricsSampler
 from repro.fleet.obs.profiler import DispatchProfiler
@@ -281,9 +282,10 @@ class FleetSimulator:
         capacity = self.config.total_blocks * horizon
         trunk_total = self.config.trunk_capacity \
             if policy is PlacementPolicy.OCS else 0
-        drained = sum(
-            max(0.0, min(w.end, horizon) - min(w.start, horizon))
-            for w in self.windows)
+        # Per-block interval union, clamped to the horizon: overlapping
+        # or outage-coincident windows on one block drain it once, so
+        # the fraction can never exceed what the schedule held out.
+        drained = drained_block_seconds(self.windows, horizon)
         summary = telemetry.summary(
             total_blocks=self.config.total_blocks,
             horizon_seconds=horizon,

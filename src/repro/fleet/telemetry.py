@@ -39,9 +39,15 @@ import numpy as np
 SUMMARY_SCHEMA = 1
 
 
-@dataclass
+@dataclass(slots=True)
 class JobRecord:
-    """Lifetime telemetry of one job."""
+    """Lifetime telemetry of one job.
+
+    Slotted: a large-fleet run materializes one record per job and the
+    accounting hot path touches several fields per segment, so dropping
+    the per-instance ``__dict__`` saves memory and a dict hop per
+    access.
+    """
 
     job_id: int
     kind: str
@@ -81,7 +87,7 @@ def _fraction(numerator: float, denominator: float) -> float:
     return numerator / denominator if denominator > 0 else 0.0
 
 
-@dataclass
+@dataclass(slots=True)
 class FleetTelemetry:
     """Aggregate accounting over one fleet run."""
 

@@ -16,6 +16,7 @@ switches can be programmed independently.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import lru_cache
 
 from repro.errors import OCSError, TopologyError
 from repro.ocs.fabric import FACE_SIDE, OCSFabric
@@ -188,18 +189,9 @@ BlockAdjacency = tuple[int, int, int]  # (dim, low_block, high_block)
 SlotAdjacency = tuple[int, int, int]
 
 
-def grid_adjacency_indices(grid: tuple[int, int, int]
-                           ) -> list[SlotAdjacency]:
-    """Wraparound torus adjacencies of a block grid, in slot indices.
-
-    Slots are row-major grid positions.  Every slot contributes exactly
-    one "+"-face adjacency per dimension (its torus neighbor, wrapping),
-    so a grid of n slots always yields 3*n adjacencies.  This is the
-    layout walk shared by per-pod wiring (:func:`block_torus_adjacencies`)
-    and the machine-level trunk classification in
-    :mod:`repro.fleet.machine`, which maps slots onto (pod, block) pairs
-    and splits the same adjacencies into intra-pod and cross-pod sets.
-    """
+@lru_cache(maxsize=None)
+def _grid_adjacency_walk(grid: tuple[int, int, int]
+                         ) -> tuple[SlotAdjacency, ...]:
     a, b, c = grid
 
     def at(i: int, j: int, k: int) -> int:
@@ -213,7 +205,26 @@ def grid_adjacency_indices(grid: tuple[int, int, int]
                 adjacencies.append((0, low, at((i + 1) % a, j, k)))
                 adjacencies.append((1, low, at(i, (j + 1) % b, k)))
                 adjacencies.append((2, low, at(i, j, (k + 1) % c)))
-    return adjacencies
+    return tuple(adjacencies)
+
+
+def grid_adjacency_indices(grid: tuple[int, int, int]
+                           ) -> list[SlotAdjacency]:
+    """Wraparound torus adjacencies of a block grid, in slot indices.
+
+    Slots are row-major grid positions.  Every slot contributes exactly
+    one "+"-face adjacency per dimension (its torus neighbor, wrapping),
+    so a grid of n slots always yields 3*n adjacencies.  This is the
+    layout walk shared by per-pod wiring (:func:`block_torus_adjacencies`)
+    and the machine-level trunk classification in
+    :mod:`repro.fleet.machine`, which maps slots onto (pod, block) pairs
+    and splits the same adjacencies into intra-pod and cross-pod sets.
+
+    The walk is memoized per grid (the handful of legal slice grids
+    recur thousands of times over a fleet run); callers get a fresh
+    list copy so the cache can never be mutated through a result.
+    """
+    return list(_grid_adjacency_walk(grid))
 
 
 def block_torus_adjacencies(grid: tuple[int, int, int],

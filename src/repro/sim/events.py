@@ -3,19 +3,23 @@
 Events are (time, sequence, callback) triples kept in a binary heap.  The
 sequence number makes the ordering of same-time events deterministic
 (insertion order), which keeps every simulation in the library reproducible.
+
+The heap stores bare ``(time, seq, event)`` tuples rather than the event
+objects themselves: sift comparisons then run entirely on C-level tuple
+ordering (seq is unique, so the event object is never compared), which is
+what makes the cancel-heavy fleet workload cheap at hyperscale event
+counts.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
-from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
 
 from repro.errors import SimulationError
 
 
-@dataclass(order=True)
 class Event:
     """A scheduled callback.
 
@@ -27,12 +31,19 @@ class Event:
             the owning queue compacts them away.
     """
 
-    time: float
-    seq: int
-    action: Callable[[], None] = field(compare=False)
-    cancelled: bool = field(default=False, compare=False)
-    _queue: Optional["EventQueue"] = field(default=None, compare=False,
-                                           repr=False)
+    __slots__ = ("time", "seq", "action", "cancelled", "_queue")
+
+    def __init__(self, time: float, seq: int, action: Callable[[], None],
+                 queue: Optional["EventQueue"] = None) -> None:
+        self.time = time
+        self.seq = seq
+        self.action = action
+        self.cancelled = False
+        self._queue = queue
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "live"
+        return f"Event(time={self.time!r}, seq={self.seq}, {state})"
 
     def cancel(self) -> None:
         """Mark the event so the queue skips it when popped."""
@@ -57,7 +68,9 @@ class EventQueue:
     COMPACT_MIN_CANCELLED = 64
 
     def __init__(self) -> None:
-        self._heap: list[Event] = []
+        # Heap entries are (time, seq, event); seq is unique, so tuple
+        # comparison never reaches the event object.
+        self._heap: list[tuple[float, int, Event]] = []
         self._counter = itertools.count()
         self._cancelled = 0
 
@@ -66,15 +79,16 @@ class EventQueue:
 
     def push(self, time: float, action: Callable[[], None]) -> Event:
         """Schedule `action` at absolute time `time` and return the event."""
-        event = Event(time=time, seq=next(self._counter), action=action,
-                      _queue=self)
-        heapq.heappush(self._heap, event)
+        seq = next(self._counter)
+        event = Event(time, seq, action, queue=self)
+        heapq.heappush(self._heap, (time, seq, event))
         return event
 
     def pop(self) -> Optional[Event]:
         """Remove and return the earliest live event, or None if empty."""
-        while self._heap:
-            event = heapq.heappop(self._heap)
+        heap = self._heap
+        while heap:
+            event = heapq.heappop(heap)[2]
             # Detach so a later cancel() of the (no longer heap-resident)
             # event cannot skew the dead-event counter.
             event._queue = None
@@ -85,10 +99,11 @@ class EventQueue:
 
     def peek_time(self) -> Optional[float]:
         """Return the firing time of the earliest live event, if any."""
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)._queue = None
+        heap = self._heap
+        while heap and heap[0][2].cancelled:
+            heapq.heappop(heap)[2]._queue = None
             self._cancelled -= 1
-        return self._heap[0].time if self._heap else None
+        return heap[0][0] if heap else None
 
     def _note_cancelled(self) -> None:
         self._cancelled += 1
@@ -98,7 +113,8 @@ class EventQueue:
 
     def _compact(self) -> None:
         """Drop every cancelled event and re-heapify the survivors."""
-        self._heap = [e for e in self._heap if not e.cancelled]
+        self._heap = [entry for entry in self._heap
+                      if not entry[2].cancelled]
         heapq.heapify(self._heap)
         self._cancelled = 0
 

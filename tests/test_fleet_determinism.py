@@ -9,6 +9,7 @@ trace — the comparison measures the scheduler, never the dice.
 """
 
 import dataclasses
+import hashlib
 import json
 import pathlib
 
@@ -149,3 +150,41 @@ class TestCrossPodDeterminism:
         assert json.dumps(first.summary, sort_keys=True) == \
             json.dumps(second.summary, sort_keys=True)
         assert first.events_fired == second.events_fired
+
+
+class TestGoldenSummaryDigests:
+    """100-seed byte-identity against digests committed before the
+    vectorized event core landed.
+
+    The performance work (numpy switch banks, persistent failure
+    caches, layout memoization) is licensed by exactly one promise:
+    *not one output bit moved*.  These digests are sha256 over the
+    sorted summary JSON of seeds 0-99 on the CI smoke preset and the
+    contention edge preset, recorded on the pre-optimization code, so
+    any placement divergence anywhere in the stack fails here with the
+    offending seed named.
+    """
+
+    @pytest.mark.parametrize("preset", ["small", "edge"])
+    def test_summaries_match_committed_digests(self, preset):
+        golden = json.loads(
+            (GOLDEN_DIR / "fleet_summary_digests.json").read_text())
+        assert golden["schema"] == 1
+        expected = golden["presets"][preset]
+        assert len(expected) == 100
+        config = preset_config(preset)
+        mismatched = []
+        for seed_text, want in sorted(expected.items(),
+                                      key=lambda kv: int(kv[0])):
+            seed = int(seed_text)
+            summary = FleetSimulator(config, seed=seed).run(
+                PlacementPolicy.OCS).summary
+            digest = hashlib.sha256(
+                json.dumps(summary, sort_keys=True).encode()).hexdigest()
+            if digest != want["sha256"]:
+                mismatched.append(
+                    f"seed {seed}: goodput {summary['goodput']} "
+                    f"(recorded {want['goodput']})")
+        assert not mismatched, \
+            f"{preset} summaries diverged from the recorded " \
+            f"pre-optimization runs: {mismatched}"

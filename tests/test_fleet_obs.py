@@ -14,6 +14,7 @@ import pytest
 from repro.core.scheduler import PlacementPolicy
 from repro.errors import ConfigurationError, TraceError
 from repro.fleet import FleetSimulator, preset_config
+from repro.sim.events import Simulator
 from repro.fleet.obs import (DispatchProfiler, MetricsSampler,
                              NULL_RECORDER, ObsRecorder, PLACED_CAUSES,
                              REJECTED_CAUSES, dumps_chrome_trace,
@@ -218,6 +219,27 @@ class TestMetricsSampler:
                                 obs_sample_every_seconds=0.0)
         with pytest.raises(ConfigurationError):
             MetricsSampler(ObsRecorder(), None, None, -1.0)
+
+    def test_over_cap_cadence_rejected_before_scheduling(self):
+        # A millisecond cadence over a day would eagerly materialize
+        # ~86M tick events; install must refuse up front instead of
+        # flooding the kernel (chunking would change the event
+        # population and with it the same-time tie-break contract).
+        sampler = MetricsSampler(ObsRecorder(), None, None, 0.001)
+        sim = Simulator()
+        with pytest.raises(ConfigurationError, match="cadence"):
+            sampler.install(sim, 86400.0)
+        assert len(sim.queue) == 0
+
+    def test_cap_boundary_still_schedules_eagerly(self):
+        # Just under the cap installs the full tick population up
+        # front, preserving the fixed-population tie-break guarantee.
+        sampler = MetricsSampler(ObsRecorder(), None, None, 1.0)
+        sim = Simulator()
+        horizon = float(MetricsSampler.MAX_TICKS - 2)
+        ticks = sampler.install(sim, horizon)
+        assert ticks == MetricsSampler.MAX_TICKS - 1
+        assert len(sim.queue) == ticks
 
 
 class TestJsonlExport:

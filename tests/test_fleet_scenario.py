@@ -15,10 +15,10 @@ import pytest
 from repro.core.scheduler import PlacementPolicy
 from repro.errors import ConfigurationError
 from repro.fleet import (BlockOutage, DrainWindow, FleetSimulator,
-                         compare_deployment, incremental_rollout,
-                         overlay_windows, preset_config,
-                         rolling_maintenance, run_scenario, schedule_for,
-                         schedule_names, spare_repair_count)
+                         compare_deployment, drained_block_seconds,
+                         incremental_rollout, overlay_windows,
+                         preset_config, rolling_maintenance, run_scenario,
+                         schedule_for, schedule_names, spare_repair_count)
 
 IDENTITY_PARTS = ("goodput", "replay_fraction", "restore_fraction",
                   "checkpoint_fraction", "reconfig_fraction")
@@ -148,6 +148,49 @@ class TestScheduleBuilders:
             rolling_maintenance(preset_config("tiny"), span_fraction=1.5)
 
 
+class TestDrainedBlockSeconds:
+    def test_disjoint_windows_sum(self):
+        windows = [DrainWindow(pod_id=0, block_id=0, start=0.0, end=10.0),
+                   DrainWindow(pod_id=0, block_id=0, start=20.0, end=25.0)]
+        assert drained_block_seconds(windows, 100.0) == 15.0
+
+    def test_overlapping_windows_on_one_block_count_once(self):
+        # A block is either drained or not: the overlap region
+        # [5, 10) must not be billed twice.
+        windows = [DrainWindow(pod_id=0, block_id=0, start=0.0, end=10.0),
+                   DrainWindow(pod_id=0, block_id=0, start=5.0, end=15.0)]
+        assert drained_block_seconds(windows, 100.0) == 15.0
+
+    def test_duplicate_windows_count_once(self):
+        window = DrainWindow(pod_id=1, block_id=2, start=3.0, end=9.0)
+        assert drained_block_seconds([window, window], 100.0) == 6.0
+
+    def test_same_interval_on_different_blocks_both_count(self):
+        windows = [DrainWindow(pod_id=0, block_id=0, start=0.0, end=10.0),
+                   DrainWindow(pod_id=0, block_id=1, start=0.0, end=10.0),
+                   DrainWindow(pod_id=1, block_id=0, start=0.0, end=10.0)]
+        assert drained_block_seconds(windows, 100.0) == 30.0
+
+    def test_horizon_spanning_window_clamped(self):
+        windows = [DrainWindow(pod_id=0, block_id=0, start=90.0,
+                               end=250.0)]
+        assert drained_block_seconds(windows, 100.0) == 10.0
+
+    def test_window_beyond_horizon_contributes_nothing(self):
+        windows = [DrainWindow(pod_id=0, block_id=0, start=150.0,
+                               end=250.0),
+                   DrainWindow(pod_id=0, block_id=1, start=5.0, end=5.0)]
+        assert drained_block_seconds(windows, 100.0) == 0.0
+
+    def test_touching_windows_coalesce(self):
+        windows = [DrainWindow(pod_id=0, block_id=0, start=0.0, end=5.0),
+                   DrainWindow(pod_id=0, block_id=0, start=5.0, end=9.0)]
+        assert drained_block_seconds(windows, 100.0) == 9.0
+
+    def test_no_windows(self):
+        assert drained_block_seconds((), 100.0) == 0.0
+
+
 class TestScenarioRuns:
     def test_windows_do_not_perturb_inputs(self):
         # Drains are an overlay: the job stream and failure trace are
@@ -174,6 +217,73 @@ class TestScenarioRuns:
         assert report.summary["drain_fraction"] == report.drain_fraction
         # The drained capacity shows up as lost machine time.
         assert report.downtime_fraction >= report.drain_fraction * 0.5
+
+    def test_overlapping_drains_do_not_double_count(self):
+        # Regression: drain_fraction used to sum windows independently,
+        # so two overlapping pulls of the same block (a rollout
+        # re-draining a block already out for maintenance) billed the
+        # overlap twice.  The union is what actually left service.
+        config = preset_config("tiny")
+        horizon = config.horizon_seconds
+        windows = (
+            DrainWindow(pod_id=0, block_id=0, start=0.0,
+                        end=horizon / 2),
+            DrainWindow(pod_id=0, block_id=0, start=horizon / 4,
+                        end=3 * horizon / 4),
+        )
+        report = FleetSimulator(config, seed=0, windows=windows).run(
+            PlacementPolicy.OCS)
+        capacity = config.total_blocks * horizon
+        assert report.summary["drain_fraction"] == pytest.approx(
+            (3 * horizon / 4) / capacity)
+
+    def test_drain_fraction_never_exceeds_one(self):
+        # Every block drained for the whole horizon, and every window
+        # listed twice: the fraction is exactly the drained capacity
+        # share (1.0), not 2.0.
+        config = preset_config("tiny")
+        horizon = config.horizon_seconds
+        windows = [DrainWindow(pod_id=0, block_id=block, start=0.0,
+                               end=horizon)
+                   for block in range(config.blocks_per_pod)] * 2
+        report = FleetSimulator(config, seed=0, windows=windows).run(
+            PlacementPolicy.OCS)
+        assert report.summary["drain_fraction"] == pytest.approx(1.0)
+        assert report.drain_fraction <= 1.0
+
+    def test_outage_coincident_drain_counts_drain_once(self):
+        # A drain window coinciding with an outage on the same block:
+        # the overlay merges them into one down interval for the event
+        # stream, and drain_fraction still bills exactly the window's
+        # union — the outage neither adds to nor subtracts from it.
+        config = preset_config("tiny")
+        horizon = config.horizon_seconds
+        outage = BlockOutage(pod_id=0, block_id=0, start=1000.0,
+                             end=5000.0)
+        windows = (
+            DrainWindow(pod_id=0, block_id=0, start=1000.0, end=5000.0),
+            DrainWindow(pod_id=0, block_id=0, start=2000.0, end=6000.0),
+        )
+        report = FleetSimulator(config, seed=0, failure_trace=[outage],
+                                windows=windows).run(PlacementPolicy.OCS)
+        capacity = config.total_blocks * horizon
+        assert report.summary["drain_fraction"] == pytest.approx(
+            5000.0 / capacity)
+
+    def test_identity_holds_under_overlapping_drains(self):
+        # The accounting identity survives the messiest schedule shape:
+        # overlapping windows merged with real outages.
+        config = preset_config("tiny")
+        windows = (
+            DrainWindow(pod_id=0, block_id=3, start=0.0, end=40000.0),
+            DrainWindow(pod_id=0, block_id=3, start=20000.0, end=60000.0),
+            DrainWindow(pod_id=0, block_id=4, start=10000.0, end=30000.0),
+        )
+        for policy in (PlacementPolicy.OCS, PlacementPolicy.STATIC):
+            summary = FleetSimulator(config, seed=0,
+                                     windows=windows).run(policy).summary
+            parts = sum(summary[key] for key in IDENTITY_PARTS)
+            assert abs(summary["utilization"] - parts) < 1e-9
 
     def test_identity_holds_under_drains(self):
         config = preset_config("tiny")

@@ -151,7 +151,7 @@ class TestAdversarialCancellation:
     """
 
     def _consistent(self, queue):
-        dead_in_heap = sum(1 for e in queue._heap if e.cancelled)
+        dead_in_heap = sum(1 for _, _, e in queue._heap if e.cancelled)
         assert queue._cancelled == dead_in_heap
         assert len(queue) == len(queue._heap) - dead_in_heap
 
@@ -217,6 +217,47 @@ class TestAdversarialCancellation:
             assert queue.pop() is events[i]
             events[i + 1].cancel()
             self._consistent(queue)
+        assert queue.pop() is None
+        self._consistent(queue)
+
+    def test_pop_cancel_peek_interleaved_against_model(self):
+        # All three mutators interleaved in a deterministic adversarial
+        # schedule, checked against a sorted-list model: peek_time must
+        # agree with the model's head, pop must return the model's head,
+        # and __len__ must be exact after every single operation.  This
+        # is the audit the batched-application path leans on — peek_time
+        # drains cancelled heads (decrementing the counter) while cancel
+        # increments it and pop detaches, so any drift between the three
+        # shows up as a model mismatch here.
+        import random
+        rng = random.Random(0xC0FFEE)
+        queue = EventQueue()
+        model = []  # live events, kept sorted by (time, seq)
+        for step in range(2000):
+            op = rng.randrange(6)
+            if op <= 2 or not model:  # bias toward growth
+                time = float(rng.randrange(100))
+                event = queue.push(time, lambda: None)
+                model.append((time, event.seq, event))
+                model.sort()
+            elif op == 3:
+                victim = model.pop(rng.randrange(len(model)))[2]
+                victim.cancel()
+                if rng.randrange(2):
+                    victim.cancel()  # double cancel must count once
+            elif op == 4:
+                expected = model[0][0] if model else None
+                assert queue.peek_time() == expected
+            else:
+                popped = queue.pop()
+                expected = model.pop(0)[2] if model else None
+                assert popped is expected
+                if popped is not None and rng.randrange(2):
+                    popped.cancel()  # late cancel of a detached event
+            self._consistent(queue)
+            assert len(queue) == len(model)
+        while model:
+            assert queue.pop() is model.pop(0)[2]
         assert queue.pop() is None
         self._consistent(queue)
 
