@@ -1,0 +1,216 @@
+#!/usr/bin/env python
+"""Statistical-equivalence gate: the fast tier must match strict in mean.
+
+The fast determinism tier (``FleetConfig.determinism == "fast"``)
+batches same-timestamp events and may break intra-timestamp ties in a
+different order than the strict engine, so individual seeds are
+allowed to diverge.  What the fast tier is *not* allowed to do is move
+the science: over a seed ensemble, every summary metric's mean must
+land within tolerance of the strict engine's mean.  This gate runs
+both tiers over the same seeds on the gated presets and fails the
+build when any metric's ensemble mean drifts.
+
+Per metric, the allowed gap is::
+
+    tol = max(REL_TOLERANCE * |strict_mean|, SEM_SIGMA * welch_sem)
+
+where ``welch_sem = sqrt(var_strict/n + var_fast/n)`` — the relative
+band is the headline 2% contract, and the Welch term keeps
+high-variance, near-zero metrics (rare-event counters) from failing on
+sampling noise that more seeds would wash out.
+
+Alongside the statistical compare, every fast-tier run is checked for
+the *exact* accounting identities that hold per seed regardless of
+tie-breaking: jobs submitted = completed + unfinished, never-ran jobs
+are a subset of unfinished ones, and every fraction-valued metric lies
+in [0, 1].  (Block-conservation and ledger invariants are asserted
+inside the engine itself at finalize.)
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/check_equivalence.py
+    PYTHONPATH=src python benchmarks/check_equivalence.py \
+        --seeds 100 --output /tmp/equivalence.json
+    PYTHONPATH=src python benchmarks/check_equivalence.py \
+        --hyperscale-smoke   # also one fast hyperscale seed, asserted
+
+Exit codes: 0 pass, 1 equivalence/invariant failure, 2 misuse.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import math
+import sys
+import time
+from pathlib import Path
+
+from repro.fleet import preset_config, run_sweep
+from repro.fleet.telemetry import SUMMARY_SCHEMA
+
+#: Presets the gate runs; `large` exercises the cross-pod/trunk paths,
+#: `edge` the contention paths (and is the preset whose single-seed
+#: divergence between tiers is largest — exactly why the contract is
+#: about ensemble means).
+GATE_PRESETS = ("small", "edge", "large")
+DEFAULT_SEEDS = 50
+REL_TOLERANCE = 0.02
+SEM_SIGMA = 3.0
+
+#: Summary keys that are fractions by construction.
+_FRACTION_KEYS = ("goodput", "utilization", "checkpoint_fraction",
+                  "cross_pod_fraction", "drain_fraction",
+                  "reconfig_fraction", "replay_fraction",
+                  "restore_fraction", "trunk_stall_fraction",
+                  "trunk_utilization")
+
+
+def _mean_var(values: list[float]) -> tuple[float, float]:
+    """Sample mean and variance (ddof=1; variance 0 for n < 2)."""
+    count = len(values)
+    mean = sum(values) / count
+    if count < 2:
+        return mean, 0.0
+    var = sum((value - mean) ** 2 for value in values) / (count - 1)
+    return mean, var
+
+
+def check_identities(preset: str, seed: int,
+                     summary: dict[str, float]) -> list[str]:
+    """Exact per-seed accounting identities the fast tier must keep."""
+    failures = []
+    submitted = summary["jobs_submitted"]
+    completed = summary["jobs_completed"]
+    unfinished = summary["jobs_unfinished"]
+    never_ran = summary["jobs_never_ran"]
+    if completed + unfinished != submitted:
+        failures.append(
+            f"{preset} seed {seed}: completed {completed:.0f} + "
+            f"unfinished {unfinished:.0f} != submitted {submitted:.0f}")
+    if never_ran > unfinished:
+        failures.append(
+            f"{preset} seed {seed}: never_ran {never_ran:.0f} > "
+            f"unfinished {unfinished:.0f}")
+    for key in _FRACTION_KEYS:
+        if key in summary and not 0.0 <= summary[key] <= 1.0:
+            failures.append(
+                f"{preset} seed {seed}: {key} = {summary[key]} "
+                f"outside [0, 1]")
+    return failures
+
+
+def compare_preset(preset: str, num_seeds: int,
+                   processes: int | None) -> dict:
+    """Both tiers over the same seeds; per-metric mean comparison."""
+    strict_config = preset_config(preset)
+    fast_config = dataclasses.replace(strict_config, determinism="fast")
+    seeds = range(num_seeds)
+    strict = run_sweep(strict_config, seeds, processes=processes)
+    fast = run_sweep(fast_config, seeds, processes=processes)
+    identity_failures = []
+    for result in fast:
+        identity_failures += check_identities(preset, result.seed,
+                                              result.summary)
+    metrics = {}
+    failures = []
+    for key in strict[0].summary:
+        strict_mean, strict_var = _mean_var(
+            [result.summary[key] for result in strict])
+        fast_mean, fast_var = _mean_var(
+            [result.summary[key] for result in fast])
+        sem = math.sqrt(strict_var / num_seeds + fast_var / num_seeds)
+        tol = max(REL_TOLERANCE * abs(strict_mean), SEM_SIGMA * sem)
+        gap = abs(fast_mean - strict_mean)
+        ok = gap <= tol
+        metrics[key] = {"strict_mean": strict_mean, "fast_mean": fast_mean,
+                        "gap": gap, "tolerance": tol, "ok": ok}
+        if not ok:
+            failures.append(
+                f"{preset}.{key}: fast mean {fast_mean:.6g} vs strict "
+                f"{strict_mean:.6g} (gap {gap:.3g} > tol {tol:.3g})")
+    return {"metrics": metrics,
+            "failures": failures,
+            "identity_failures": identity_failures}
+
+
+def hyperscale_smoke() -> list[str]:
+    """One fast-tier hyperscale seed: the 64-pod paths must do real work."""
+    config = dataclasses.replace(preset_config("hyperscale"),
+                                 determinism="fast")
+    summary = run_sweep(config, [0], processes=1)[0].summary
+    failures = check_identities("hyperscale", 0, summary)
+    if summary["jobs_completed"] <= 0:
+        failures.append("hyperscale fast smoke: no jobs completed")
+    if summary["job_cross_pod_placements"] <= 0:
+        failures.append("hyperscale fast smoke: no cross-pod placements "
+                        "(the trunk layer never fired)")
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--seeds", type=int, default=DEFAULT_SEEDS,
+                        metavar="N",
+                        help=f"seeds per preset per tier (default "
+                             f"{DEFAULT_SEEDS}; the contract is >= 50)")
+    parser.add_argument("--presets", nargs="+", default=list(GATE_PRESETS),
+                        metavar="NAME",
+                        help="presets to gate (default: %(default)s)")
+    parser.add_argument("--processes", type=int, default=None, metavar="P",
+                        help="sweep worker processes (default: one per "
+                             "core; 1 runs inline)")
+    parser.add_argument("--output", default=None, metavar="PATH",
+                        help="write the full comparison as JSON here")
+    parser.add_argument("--hyperscale-smoke", action="store_true",
+                        help="also run one fast hyperscale seed and "
+                             "assert it does real cross-pod work")
+    args = parser.parse_args(argv)
+    if args.seeds < 2:
+        print(f"equivalence gate needs --seeds >= 2, got {args.seeds}",
+              file=sys.stderr)
+        return 2
+
+    began = time.perf_counter()
+    report = {"schema": 1, "summary_schema": SUMMARY_SCHEMA,
+              "seeds": args.seeds, "rel_tolerance": REL_TOLERANCE,
+              "sem_sigma": SEM_SIGMA, "presets": {}}
+    failures: list[str] = []
+    for preset in args.presets:
+        outcome = compare_preset(preset, args.seeds, args.processes)
+        report["presets"][preset] = outcome["metrics"]
+        failures += outcome["failures"] + outcome["identity_failures"]
+        bad = sum(1 for entry in outcome["metrics"].values()
+                  if not entry["ok"])
+        print(f"{preset}: {len(outcome['metrics'])} metrics over "
+              f"{args.seeds} seeds, {bad} outside tolerance, "
+              f"{len(outcome['identity_failures'])} identity failures")
+    if args.hyperscale_smoke:
+        smoke_failures = hyperscale_smoke()
+        failures += smoke_failures
+        report["hyperscale_smoke"] = {"ok": not smoke_failures,
+                                      "failures": smoke_failures}
+        print(f"hyperscale fast smoke: "
+              f"{'ok' if not smoke_failures else 'FAILED'}")
+    report["wall_seconds"] = round(time.perf_counter() - began, 3)
+    report["ok"] = not failures
+
+    if args.output:
+        path = Path(args.output)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+        print(f"equivalence gate: wrote comparison to {path}")
+    print(f"wall-clock seconds: {report['wall_seconds']:.2f}")
+    if failures:
+        print("\nequivalence gate FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print("equivalence gate passed: fast tier is statistically "
+          "equivalent to strict")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

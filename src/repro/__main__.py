@@ -16,7 +16,9 @@
     python -m repro fleet --preset edge --policy ocs --trace-out edge.json
     python -m repro fleet report --trace edge.json
     python -m repro fleet profile --preset large --policy ocs
+    python -m repro fleet profile --preset large --repeat 5
     python -m repro fleet sweep --preset hyperscale --seeds 16 --json
+    python -m repro fleet --preset large --determinism fast
 """
 
 from __future__ import annotations
@@ -73,6 +75,8 @@ def _apply_fleet_overrides(config, args: argparse.Namespace):
     if args.sample_every is not None:
         config = dataclasses.replace(
             config, obs_sample_every_seconds=args.sample_every)
+    if args.determinism is not None:
+        config = dataclasses.replace(config, determinism=args.determinism)
     if args.trace_out is not None:
         config = dataclasses.replace(config, observability=True)
     return config
@@ -89,6 +93,12 @@ def _fleet_simulator(args: argparse.Namespace) -> FleetSimulator | int:
     """
     if args.mode in ("record", "replay") and args.trace is None:
         print(f"fleet {args.mode} requires --trace PATH", file=sys.stderr)
+        return 2
+    if args.determinism == "fast" and args.trace_out is not None:
+        print("--determinism fast cannot record observability "
+              "(--trace-out): the fast tier batches same-timestamp "
+              "events and has no per-event spans; drop one of the two",
+              file=sys.stderr)
         return 2
     if args.mode == "replay":
         if args.preset is not None or args.seed is not None:
@@ -141,7 +151,18 @@ def _cmd_fleet_report(args: argparse.Namespace) -> int:
 
 
 def _cmd_fleet_profile(args: argparse.Namespace) -> int:
-    """One instrumented run: the fleet report plus the wall-clock profile."""
+    """Instrumented run(s): the fleet report plus the wall-clock profile.
+
+    `--repeat N` runs the identical simulation N times and keeps the
+    fastest run's profile (best-of-N) — the standard way to strip
+    scheduler noise and cold caches out of a wall-clock comparison.
+    Every repeat is deterministic, so the reports are interchangeable;
+    only the host timings differ.
+    """
+    if args.repeat < 1:
+        print(f"fleet profile needs --repeat >= 1, got {args.repeat}",
+              file=sys.stderr)
+        return 2
     simulator = _fleet_simulator(args)
     if isinstance(simulator, int):
         return simulator
@@ -149,8 +170,12 @@ def _cmd_fleet_profile(args: argparse.Namespace) -> int:
     # (the one with a dispatch loop worth profiling).
     policy = PlacementPolicy.OCS if args.policy == "both" \
         else PlacementPolicy(args.policy)
-    profiler = DispatchProfiler()
-    report = simulator.run(policy, profiler=profiler)
+    report = profiler = None
+    for _ in range(args.repeat):
+        candidate = DispatchProfiler()
+        candidate_report = simulator.run(policy, profiler=candidate)
+        if profiler is None or candidate.run_seconds < profiler.run_seconds:
+            report, profiler = candidate_report, candidate
     if args.trace_out is not None and report.obs is not None:
         path = save_obs(report.obs, args.trace_out)
         print(f"fleet: wrote observability trace "
@@ -158,11 +183,14 @@ def _cmd_fleet_profile(args: argparse.Namespace) -> int:
               file=sys.stderr)
     if args.json:
         print(json.dumps({"summary": report.summary,
+                          "repeat": args.repeat,
                           "profile": profiler.report()},
                          indent=2, sort_keys=True))
     else:
         print(report.render())
         print()
+        if args.repeat > 1:
+            print(f"best of {args.repeat} runs:")
         print(profiler.render())
     return 0
 
@@ -338,6 +366,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--limit", type=int, default=30, metavar="N",
         help="fleet report: show at most N per-job timeline rows")
     fleet_cmd.add_argument(
+        "--repeat", type=int, default=1, metavar="N",
+        help="fleet profile: run the identical simulation N times and "
+             "report the fastest (best-of-N wall clock; default 1)")
+    fleet_cmd.add_argument(
         "--seeds", type=int, default=8, metavar="N",
         help="fleet sweep: number of seeds (runs 0..N-1; default 8)")
     fleet_cmd.add_argument(
@@ -353,6 +385,14 @@ def build_parser() -> argparse.ArgumentParser:
     fleet_cmd.add_argument("--policy", default="both",
                            choices=["both", "ocs", "static"],
                            help="placement policy to simulate")
+    fleet_cmd.add_argument(
+        "--determinism", default=None, choices=["strict", "fast"],
+        help="execution tier (default: the preset's, normally strict). "
+             "strict replays byte-identically and is digest-gated; "
+             "fast batches same-timestamp events over an array job "
+             "table — still self-deterministic per seed and gated for "
+             "statistical equivalence, but not byte-identical to "
+             "strict")
     fleet_cmd.add_argument(
         "--strategy", default=None,
         choices=[s.value for s in PlacementStrategy] + ["all"],

@@ -10,6 +10,7 @@ n >= 4; Table 2 tags them `_T` (twisted) or `_NT` (twistable but untwisted).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 
 from repro.errors import SchedulingError
 from repro.topology.builder import BLOCK_SIDE, is_block_multiple
@@ -19,8 +20,14 @@ SliceShape = tuple[int, int, int]
 _SUB_BLOCK_DIMS = (1, 2, 4)
 
 
+@lru_cache(maxsize=None)
 def canonical_shape(shape: SliceShape) -> SliceShape:
-    """Sort dimensions ascending, the scheduler's x <= y <= z convention."""
+    """Sort dimensions ascending, the scheduler's x <= y <= z convention.
+
+    Memoized: a pure tuple-to-tuple map that the dispatch loop calls
+    for every placement attempt, and a fleet workload only ever draws
+    a few dozen distinct shapes.
+    """
     dims = tuple(sorted(int(d) for d in shape))
     if len(dims) != 3 or any(d < 1 for d in dims):
         raise SchedulingError(f"invalid slice shape {shape}")

@@ -8,6 +8,14 @@ and checkpoint-restart accounting — producing the goodput, utilization,
 and queue-wait telemetry behind the paper's Section 2.5/Figure 4
 operational claims.
 
+Runs execute under one of two determinism tiers
+(``FleetConfig.determinism``): ``"strict"`` (default) replays
+byte-identically and is digest-gated; ``"fast"`` delegates to
+:mod:`repro.fleet.engine_fast`, which batches same-timestamp events
+over an array-of-struct job table — self-deterministic per seed and
+gated for statistical equivalence against strict, but not
+byte-identical to it.
+
 Quickstart::
 
     from repro.fleet import compare_policies, preset_config
@@ -29,6 +37,9 @@ from repro.fleet.obs import (DispatchProfiler, MetricsSampler, ObsRecorder,
                              dumps_chrome_trace, dumps_obs, load_obs,
                              loads_obs, render_report, save_obs,
                              validate_chrome_trace)
+from repro.fleet.engine_fast import (FastMachineLedger, FastScheduler,
+                                     JobTable, PlanPrice, plan_price,
+                                     run_fast)
 from repro.fleet.presets import PRESETS, preset_config, preset_names
 from repro.fleet.scenario import (DeploymentSchedule, SCHEDULES,
                                   compare_deployment, incremental_rollout,
@@ -62,6 +73,8 @@ __all__ = [
     "DeploymentSchedule", "SCHEDULES", "compare_deployment",
     "incremental_rollout", "rolling_maintenance", "run_scenario",
     "schedule_for", "schedule_names",
+    "FastMachineLedger", "FastScheduler", "JobTable", "PlanPrice",
+    "plan_price", "run_fast",
     "ActiveJob", "FleetScheduler",
     "FleetReport", "FleetSimulator", "compare_cross_pod",
     "compare_policies", "compare_preemption", "compare_strategies",

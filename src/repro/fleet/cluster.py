@@ -40,7 +40,9 @@ class Pod:
     def __init__(self, pod_id: int, num_blocks: int,
                  fabric: PodFabric | None = None, *,
                  up: np.ndarray | None = None,
-                 free: np.ndarray | None = None) -> None:
+                 free: np.ndarray | None = None,
+                 counts: np.ndarray | None = None,
+                 counts_slot: int = 0) -> None:
         self.pod_id = pod_id
         self.num_blocks = num_blocks
         #: Health and free state live in numpy bitmasks so the dispatch
@@ -60,6 +62,13 @@ class Pod:
         self._free = np.ones(num_blocks, dtype=bool) if free is None \
             else free
         self._num_free = num_blocks
+        # Mirror of _num_free in a shared int64 vector.  Scalar reads
+        # stay on the plain int (cheaper); every mutation writes both,
+        # so a FleetState-owned vector always holds all pods' counts
+        # for vectorized consumers (the fast engine's placement pass).
+        self._counts = np.full(1, num_blocks, dtype=np.int64) \
+            if counts is None else counts
+        self._slot = counts_slot
         # Down-and-unowned count, maintained incrementally so the
         # per-dispatch conservation probe is O(1) per pod.
         self._down_unowned = 0
@@ -78,7 +87,7 @@ class Pod:
         """The `count` lowest-id free blocks, or None if under `count`."""
         if self._num_free < count:
             return None
-        picked = np.flatnonzero(self._free)[:count]
+        picked = self._free.nonzero()[0][:count]
         if len(picked) < count:
             raise SchedulingError(   # pragma: no cover - index corruption
                 f"pod {self.pod_id} free index out of sync")
@@ -122,10 +131,24 @@ class Pod:
             self.owner[block] = job_id
             self._free[block] = False
         self._num_free -= len(blocks)
+        self._counts[self._slot] = self._num_free
 
-    def release(self, job_id: int) -> list[int]:
-        """Free every block `job_id` holds; returns the freed blocks."""
-        freed = [b for b, owner in self.owner.items() if owner == job_id]
+    def release(self, job_id: int,
+                blocks: list[int] | None = None) -> list[int]:
+        """Free every block `job_id` holds; returns the freed blocks.
+
+        `blocks` is an optional hint naming the blocks the caller
+        assigned to the job (the scheduler's ActiveJob keeps them);
+        with it the release checks just those owner entries instead of
+        scanning every owned block in the pod.  Ownership is still
+        verified per block, so a stale hint frees nothing it shouldn't.
+        """
+        if blocks is not None:
+            owner = self.owner
+            freed = [b for b in blocks if owner.get(b) == job_id]
+        else:
+            freed = [b for b, owner in self.owner.items()
+                     if owner == job_id]
         for block in freed:
             del self.owner[block]
             if self.up[block]:
@@ -133,6 +156,7 @@ class Pod:
                 self._num_free += 1
             else:
                 self._down_unowned += 1
+        self._counts[self._slot] = self._num_free
         return sorted(freed)
 
     # -- failures -----------------------------------------------------------------
@@ -144,6 +168,7 @@ class Pod:
         if self._free[block]:
             self._free[block] = False
             self._num_free -= 1
+            self._counts[self._slot] = self._num_free
             self._down_unowned += 1
         elif was_up and block not in self.owner:
             self._down_unowned += 1  # pragma: no cover - defensive
@@ -155,6 +180,7 @@ class Pod:
         if block not in self.owner and not self._free[block]:
             self._free[block] = True
             self._num_free += 1
+            self._counts[self._slot] = self._num_free
             self._down_unowned -= 1
 
 
@@ -171,12 +197,26 @@ class FleetState:
         self._up_matrix = np.ones((num_pods, blocks_per_pod), dtype=bool)
         self._free_matrix = np.ones((num_pods, blocks_per_pod),
                                     dtype=bool)
+        self._free_counts = np.full(num_pods, blocks_per_pod,
+                                    dtype=np.int64)
         self.pods = [
             Pod(pod_id, blocks_per_pod,
                 fabric=self.machine.pods[pod_id] if self.machine else None,
                 up=self._up_matrix[pod_id],
-                free=self._free_matrix[pod_id])
+                free=self._free_matrix[pod_id],
+                counts=self._free_counts,
+                counts_slot=pod_id)
             for pod_id in range(num_pods)]
+
+    @property
+    def free_counts(self) -> np.ndarray:
+        """Per-pod free-block counts as one shared int64 vector.
+
+        Kept in lockstep with every pod's O(1) counter; vectorized
+        consumers (the fast engine's placement pass) index it directly
+        instead of looping ``pod.num_free`` across pods.
+        """
+        return self._free_counts
 
     @property
     def total_blocks(self) -> int:
@@ -185,8 +225,13 @@ class FleetState:
 
     @property
     def total_free(self) -> int:
-        """Healthy, unowned blocks machine-wide (sum of O(1) counters)."""
-        return sum(pod.num_free for pod in self.pods)
+        """Healthy, unowned blocks machine-wide.
+
+        Summed over the shared free-count vector (every per-pod counter
+        mirrors into it on mutation), so the cost stays flat as the pod
+        count grows — this guard runs per queued job per dispatch pass.
+        """
+        return int(self._free_counts.sum())
 
     @property
     def busy_blocks(self) -> int:
@@ -199,8 +244,13 @@ class FleetState:
         return sum(pod.num_down for pod in self.pods)
 
     def free_by_pod(self) -> list[tuple[int, int]]:
-        """(pod id, free blocks) per pod — the machine placement index."""
-        return [(pod.pod_id, pod.num_free) for pod in self.pods]
+        """(pod id, free blocks) per pod — the machine placement index.
+
+        Read off the shared free-count vector (pod ids are its indices)
+        so the multi-region planner's per-call cost stays flat in pod
+        count.
+        """
+        return list(enumerate(self._free_counts.tolist()))
 
     def pods_by_space(self) -> list[Pod]:
         """Pods ordered most-free first (ties by id, deterministic)."""
@@ -266,6 +316,9 @@ class FleetState:
                 raise SchedulingError(
                     f"pod {pod.pod_id} free counter {pod.num_free} != "
                     f"rescan {free_count}")
+        if not np.array_equal(self._free_counts, free_counts):
+            raise SchedulingError(
+                "shared free-count vector drifted from per-pod counters")
         down_unowned = np.count_nonzero(~self._up_matrix, axis=1) - \
             down_owned
         for pod, extra in zip(self.pods, down_unowned.tolist()):

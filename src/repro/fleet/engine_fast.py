@@ -1,0 +1,786 @@
+"""The fast engine tier: batched events, columnar jobs, priced plans.
+
+The strict tier (:meth:`repro.fleet.simulator.FleetSimulator.run`) is
+byte-identical to the seed outputs and pays for it: every event fires a
+Python callback, every callback runs a full dispatch, and every
+placement programs a real per-pod switch bank it will tear down again.
+The paper's fleet-level claims are ensemble statistics over many seeds
+— goodput availability, the OCS advantage — not single-trace bytes, so
+this module trades *trace*-identity for throughput under an explicit,
+documented contract (``determinism="fast"`` on the config):
+
+* **Batched event application.**  Events live in a
+  :class:`repro.sim.events.TypedEventQueue` as ``(time, kind, a, b)``
+  rows, and every event sharing a timestamp drains as one batch
+  (:meth:`~repro.sim.events.TypedEventQueue.pop_batch`).  A batch
+  applies completions, repairs, failures, then arrivals, and runs ONE
+  dispatch — where the strict tier re-dispatches after every event.
+  An arrivals-only batch with warm failure caches dispatches only the
+  new arrivals: every older queued job's escalation rungs are known
+  cached (the caches were stamped by the last no-movement pass), so
+  the restricted pass is outcome-identical to a full sweep.
+* **Structure-of-arrays job accounting.**  A :class:`JobTable` keeps
+  priority/blocks/submitted/started/end/pod/state as numpy columns so
+  queue ordering is one ``lexsort`` and single-pod placement is one
+  masked ``argmin`` over the fleet's shared free-count vector —
+  replacing the per-job ``ActiveJob`` attribute walks of the strict
+  dispatch loop.
+* **Priced plans instead of programmed fabrics.**  A rewiring's cost
+  (circuits, trunk ports, critical-path latency) is a pure function of
+  the slice's block grid and its per-pod block counts — never of which
+  physical blocks host it — so :func:`plan_price` memoizes one
+  :class:`PlanPrice` per ``(grid, counts)`` and the engine never
+  builds adjacency lists or programs switch banks at all.  The trunk
+  ledger (:class:`FastMachineLedger`) stays live and exact, because
+  trunk ports are a schedulable resource the planner budgets against.
+* **Vectorized telemetry.**  Segment accounting appends rows to a
+  columnar buffer; :meth:`repro.fleet.telemetry.FleetTelemetry.
+  absorb_segments` banks them as dot products at finalize.
+
+The contract, precisely: fast runs are **self-deterministic** (same
+seed, same config → byte-identical summaries on every run), satisfy
+every block-conservation and trunk-accounting invariant exactly (the
+full invariant rescan is *forced* at finalize even under ``python
+-O``), and are **statistically equivalent** to strict runs — per-metric
+ensemble means over the seed sweep agree within 2% (gated by
+``benchmarks/check_equivalence.py``).  Individual traces may differ
+from strict where same-time ordering matters: a batch retires all its
+completions before its failures, and an arrival whose defrag or
+preemption frees blocks can rescue queued work in a different order
+than the strict per-event cascade.  Runs that need the per-event
+decision log or span tracer must use the strict tier
+(``determinism="fast"`` with observability is a configuration error).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from functools import lru_cache
+
+import numpy as np
+
+from repro.core.scheduler import PlacementPolicy, PlacementStrategy
+from repro.core.slicing import SliceShape, block_grid, canonical_shape
+from repro.errors import ConfigurationError, OCSError
+from repro.fleet.cluster import FleetState
+from repro.fleet.config import FleetConfig
+from repro.fleet.failures import (downtime_block_seconds,
+                                  drained_block_seconds, overlay_windows,
+                                  spare_repair_count)
+from repro.fleet.scheduler import _EPSILON, ActiveJob, FleetScheduler
+from repro.fleet.telemetry import FleetTelemetry
+from repro.fleet.workload import FleetJob
+from repro.ocs.fabric import FACE_LINKS
+from repro.ocs.reconfigure import grid_adjacency_indices
+from repro.sim.events import Simulator, TypedEventQueue
+from repro.topology.builder import is_block_multiple
+
+#: Typed event kinds.  Within one timestamp batch the engine applies
+#: completions, then repairs, then failures, then arrivals — freed
+#: capacity is visible to everything placed at that instant.
+K_ARRIVAL = 0
+K_DOWN = 1
+K_UP = 2
+K_COMPLETE = 3
+
+#: JobTable states.
+#: Sentinel for masked argmin over the free-count vector.
+_INT64_MAX = np.iinfo(np.int64).max
+
+S_IDLE = 0      # not yet arrived
+S_QUEUED = 1
+S_RUNNING = 2
+S_DONE = 3
+
+
+# -- plan pricing -----------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PlanPrice:
+    """Everything a rewiring costs, with no physical wiring attached.
+
+    Mirrors the consumer surface of :class:`repro.fleet.machine.
+    MachinePlan` (circuit counts, trunk ports, latency) value-for-value
+    — every quantity is a pure function of the slice's block grid and
+    its per-region block counts, independent of which physical blocks
+    host it, which is what makes the memoization sound.
+    """
+
+    num_blocks: int            # n; 0 for sub-block (empty) plans
+    trunk_count: int           # adjacencies crossing a region boundary
+    ports_by_region: tuple[int, ...]   # trunk endpoints per region
+    pod_moves: int             # busiest pod switch's mirror moves
+    trunk_moves: int           # busiest machine switch's mirror moves
+
+    @property
+    def empty(self) -> bool:
+        """True when nothing needs programming (sub-block slices)."""
+        return self.num_blocks == 0
+
+    @property
+    def cross_pod(self) -> bool:
+        """True when the plan rides the trunk layer."""
+        return self.trunk_count > 0
+
+    @property
+    def num_adjacencies(self) -> int:
+        """Block adjacencies across every layer (3 per block placed)."""
+        return 3 * self.num_blocks
+
+    @property
+    def num_circuits(self) -> int:
+        """Chip-level circuits the plan programs (16 per adjacency)."""
+        return self.num_adjacencies * FACE_LINKS
+
+    @property
+    def num_trunk_circuits(self) -> int:
+        """Chip circuits riding the machine-level trunk bank."""
+        return self.trunk_count * FACE_LINKS
+
+    @property
+    def cross_fraction(self) -> float:
+        """Share of the slice's links that traverse the trunk layer."""
+        total = self.num_adjacencies
+        return self.trunk_count / total if total else 0.0
+
+    @property
+    def total_trunk_ports(self) -> int:
+        """Trunk ports the plan holds across all pods (2 per adjacency)."""
+        return 2 * self.trunk_count
+
+    def latency_seconds(self, base_seconds: float, switch_seconds: float,
+                        trunk_base_seconds: float) -> float:
+        """Critical-path seconds before the slice's links carry traffic."""
+        if self.empty:
+            return 0.0
+        latency = base_seconds + switch_seconds * self.pod_moves
+        if self.trunk_count:
+            latency += trunk_base_seconds + \
+                switch_seconds * self.trunk_moves
+        return latency
+
+
+_EMPTY_PRICE = PlanPrice(num_blocks=0, trunk_count=0, ports_by_region=(),
+                         pod_moves=0, trunk_moves=0)
+
+
+@lru_cache(maxsize=None)
+def _adjacency_arrays(grid: tuple[int, int, int]
+                      ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """The grid's torus walk as (dim, low_slot, high_slot) columns."""
+    adj = np.asarray(grid_adjacency_indices(grid), dtype=np.int64)
+    return adj[:, 0], adj[:, 1], adj[:, 2]
+
+
+@lru_cache(maxsize=None)
+def _price_for(grid: tuple[int, int, int],
+               counts: tuple[int, ...]) -> PlanPrice:
+    n = grid[0] * grid[1] * grid[2]
+    if sum(counts) != n:
+        raise OCSError(
+            f"grid {grid} does not cover {sum(counts)} assigned blocks")
+    if len(counts) == 1:
+        # Pod-local: the torus walk gives every block one "+"-face
+        # adjacency per dimension, so each dimension's switches program
+        # exactly n circuits and nothing touches the trunk layer.
+        return PlanPrice(num_blocks=n, trunk_count=0,
+                         ports_by_region=(0,), pod_moves=n, trunk_moves=0)
+    dims, low, high = _adjacency_arrays(grid)
+    region = np.repeat(np.arange(len(counts), dtype=np.int64),
+                       np.asarray(counts, dtype=np.int64))
+    low_region = region[low]
+    high_region = region[high]
+    cross = low_region != high_region
+    trunk_count = int(np.count_nonzero(cross))
+    if trunk_count:
+        trunk_moves = int(np.bincount(dims[cross], minlength=3).max())
+        ports = np.bincount(low_region[cross], minlength=len(counts)) + \
+            np.bincount(high_region[cross], minlength=len(counts))
+        ports_by_region = tuple(int(p) for p in ports)
+    else:
+        trunk_moves = 0
+        ports_by_region = (0,) * len(counts)
+    intra = ~cross
+    if intra.any():
+        # max over (region, dim) == the busiest pod fabric's busiest
+        # dimension, exactly MachinePlan's max over pod moves_per_switch.
+        pod_moves = int(np.bincount(
+            low_region[intra] * 3 + dims[intra]).max())
+    else:
+        pod_moves = 0
+    return PlanPrice(num_blocks=n, trunk_count=trunk_count,
+                     ports_by_region=ports_by_region,
+                     pod_moves=pod_moves, trunk_moves=trunk_moves)
+
+
+@lru_cache(maxsize=None)
+def plan_price(shape: SliceShape, counts: tuple[int, ...]) -> PlanPrice:
+    """The memoized price of hosting `shape` split as `counts` per pod.
+
+    `counts` is the block count of each region of the placement, in
+    assignment order — the only property of a placement its rewiring
+    price depends on (physical block ids never matter: the OCS can
+    wire any blocks into the same virtual torus).  Memoized on the
+    (shape, counts) pair itself so repeat placements skip even the
+    shape canonicalization.
+    """
+    dims = canonical_shape(shape)
+    if not is_block_multiple(dims):
+        return _EMPTY_PRICE
+    return _price_for(block_grid(dims), counts)
+
+
+# -- the trunk ledger --------------------------------------------------------------
+
+
+class FastMachineLedger:
+    """The machine fabric reduced to its schedulable core: trunk ports.
+
+    API-compatible with :class:`repro.fleet.machine.MachineFabric` for
+    everything the fleet scheduler's planning paths touch (budgets,
+    what-if exclusions, the release watcher, the accounting check) but
+    with no per-pod switch banks behind it: the strict tier's
+    ``release`` walks every pod's fabric on every job teardown — the
+    single largest scale cost at 64 pods — where this ledger pops one
+    dict entry.  Physical wiring is priced, never programmed
+    (:func:`plan_price`).
+    """
+
+    def __init__(self, num_pods: int, blocks_per_pod: int,
+                 trunk_ports: int) -> None:
+        if num_pods < 1:
+            raise OCSError(f"need at least one pod, got {num_pods}")
+        if trunk_ports < 0:
+            raise OCSError(f"trunk_ports must be >= 0, got {trunk_ports}")
+        self.trunk_ports = trunk_ports
+        self._num_pods = num_pods
+        self._trunk_free = [trunk_ports] * num_pods
+        self._held_trunks: dict[int, dict[int, int]] = {}
+        #: Monotone count of releases that actually freed trunk ports;
+        #: the dispatch pass watches it exactly as on MachineFabric.
+        self.trunk_release_count = 0
+
+    @property
+    def num_pods(self) -> int:
+        """Pods terminated on the trunk layer."""
+        return self._num_pods
+
+    @property
+    def trunk_capacity(self) -> int:
+        """Trunk ports installed across every pod."""
+        return self.trunk_ports * self._num_pods
+
+    def trunk_free(self, pod_id: int) -> int:
+        """Unused trunk ports on one pod."""
+        return self._trunk_free[pod_id]
+
+    def trunk_budget(self) -> dict[int, int]:
+        """Free trunk ports per pod — the placement planner's budget."""
+        return {pod_id: free
+                for pod_id, free in enumerate(self._trunk_free)}
+
+    def trunk_in_use(self) -> int:
+        """Trunk ports currently held by cross-pod slices."""
+        return self.trunk_capacity - sum(self._trunk_free)
+
+    def holds_trunks(self, job_id: int) -> bool:
+        """True while `job_id` has circuits on the trunk layer."""
+        return job_id in self._held_trunks
+
+    def trunk_ports_of(self, job_id: int) -> dict[int, int]:
+        """Trunk ports `job_id` holds per pod (a copy; {} if none)."""
+        return dict(self._held_trunks.get(job_id, {}))
+
+    def trunk_budget_excluding(self, job_ids) -> dict[int, int]:
+        """The trunk budget as if `job_ids` had already released."""
+        budget = self.trunk_budget()
+        for job_id in job_ids:
+            for pod_id, count in self._held_trunks.get(job_id,
+                                                       {}).items():
+                budget[pod_id] += count
+        return budget
+
+    def reserve(self, job_id: int, ports: dict[int, int]) -> None:
+        """Hold `ports` trunk endpoints per pod for `job_id` (atomic)."""
+        if job_id in self._held_trunks:
+            raise OCSError(
+                f"job {job_id} already holds trunk circuits")
+        for pod_id, needed in ports.items():
+            if needed > self._trunk_free[pod_id]:
+                raise OCSError(
+                    f"pod {pod_id} has {self._trunk_free[pod_id]} trunk "
+                    f"ports free, plan needs {needed}")
+        for pod_id, needed in ports.items():
+            self._trunk_free[pod_id] -= needed
+        if ports:
+            self._held_trunks[job_id] = dict(ports)
+
+    def release(self, job_id: int) -> int:
+        """Hand back every trunk port `job_id` holds (O(1) for most)."""
+        ports = self._held_trunks.pop(job_id, None)
+        if not ports:
+            return 0
+        for pod_id, count in ports.items():
+            self._trunk_free[pod_id] += count
+        self.trunk_release_count += 1
+        return sum(ports.values()) // 2 * FACE_LINKS
+
+    def check_trunk_accounting(self) -> None:
+        """Assert the trunk free index matches the held-circuit ledger."""
+        in_use = [0] * self._num_pods
+        for ports in self._held_trunks.values():
+            for pod_id, count in ports.items():
+                in_use[pod_id] += count
+        for pod_id, used in enumerate(in_use):
+            if self._trunk_free[pod_id] != self.trunk_ports - used:
+                raise OCSError(
+                    f"pod {pod_id} trunk index out of sync: "
+                    f"{self._trunk_free[pod_id]} free but "
+                    f"{used}/{self.trunk_ports} held")
+
+
+# -- columnar job state ------------------------------------------------------------
+
+
+class JobTable:
+    """Structure-of-arrays state for every job of the run.
+
+    Rows are indexed by ``job_id`` (the generators assign ids densely
+    in arrival order).  The dispatch path reads whole columns —
+    ``lexsort`` over (priority, submitted, id) orders the queue, the
+    shared free-count vector masks feasible pods — instead of walking
+    ``ActiveJob`` attributes per job per pass.
+    """
+
+    def __init__(self, jobs: list[FleetJob]) -> None:
+        size = 1 + max((job.job_id for job in jobs), default=-1)
+        self.size = size
+        self.priority = np.zeros(size, dtype=np.int64)
+        self.blocks = np.zeros(size, dtype=np.int64)
+        self.submitted = np.zeros(size, dtype=np.float64)
+        self.started = np.zeros(size, dtype=np.float64)
+        self.end = np.full(size, np.inf, dtype=np.float64)
+        self.pod = np.full(size, -1, dtype=np.int64)
+        self.state = np.full(size, S_IDLE, dtype=np.int8)
+        #: Row -> live ActiveJob, the bridge into the contention paths
+        #: (defrag/preemption) that still operate on rich objects.
+        self.active: list[ActiveJob | None] = [None] * size
+        self.job: list[FleetJob | None] = [None] * size
+        for job in jobs:
+            self.job[job.job_id] = job
+        if jobs:
+            ids = np.fromiter((job.job_id for job in jobs),
+                              dtype=np.int64, count=len(jobs))
+            self.priority[ids] = np.fromiter(
+                (job.priority for job in jobs),
+                dtype=np.int64, count=len(jobs))
+            self.blocks[ids] = np.fromiter(
+                (job.blocks for job in jobs),
+                dtype=np.int64, count=len(jobs))
+
+
+# -- the scheduler ----------------------------------------------------------------
+
+
+class FastScheduler(FleetScheduler):
+    """FleetScheduler with columnar hot paths and typed completions.
+
+    Inherits every contention path (defrag, cross-pod planning,
+    preemption, accounting identities) unchanged; overrides only the
+    per-event hot spots: queue ordering (lexsort), single-pod placement
+    (masked argmin over the shared free-count vector), rewiring (priced
+    plans + the trunk ledger), completion scheduling (typed event
+    rows), and segment accounting (columnar buffer).
+    """
+
+    #: Below this queue depth a plain sort beats array round-trips.
+    LEXSORT_MIN_QUEUE = 8
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.events: TypedEventQueue | None = None
+        self.table: JobTable | None = None
+        self._counts_vec: np.ndarray | None = None
+        self._segments: list[tuple] = []
+
+    def attach(self, events: TypedEventQueue,
+               jobs: list[FleetJob]) -> None:
+        """Bind the typed event queue and build the job table."""
+        self.events = events
+        self.table = JobTable(jobs)
+        # Pin the shared free-count vector once: `_find_anywhere` runs
+        # per queued job per pass and the property hop adds up.
+        self._counts_vec = self.state.free_counts
+
+    # -- columnar queue discipline ------------------------------------------------
+
+    def _enqueue(self, job: FleetJob) -> ActiveJob:
+        active = super()._enqueue(job)
+        table = self.table
+        table.state[job.job_id] = S_QUEUED
+        table.submitted[job.job_id] = active.submitted_at
+        table.active[job.job_id] = active
+        return active
+
+    def _queue_in_order(self) -> list[ActiveJob]:
+        queue = self.queue
+        if len(queue) < self.LEXSORT_MIN_QUEUE:
+            return sorted(queue, key=self._queue_order)
+        ids = np.fromiter((active.job.job_id for active in queue),
+                          dtype=np.int64, count=len(queue))
+        # lexsort keys run minor-to-major: id breaks ties under
+        # submitted-at under descending priority — the same total
+        # order as the strict tier's sort key.
+        order = np.lexsort((ids, self.table.submitted[ids],
+                            -self.table.priority[ids]))
+        return [queue[k] for k in order.tolist()]
+
+    def _dispatch_pass(self, candidates: list[ActiveJob] | None = None
+                       ) -> bool:
+        """Capacity prefilter in front of the strict sweep.
+
+        A queued job that cannot preempt and needs more blocks than the
+        fleet has free fails every escalation rung deterministically:
+        free and cross-pod placement and defragmentation are all gated
+        on free capacity (defrag only rearranges blocks, it cannot mint
+        them), and capacity only grows through paths that bump the grow
+        epoch and re-run a full dispatch.  So the sweep drops such jobs
+        up front — skipping their rung attempts and cache bookkeeping —
+        without changing any outcome.  The skipped jobs never enter the
+        failure caches, but the warm-cache contract stays sound: while
+        the caches are warm, total free capacity can only have shrunk
+        since the stamp, so an infeasible job stays infeasible.
+        """
+        if candidates is not None or self.obs.enabled:
+            return super()._dispatch_pass(candidates)
+        queue = self.queue
+        if not queue:
+            return False
+        total_free = int(self._counts_vec.sum())
+        preempt_priority = self.config.preempt_priority
+        if len(queue) < self.LEXSORT_MIN_QUEUE:
+            keep = [active for active in queue
+                    if active.job.blocks <= total_free
+                    or active.job.priority >= preempt_priority]
+            keep.sort(key=self._queue_order)
+            # An empty candidate list still stamps the caches in the
+            # strict pass (no rung ran, so no grow event was seen).
+            return super()._dispatch_pass(keep)
+        table = self.table
+        ids = np.fromiter((active.job.job_id for active in queue),
+                          dtype=np.int64, count=len(queue))
+        mask = (table.blocks[ids] <= total_free) \
+            | (table.priority[ids] >= preempt_priority)
+        sel = np.flatnonzero(mask)
+        sub = ids[sel]
+        order = np.lexsort((sub, table.submitted[sub],
+                            -table.priority[sub]))
+        return super()._dispatch_pass(
+            [queue[k] for k in sel[order].tolist()])
+
+    def _interrupt(self, active: ActiveJob, *, preempted: bool) -> None:
+        super()._interrupt(active, preempted=preempted)
+        table = self.table
+        if active.remaining <= _EPSILON:
+            table.state[active.job.job_id] = S_DONE
+        else:
+            table.state[active.job.job_id] = S_QUEUED
+            table.submitted[active.job.job_id] = active.submitted_at
+
+    # -- columnar placement -------------------------------------------------------
+
+    #: Below this pod count the strict tier's plain sort beats the
+    #: numpy round-trip; the vectorized path wins at fleet scale.
+    VECTOR_MIN_PODS = 16
+
+    def _find_anywhere(self, job: FleetJob):
+        if self.policy is not PlacementPolicy.OCS:
+            return super()._find_anywhere(job)
+        needed = job.blocks
+        if len(self.state.pods) < self.VECTOR_MIN_PODS:
+            # Small fleet: a tracking loop beats both the strict sort
+            # and the numpy round-trip.  Iterating in pod-id order with
+            # a strict < keeps the lowest pod id among ties — the same
+            # winner as the strict tier's (num_free, pod_id) sort.
+            first_fit = self.strategy is PlacementStrategy.FIRST_FIT
+            best = None
+            best_free = _INT64_MAX
+            for pod in self.state.pods:
+                free = pod.num_free
+                if free >= needed:
+                    if first_fit:
+                        best = pod
+                        break
+                    if free < best_free:
+                        best, best_free = pod, free
+            if best is None:
+                return None
+            return [(best, best.first_free(needed))]
+        counts = self._counts_vec
+        if self.strategy is PlacementStrategy.FIRST_FIT:
+            feasible = counts >= needed
+            pod_idx = int(np.argmax(feasible))  # first feasible pod id
+            if not feasible[pod_idx]:
+                return None
+        else:
+            # best_fit/defrag: least free space among feasible pods;
+            # argmin returns the lowest pod id among ties, matching the
+            # strict tier's (num_free, pod_id) sort.
+            masked = np.where(counts >= needed, counts, _INT64_MAX)
+            pod_idx = int(np.argmin(masked))
+            if counts[pod_idx] < needed:
+                return None
+        pod = self.state.pods[pod_idx]
+        return [(pod, pod.first_free(needed))]
+
+    # -- priced rewiring ----------------------------------------------------------
+
+    def _rewire(self, active: ActiveJob) -> float:
+        active.trunk_tax = 0.0
+        active.trunk_ports_held = 0
+        machine = self.state.machine
+        if machine is None:
+            return 0.0
+        job = active.job
+        price = plan_price(job.shape,
+                           tuple(len(blocks)
+                                 for _, blocks in active.assignments))
+        if price.empty:
+            return 0.0
+        if price.trunk_count:
+            machine.reserve(job.job_id, {
+                active.assignments[region][0]: ports
+                for region, ports in enumerate(price.ports_by_region)
+                if ports})
+        self.telemetry.ocs_reconfigurations += 1
+        self.telemetry.circuits_programmed += price.num_circuits
+        if price.cross_pod:
+            self.telemetry.trunk_circuits_programmed += \
+                price.num_trunk_circuits
+            active.trunk_tax = self.config.trunk_bandwidth_tax * \
+                price.cross_fraction
+            active.trunk_ports_held = price.total_trunk_ports
+        return price.latency_seconds(self.config.reconfig_base_seconds,
+                                     self.config.ocs_switch_seconds,
+                                     self.config.trunk_reconfig_seconds)
+
+    # -- typed completions --------------------------------------------------------
+
+    def _schedule_completion(self, active: ActiveJob,
+                             wall: float) -> None:
+        job_id = active.job.job_id
+        end = self.sim.now + wall
+        active.completion = self.events.push(end, K_COMPLETE, job_id)
+        table = self.table
+        table.state[job_id] = S_RUNNING
+        table.started[job_id] = self.sim.now
+        table.end[job_id] = end
+        table.pod[job_id] = active.assignments[0][0] \
+            if len(active.assignments) == 1 else -1
+        table.active[job_id] = active
+
+    def _finish(self, active: ActiveJob) -> None:
+        super()._finish(active)
+        self.table.state[active.job.job_id] = S_DONE
+
+    # -- batched dispatch ---------------------------------------------------------
+
+    def dispatch_batch(self, actives: list[ActiveJob]) -> None:
+        """Dispatch once after applying a timestamp batch.
+
+        `actives` are the batch's new arrivals (already enqueued).
+        With warm failure caches — the caches were stamped by the last
+        no-movement pass and no capacity grew since — every older
+        queued job's escalation rungs (free placement, defrag,
+        cross-pod, preemption) are known cached-failed, so:
+
+        * with no arrivals, the full sweep would cache-skip every job
+          and place nothing — it is skipped outright (a failure event
+          that interrupted nobody, for example, dispatches for free);
+        * with arrivals, a pass restricted to just them is
+          outcome-identical to the full sweep.  If that pass moves
+          blocks (a defrag or preemption fired), the caches are wiped
+          and the full dispatch loop takes over to rescue older work.
+
+        Cold caches always run the full dispatch loop.
+        """
+        machine = self.state.machine
+        trunk_epoch = machine.trunk_release_count \
+            if machine is not None else 0
+        caches_warm = self._cache_epoch == self._grow_epoch and \
+            self._cache_trunk_epoch == trunk_epoch and \
+            not self.obs.enabled
+        if not caches_warm or len(actives) >= len(self.queue):
+            self.dispatch()
+            return
+        if not actives:
+            self._post_dispatch_checks()
+            return
+        if len(actives) > 1:
+            actives = sorted(actives, key=self._queue_order)
+        if self._dispatch_pass(actives):
+            while self._dispatch_pass():
+                pass
+        self._post_dispatch_checks()
+
+    # -- columnar telemetry -------------------------------------------------------
+
+    def _account_segment(self, active: ActiveJob, elapsed: float,
+                         reconfig: float, restore: float, useful: float,
+                         replay: float, writes: float,
+                         stall: float = 0.0) -> None:
+        self._segments.append(
+            (active.job.job_id, active.job.blocks, elapsed, reconfig,
+             restore, useful, replay, writes, stall,
+             1.0 if active.is_cross_pod else 0.0))
+
+    def _flush_segments(self) -> None:
+        """Bank the buffered segments into telemetry in one pass."""
+        if not self._segments:
+            return
+        columns = np.asarray(self._segments, dtype=np.float64)
+        self._segments = []
+        self.telemetry.absorb_segments(columns)
+
+    def finalize(self, horizon: float) -> None:
+        super().finalize(horizon)
+        self._flush_segments()
+        # The fast contract keeps the invariants *exact* even when the
+        # per-dispatch guard is compiled out (python -O): one full
+        # from-scratch rescan always runs before the report.
+        if not self.verify_invariants:
+            self.state.check_invariants()
+
+
+# -- the engine -------------------------------------------------------------------
+
+
+def run_fast(fleet, policy: PlacementPolicy,
+             strategy: PlacementStrategy | None = None, *,
+             profiler=None):
+    """One fleet run on the fast tier; returns the usual FleetReport.
+
+    `fleet` is a constructed :class:`repro.fleet.simulator.
+    FleetSimulator` (job stream and outage trace already drawn, so
+    strict and fast runs of the same simulator compare on
+    byte-identical inputs).  Mirrors ``FleetSimulator.run`` end to end
+    — overlayed outages, spare-repair counting, drain accounting, the
+    report shape — with the batched engine in place of the per-event
+    callback loop.  Observability is a configuration error on this
+    tier; `profiler` is supported (its scheduler-phase shims wrap the
+    same methods).
+    """
+    from repro.fleet.simulator import FleetReport
+
+    config: FleetConfig = fleet.config
+    if config.observability:
+        raise ConfigurationError(
+            "determinism='fast' cannot record observability")
+    strategy = strategy if strategy is not None else config.strategy
+    horizon = config.horizon_seconds
+    sim = Simulator()
+    state = FleetState(config.num_pods, config.blocks_per_pod,
+                       with_fabric=False,
+                       trunk_ports=config.trunk_ports)
+    if policy is PlacementPolicy.OCS:
+        # The priced-plan engine never programs pod switch banks; the
+        # ledger keeps the schedulable part (trunk ports) live.
+        state.machine = FastMachineLedger(config.num_pods,
+                                          config.blocks_per_pod,
+                                          config.trunk_ports)
+    telemetry = FleetTelemetry()
+    scheduler = FastScheduler(config, policy, sim, state, telemetry,
+                              strategy=strategy)
+    outages = overlay_windows(fleet.trace, fleet.windows)
+    telemetry.spare_port_repairs = spare_repair_count(outages)
+    events = TypedEventQueue()
+    scheduler.attach(events, fleet.jobs)
+    job_rows = scheduler.table.job
+    # External events (arrivals, outage starts/ends) are all known
+    # before the run, so they never ride the heap: a stable sort of
+    # one flat list — same-time entries keep the order the strict tier
+    # would have pushed them in — and an index walk over it.  Only
+    # completions, which are created (and cancelled) mid-run, pay for
+    # heap traffic.
+    ext: list[tuple[float, int, int, int]] = []
+    for job in fleet.jobs:
+        if job.arrival <= horizon:
+            ext.append((job.arrival, K_ARRIVAL, job.job_id, 0))
+    for outage in outages:
+        if outage.start <= horizon:
+            ext.append((outage.start, K_DOWN, outage.pod_id,
+                        outage.block_id))
+        if outage.end <= horizon:
+            ext.append((outage.end, K_UP, outage.pod_id,
+                        outage.block_id))
+    ext.sort(key=lambda entry: entry[0])
+    if profiler is not None:
+        profiler.install(scheduler, sim)
+    began = time.perf_counter()
+    table_active = scheduler.table.active
+    finish = scheduler._finish
+    apply_up = scheduler._apply_block_up
+    apply_down = scheduler._apply_block_down
+    enqueue = scheduler._enqueue
+    dispatch_batch = scheduler.dispatch_batch
+    idx, n_ext = 0, len(ext)
+    while True:
+        comp_time = events.peek_time()
+        ext_time = ext[idx][0] if idx < n_ext else None
+        if comp_time is None:
+            next_time = ext_time
+        elif ext_time is None or comp_time < ext_time:
+            next_time = comp_time
+        else:
+            next_time = ext_time
+        if next_time is None or next_time > horizon:
+            break
+        sim.now = next_time
+        completes: list = []
+        if comp_time == next_time:
+            completes = events.pop_batch()[1]
+        arrivals: list = []
+        downs: list = []
+        ups: list = []
+        fired = len(completes)
+        while idx < n_ext and ext[idx][0] == next_time:
+            _, kind, a, b = ext[idx]
+            idx += 1
+            fired += 1
+            if kind == K_ARRIVAL:
+                arrivals.append(a)
+            elif kind == K_DOWN:
+                downs.append((a, b))
+            else:
+                ups.append((a, b))
+        sim._events_fired += fired
+        for event in completes:
+            finish(table_active[event.a])
+        for a, b in ups:
+            apply_up(a, b)
+        for a, b in downs:
+            apply_down(a, b)
+        dispatch_batch([enqueue(job_rows[a]) for a in arrivals])
+    if profiler is not None:
+        profiler.run_seconds += time.perf_counter() - began
+    scheduler.finalize(horizon)
+    capacity = config.total_blocks * horizon
+    trunk_total = config.trunk_capacity \
+        if policy is PlacementPolicy.OCS else 0
+    drained = drained_block_seconds(fleet.windows, horizon)
+    summary = telemetry.summary(
+        total_blocks=config.total_blocks,
+        horizon_seconds=horizon,
+        trunk_ports_total=trunk_total)
+    summary["drain_fraction"] = drained / capacity
+    return FleetReport(
+        policy=policy, strategy=strategy, config=config,
+        seed=fleet.seed,
+        summary=summary,
+        events_fired=sim.events_fired,
+        downtime_fraction=downtime_block_seconds(outages) / capacity,
+        drain_fraction=drained / capacity,
+        job_records=tuple(telemetry.records.values()),
+        obs=None)

@@ -21,6 +21,13 @@ Every preset carries the config's placement strategy (first_fit by
 default), the OCS reconfiguration-latency knobs, and the trunk/spare
 sizing; the CLI's `--strategy`/`--reconfig-seconds`/`--trunk-ports`/
 `--cross-pod` flags override them per run via ``dataclasses.replace``.
+
+All presets default to the `strict` determinism tier (byte-identical,
+digest-gated replay).  None pin `determinism="fast"`: the fast tier is
+a per-run choice — `--determinism fast` on the CLI, or
+``dataclasses.replace(config, determinism="fast")`` in code — so the
+same preset can anchor both the byte-identity gates (strict) and the
+statistical-equivalence gate (fast) on identical generated inputs.
 """
 
 from __future__ import annotations

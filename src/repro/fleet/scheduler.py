@@ -61,12 +61,15 @@ _EPSILON = 1e-9
 Placement = list[tuple[Pod, list[int]]]
 
 
-@dataclass(slots=True)
+@dataclass(slots=True, eq=False)
 class ActiveJob:
     """Mutable runtime state of one job inside the scheduler.
 
     Slotted: the dispatch loop reads these fields for every queued job
     on every pass, and a hyperscale run keeps thousands alive at once.
+    Identity equality (`eq=False`): each job has exactly one ActiveJob,
+    and `queue.remove` must not pay a field-by-field dataclass compare
+    against every queued entry it scans past.
     """
 
     job: FleetJob
@@ -178,11 +181,21 @@ class FleetScheduler:
     def _queue_order(self, active: ActiveJob) -> tuple:
         return (-active.job.priority, active.submitted_at, active.job.job_id)
 
+    def _enqueue(self, job: FleetJob) -> ActiveJob:
+        """Register an arrival on the queue (no dispatch)."""
+        self.telemetry.record_for(job)
+        active = ActiveJob(job=job, remaining=job.work_seconds,
+                          submitted_at=self.sim.now)
+        self.queue.append(active)
+        return active
+
+    def _queue_in_order(self) -> list[ActiveJob]:
+        """The queue in dispatch order (priority, then age, then id)."""
+        return sorted(self.queue, key=self._queue_order)
+
     def submit(self, job: FleetJob) -> None:
         """Accept a new arrival and try to run it."""
-        self.telemetry.record_for(job)
-        self.queue.append(ActiveJob(job=job, remaining=job.work_seconds,
-                                    submitted_at=self.sim.now))
+        self._enqueue(job)
         self.dispatch()
 
     def dispatch(self) -> None:
@@ -194,6 +207,10 @@ class FleetScheduler:
         """
         while self._dispatch_pass():
             pass
+        self._post_dispatch_checks()
+
+    def _post_dispatch_checks(self) -> None:
+        """The per-dispatch drift guard (probe + cadenced full rescan)."""
         if self.verify_invariants:
             self._dispatches_since_full_check += 1
             if self._dispatches_since_full_check >= self.FULL_CHECK_EVERY:
@@ -202,8 +219,15 @@ class FleetScheduler:
             else:
                 self.state.check_conservation()
 
-    def _dispatch_pass(self) -> bool:
-        """One placement sweep; returns True when a re-pass could help."""
+    def _dispatch_pass(self, candidates: list[ActiveJob] | None = None
+                       ) -> bool:
+        """One placement sweep; returns True when a re-pass could help.
+
+        `candidates` restricts the sweep to a subset of the queue (in
+        dispatch order); the fast tier uses it for arrivals-only passes
+        where every older queued job's failure rungs are known cached.
+        Strict dispatch always sweeps the whole queue.
+        """
         if not self.queue:
             return False
         moved_any = False
@@ -249,7 +273,9 @@ class FleetScheduler:
                 failed_cross.clear()
                 failed_preemptions.clear()
 
-        for active in sorted(self.queue, key=self._queue_order):
+        if candidates is None:
+            candidates = self._queue_in_order()
+        for active in candidates:
             shape = active.job.shape
             can_preempt = active.job.priority >= self.config.preempt_priority
             placement = None
@@ -858,6 +884,10 @@ class FleetScheduler:
                 self.config.checkpoint_seconds / active.interval
         wall = active.pending_reconfig + active.pending_restore + \
             active.remaining * active.overhead * (1.0 + active.trunk_tax)
+        self._schedule_completion(active, wall)
+
+    def _schedule_completion(self, active: ActiveJob, wall: float) -> None:
+        """Arm the completion event `wall` seconds out (overridable)."""
         active.completion = self.sim.schedule(
             wall, lambda a=active: self._complete(a))
 
@@ -915,6 +945,11 @@ class FleetScheduler:
         return reconfig, restore, run_wall, progressed
 
     def _complete(self, active: ActiveJob) -> None:
+        self._finish(active)
+        self.dispatch()
+
+    def _finish(self, active: ActiveJob) -> None:
+        """Retire a job whose completion event fired (no dispatch)."""
         job = active.job
         elapsed = self.sim.now - active.started_at
         reconfig, restore, run_wall, _ = self._segment_progress(active,
@@ -929,7 +964,6 @@ class FleetScheduler:
         self.telemetry.record_for(job).completed_at = self.sim.now
         self.obs.instant("completed", self.sim.now, job_id=job.job_id,
                          kind=job.kind, blocks=job.blocks)
-        self.dispatch()
 
     def _halt_segment(self, active: ActiveJob, *, planned: bool) -> None:
         """Stop a running job's segment, account it, and free its blocks.
@@ -984,8 +1018,8 @@ class FleetScheduler:
 
     def _release(self, active: ActiveJob) -> None:
         self._grow_epoch += 1  # freed blocks can unstick cached failures
-        for pod_id, _ in active.assignments:
-            self.state.pods[pod_id].release(active.job.job_id)
+        for pod_id, blocks in active.assignments:
+            self.state.pods[pod_id].release(active.job.job_id, blocks)
         if self.state.machine is not None:
             self.state.machine.release(active.job.job_id)
         if active.trunk_ports_held:
@@ -1047,8 +1081,8 @@ class FleetScheduler:
 
     # -- failure hooks -----------------------------------------------------------
 
-    def on_block_down(self, pod_id: int, block_id: int) -> None:
-        """A block failed; interrupt whatever job holds it."""
+    def _apply_block_down(self, pod_id: int, block_id: int) -> None:
+        """Record a block failure and interrupt its holder (no dispatch)."""
         pod = self.state.pods[pod_id]
         victim = pod.block_down(block_id)
         self.telemetry.block_failures += 1
@@ -1056,14 +1090,22 @@ class FleetScheduler:
                          block_id=block_id)
         if victim is not None:
             self._interrupt(self.running[victim], preempted=False)
-        self.dispatch()
 
-    def on_block_up(self, pod_id: int, block_id: int) -> None:
-        """A block came back; queued work may now fit."""
+    def _apply_block_up(self, pod_id: int, block_id: int) -> None:
+        """Record a block repair (no dispatch)."""
         self._grow_epoch += 1  # repaired capacity can unstick failures
         self.state.pods[pod_id].block_up(block_id)
         self.obs.instant("block_up", self.sim.now, pod_id=pod_id,
                          block_id=block_id)
+
+    def on_block_down(self, pod_id: int, block_id: int) -> None:
+        """A block failed; interrupt whatever job holds it."""
+        self._apply_block_down(pod_id, block_id)
+        self.dispatch()
+
+    def on_block_up(self, pod_id: int, block_id: int) -> None:
+        """A block came back; queued work may now fit."""
+        self._apply_block_up(pod_id, block_id)
         self.dispatch()
 
     # -- end of run --------------------------------------------------------------

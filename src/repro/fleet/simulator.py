@@ -219,7 +219,22 @@ class FleetSimulator:
         :class:`~repro.fleet.obs.profiler.DispatchProfiler`).  Neither
         changes any result — observers only read — but the sampler's
         ticks do grow `events_fired`.
+
+        With ``config.determinism == "fast"`` the run is delegated to
+        the batched engine (:func:`repro.fleet.engine_fast.run_fast`):
+        self-deterministic and statistically equivalent to this strict
+        path, but not byte-identical to it (see the config docs for
+        the contract).  The fast tier has no per-event decision log,
+        so combining it with a recorder is a configuration error.
         """
+        if self.config.determinism == "fast":
+            if recorder is not None:
+                from repro.errors import ConfigurationError
+                raise ConfigurationError(
+                    "determinism='fast' cannot record observability; "
+                    "run the strict tier for observed runs")
+            from repro.fleet.engine_fast import run_fast
+            return run_fast(self, policy, strategy, profiler=profiler)
         strategy = strategy if strategy is not None else \
             self.config.strategy
         horizon = self.config.horizon_seconds

@@ -62,9 +62,12 @@ def run_sweep(config: FleetConfig | str, seeds: Sequence[int], *,
     """Run `config` under `policy` for every seed; sorted by seed.
 
     `config` may be a preset name.  `processes=None` uses one worker
-    per core (capped at the seed count); `processes<=1` runs inline in
-    this process, bypassing multiprocessing entirely — handy under
-    debuggers and in sandboxes that forbid fork.
+    per core; any worker count — default or explicit — is clamped to
+    the seed count, since extra workers could only sit idle while
+    costing pool spawn time.  A resolved count of 1 (either requested
+    or a single-seed sweep) runs inline in this process, bypassing
+    multiprocessing entirely — no pool spawn overhead for tiny sweeps,
+    and handy under debuggers and in sandboxes that forbid fork.
     """
     if isinstance(config, str):
         config = preset_config(config)
@@ -77,8 +80,9 @@ def run_sweep(config: FleetConfig | str, seeds: Sequence[int], *,
         raise ConfigurationError(f"sweep seeds must be >= 0: {seeds}")
     tasks = [(config, seed, policy.value) for seed in seeds]
     if processes is None:
-        processes = min(len(tasks), os.cpu_count() or 1)
-    if processes <= 1 or len(tasks) == 1:
+        processes = os.cpu_count() or 1
+    processes = min(processes, len(tasks))
+    if processes <= 1:
         pairs = [_run_one(task) for task in tasks]
     else:
         with Pool(processes=processes) as pool:

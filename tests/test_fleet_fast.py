@@ -1,0 +1,306 @@
+"""Tests for the fast determinism tier and its supporting pieces.
+
+The fast tier's contract is weaker than strict byte-identity but it is
+still a *contract*: same seed and config give byte-identical summaries
+on every run (self-determinism), the exact accounting identities hold
+per seed, and the priced-plan shortcut must agree value-for-value with
+the strict tier's physically-programmed plans.  Ensemble-level
+equivalence against strict is gated separately by
+``benchmarks/check_equivalence.py``.
+"""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.__main__ import main
+from repro.core.scheduler import PlacementPolicy
+from repro.errors import ConfigurationError, OCSError
+from repro.fleet import (FastMachineLedger, FleetSimulator, ObsRecorder,
+                         plan_price, preset_config, run_sweep)
+from repro.fleet.machine import MachineFabric
+from repro.ocs.fabric import FACE_LINKS
+from repro.sim.events import TypedEventQueue
+
+
+def fast_config(preset: str):
+    return dataclasses.replace(preset_config(preset), determinism="fast")
+
+
+def summary_json(report) -> str:
+    return json.dumps(report.summary, sort_keys=True)
+
+
+class TestFastSelfDeterminism:
+    @pytest.mark.parametrize("preset", ["tiny", "small"])
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_fresh_simulators_byte_identical(self, preset, seed):
+        config = fast_config(preset)
+        first = FleetSimulator(config, seed=seed).run(PlacementPolicy.OCS)
+        second = FleetSimulator(config, seed=seed).run(PlacementPolicy.OCS)
+        assert summary_json(first) == summary_json(second)
+        assert [dataclasses.astuple(r) for r in first.job_records] == \
+            [dataclasses.astuple(r) for r in second.job_records]
+
+    def test_rerun_on_one_simulator_byte_identical(self):
+        simulator = FleetSimulator(fast_config("tiny"), seed=0)
+        first = simulator.run(PlacementPolicy.OCS)
+        second = simulator.run(PlacementPolicy.OCS)
+        assert summary_json(first) == summary_json(second)
+
+    def test_static_policy_also_self_deterministic(self):
+        config = fast_config("tiny")
+        runs = [FleetSimulator(config, seed=0).run(PlacementPolicy.STATIC)
+                for _ in range(2)]
+        assert summary_json(runs[0]) == summary_json(runs[1])
+
+
+class TestFastAccountingIdentities:
+    @pytest.mark.parametrize("preset", ["tiny", "small"])
+    def test_job_conservation(self, preset):
+        summary = FleetSimulator(fast_config(preset), seed=0).run(
+            PlacementPolicy.OCS).summary
+        assert summary["jobs_completed"] + summary["jobs_unfinished"] == \
+            summary["jobs_submitted"]
+        assert summary["jobs_never_ran"] <= summary["jobs_unfinished"]
+
+    def test_fractions_bounded(self):
+        summary = FleetSimulator(fast_config("small"), seed=0).run(
+            PlacementPolicy.OCS).summary
+        for key in ("goodput", "utilization", "checkpoint_fraction",
+                    "cross_pod_fraction", "drain_fraction",
+                    "reconfig_fraction", "replay_fraction",
+                    "restore_fraction", "trunk_stall_fraction",
+                    "trunk_utilization"):
+            assert 0.0 <= summary[key] <= 1.0, key
+
+    def test_fast_does_real_work(self):
+        summary = FleetSimulator(fast_config("small"), seed=0).run(
+            PlacementPolicy.OCS).summary
+        assert summary["jobs_completed"] > 0
+        assert summary["goodput"] > 0
+
+
+class TestPlanPriceParity:
+    """plan_price must match MachineFabric.plan value-for-value.
+
+    The fast tier never builds adjacency lists; its whole claim to
+    correctness is that a rewiring's price depends only on the block
+    grid and the per-pod block counts.  Each case here prices one
+    placement both ways — physically planned vs. memoized — and
+    compares every consumer-visible quantity.
+    """
+
+    CASES = [
+        # (shape, [(pod, blocks)...]): pod-local, split, and sub-block.
+        ((4, 4, 8), [(0, [0]), (1, [0])]),
+        ((8, 8, 8), [(0, [0, 1, 2, 3, 4, 5, 6, 7])]),
+        ((8, 8, 8), [(0, [0, 1, 2, 3]), (1, [4, 5, 6, 7])]),
+        ((4, 8, 12), [(0, [0, 1, 2]), (1, [0, 1, 2])]),
+        ((4, 4, 12), [(0, [5]), (1, [7]), (2, [2])]),
+        ((2, 2, 4), [(0, [3])]),
+    ]
+
+    @pytest.mark.parametrize("shape,assignments", CASES)
+    def test_matches_machine_plan(self, shape, assignments):
+        fabric = MachineFabric(num_pods=4, blocks_per_pod=16,
+                               trunk_ports=64)
+        plan = fabric.plan(1, shape, assignments)
+        price = plan_price(shape, tuple(len(blocks)
+                                        for _, blocks in assignments))
+        assert price.empty == plan.empty
+        assert price.cross_pod == plan.cross_pod
+        assert price.num_adjacencies == plan.num_adjacencies
+        assert price.num_circuits == plan.num_circuits
+        assert price.num_trunk_circuits == plan.num_trunk_circuits
+        assert price.total_trunk_ports == plan.total_trunk_ports
+        assert price.cross_fraction == plan.cross_fraction
+        ports = {assignments[region][0]: count
+                 for region, count in enumerate(price.ports_by_region)
+                 if count}
+        assert ports == plan.trunk_ports_by_pod()
+        assert price.latency_seconds(1.0, 0.01, 5.0) == \
+            pytest.approx(plan.latency_seconds(1.0, 0.01, 5.0))
+
+    def test_memoized_identity(self):
+        first = plan_price((8, 8, 8), (4, 4))
+        second = plan_price((8, 8, 8), (4, 4))
+        assert first is second
+
+
+class TestConfigValidation:
+    def test_unknown_tier_rejected(self):
+        with pytest.raises(ConfigurationError, match="determinism"):
+            dataclasses.replace(preset_config("tiny"),
+                                determinism="quick")
+
+    def test_fast_with_observability_rejected(self):
+        with pytest.raises(ConfigurationError, match="observability"):
+            dataclasses.replace(preset_config("tiny"),
+                                determinism="fast", observability=True)
+
+    def test_fast_run_with_recorder_rejected(self):
+        simulator = FleetSimulator(fast_config("tiny"), seed=0)
+        with pytest.raises(ConfigurationError, match="observability"):
+            simulator.run(PlacementPolicy.OCS, recorder=ObsRecorder())
+
+
+class TestSweepIntegration:
+    def test_oversized_process_count_clamps(self):
+        # More workers than seeds must behave exactly like a right-sized
+        # pool (the clamp) and like the inline path for one worker.
+        inline = run_sweep(fast_config("tiny"), [0, 1], processes=1)
+        clamped = run_sweep(fast_config("tiny"), [0, 1], processes=64)
+        assert [json.dumps(r.summary, sort_keys=True) for r in inline] == \
+            [json.dumps(r.summary, sort_keys=True) for r in clamped]
+
+    def test_sweep_matches_solo_fast_run(self):
+        config = fast_config("tiny")
+        swept = run_sweep(config, [0], processes=1)[0]
+        solo = FleetSimulator(config, seed=0).run(PlacementPolicy.OCS)
+        assert json.dumps(swept.summary, sort_keys=True) == \
+            summary_json(solo)
+
+
+class TestCLI:
+    def test_determinism_flag_runs_fast_tier(self, capsys):
+        assert main(["fleet", "--preset", "tiny", "--determinism", "fast",
+                     "--policy", "ocs", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ocs"]["jobs_submitted"] > 0
+
+    def test_determinism_flag_matches_library(self, capsys):
+        assert main(["fleet", "--preset", "tiny", "--determinism", "fast",
+                     "--policy", "ocs", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        solo = FleetSimulator(fast_config("tiny"), seed=0).run(
+            PlacementPolicy.OCS)
+        assert payload["ocs"] == json.loads(summary_json(solo))
+
+    def test_fast_with_trace_out_rejected(self, capsys, tmp_path):
+        assert main(["fleet", "--preset", "tiny", "--determinism", "fast",
+                     "--policy", "ocs", "--strategy", "first_fit",
+                     "--trace-out", str(tmp_path / "t.json")]) == 2
+        assert "cannot record observability" in capsys.readouterr().err
+
+    def test_sweep_with_fast_tier(self, capsys):
+        assert main(["fleet", "sweep", "--preset", "tiny", "--seeds", "2",
+                     "--determinism", "fast", "--processes", "1",
+                     "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["seeds"] == [0, 1]
+
+    def test_profile_repeat_best_of_n(self, capsys):
+        assert main(["fleet", "profile", "--preset", "tiny",
+                     "--repeat", "2", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["repeat"] == 2
+        assert payload["profile"]["run_seconds"] > 0
+
+    def test_profile_repeat_rejects_nonpositive(self, capsys):
+        assert main(["fleet", "profile", "--preset", "tiny",
+                     "--repeat", "0"]) == 2
+        assert "--repeat >= 1" in capsys.readouterr().err
+
+    def test_profile_supports_fast_tier(self, capsys):
+        assert main(["fleet", "profile", "--preset", "tiny",
+                     "--determinism", "fast", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["summary"]["jobs_submitted"] > 0
+
+
+class TestTypedEventQueue:
+    def test_pop_batch_drains_one_timestamp_in_seq_order(self):
+        queue = TypedEventQueue()
+        queue.push(2.0, 1, a=10)
+        first = queue.push(1.0, 0, a=1)
+        second = queue.push(1.0, 3, a=2)
+        assert queue.peek_time() == 1.0
+        time, batch = queue.pop_batch()
+        assert time == 1.0
+        assert [event.seq for event in batch] == [first.seq, second.seq]
+        assert [event.a for event in batch] == [1, 2]
+        assert queue.peek_time() == 2.0
+        assert len(queue) == 1
+
+    def test_cancelled_events_skipped(self):
+        queue = TypedEventQueue()
+        doomed = queue.push(1.0, 0, a=1)
+        queue.push(1.0, 0, a=2)
+        doomed.cancel()
+        assert len(queue) == 1
+        _, batch = queue.pop_batch()
+        assert [event.a for event in batch] == [2]
+
+    def test_cancelled_head_invisible_to_peek(self):
+        queue = TypedEventQueue()
+        doomed = queue.push(1.0, 0)
+        queue.push(5.0, 0)
+        doomed.cancel()
+        assert queue.peek_time() == 5.0
+
+    def test_empty_queue(self):
+        queue = TypedEventQueue()
+        assert queue.peek_time() is None
+        assert queue.pop_batch() is None
+        assert len(queue) == 0
+
+    def test_compaction_keeps_len_exact(self):
+        queue = TypedEventQueue()
+        events = [queue.push(float(i), 0, a=i) for i in range(100)]
+        for event in events[1::2]:
+            event.cancel()
+        assert len(queue) == 50
+        survivors = []
+        while (batch := queue.pop_batch()) is not None:
+            survivors += [event.a for event in batch[1]]
+        assert survivors == list(range(0, 100, 2))
+
+
+class TestFastMachineLedger:
+    def test_reserve_and_release_roundtrip(self):
+        ledger = FastMachineLedger(num_pods=3, blocks_per_pod=16,
+                                   trunk_ports=8)
+        ledger.reserve(7, {0: 2, 1: 2})
+        assert ledger.holds_trunks(7)
+        assert ledger.trunk_free(0) == 6 and ledger.trunk_free(1) == 6
+        assert ledger.trunk_in_use() == 4
+        assert ledger.trunk_budget() == {0: 6, 1: 6, 2: 8}
+        assert ledger.trunk_budget_excluding([7]) == {0: 8, 1: 8, 2: 8}
+        ledger.check_trunk_accounting()
+        released = ledger.release(7)
+        assert released == (4 // 2) * FACE_LINKS
+        assert ledger.trunk_release_count == 1
+        assert not ledger.holds_trunks(7)
+        assert ledger.trunk_in_use() == 0
+        ledger.check_trunk_accounting()
+
+    def test_release_unknown_job_is_free(self):
+        ledger = FastMachineLedger(num_pods=2, blocks_per_pod=16,
+                                   trunk_ports=8)
+        assert ledger.release(99) == 0
+        assert ledger.trunk_release_count == 0
+
+    def test_double_reserve_rejected(self):
+        ledger = FastMachineLedger(num_pods=2, blocks_per_pod=16,
+                                   trunk_ports=8)
+        ledger.reserve(1, {0: 2})
+        with pytest.raises(OCSError, match="already holds"):
+            ledger.reserve(1, {1: 2})
+
+    def test_oversubscription_rejected_atomically(self):
+        ledger = FastMachineLedger(num_pods=2, blocks_per_pod=16,
+                                   trunk_ports=4)
+        with pytest.raises(OCSError, match="trunk"):
+            ledger.reserve(1, {0: 2, 1: 6})
+        # The failed reserve must not have taken pod 0's ports.
+        assert ledger.trunk_budget() == {0: 4, 1: 4}
+        assert not ledger.holds_trunks(1)
+
+    def test_empty_reserve_holds_nothing(self):
+        ledger = FastMachineLedger(num_pods=1, blocks_per_pod=16,
+                                   trunk_ports=4)
+        ledger.reserve(1, {})
+        assert not ledger.holds_trunks(1)
+        assert ledger.release(1) == 0
