@@ -19,7 +19,6 @@ sweep is also the dispatch-loop perf gate: three medium runs (a
 simulated month of 4-pod fleet time) ride on the pod free-block index.
 """
 
-import dataclasses
 import time
 
 from repro.core.scheduler import PlacementPolicy, PlacementStrategy
@@ -138,8 +137,7 @@ def test_fleet_cross_pod_preemption_large(benchmark):
     # must strictly beat the pod-local contention scheduler for the
     # 48-block job class — which without the machine-wide path
     # starves to exactly zero.
-    config = dataclasses.replace(preset_config("large"),
-                                 preempt_priority=1)
+    config = preset_config("large").with_overrides(preempt_priority=1)
     assert config.max_job_blocks > config.blocks_per_pod
 
     reports = benchmark.pedantic(

@@ -40,7 +40,6 @@ Exit codes: 0 pass, 1 equivalence/invariant failure, 2 misuse.
 from __future__ import annotations
 
 import argparse
-import dataclasses
 import json
 import math
 import sys
@@ -105,7 +104,7 @@ def compare_preset(preset: str, num_seeds: int,
                    processes: int | None) -> dict:
     """Both tiers over the same seeds; per-metric mean comparison."""
     strict_config = preset_config(preset)
-    fast_config = dataclasses.replace(strict_config, determinism="fast")
+    fast_config = strict_config.with_overrides(determinism="fast")
     seeds = range(num_seeds)
     strict = run_sweep(strict_config, seeds, processes=processes)
     fast = run_sweep(fast_config, seeds, processes=processes)
@@ -137,8 +136,8 @@ def compare_preset(preset: str, num_seeds: int,
 
 def hyperscale_smoke() -> list[str]:
     """One fast-tier hyperscale seed: the 64-pod paths must do real work."""
-    config = dataclasses.replace(preset_config("hyperscale"),
-                                 determinism="fast")
+    config = preset_config("hyperscale").with_overrides(
+        determinism="fast")
     summary = run_sweep(config, [0], processes=1)[0].summary
     failures = check_identities("hyperscale", 0, summary)
     if summary["jobs_completed"] <= 0:

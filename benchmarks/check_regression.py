@@ -30,7 +30,6 @@ instead of silent.
 from __future__ import annotations
 
 import argparse
-import dataclasses
 import json
 import math
 import sys
@@ -38,14 +37,16 @@ import time
 from pathlib import Path
 
 from repro.core.scheduler import PlacementPolicy, PlacementStrategy
-from repro.fleet import (FleetSimulator, compare_deployment,
-                         compare_preemption, hostile_background_mix,
+from repro.fleet import (FleetSimulator, compare_autoscalers,
+                         compare_deployment, compare_preemption,
                          preset_config)
+from repro.fleet.serve import SERVE_SCHEMA, reconciliation_residual
 from repro.fleet.telemetry import SUMMARY_SCHEMA
+from repro.fleet.workload import hostile_background_mix
 
 BASELINE_PATH = Path(__file__).parent / "baselines" / \
     "fleet_goodput_baseline.json"
-BASELINE_SCHEMA = 4
+BASELINE_SCHEMA = 5
 DEFAULT_TOLERANCE = 0.02
 GATE_SEED = 0
 #: The fast tier must beat strict on the 64-pod scenario by at least
@@ -97,8 +98,7 @@ def measure() -> dict[str, float]:
     # machine-wide preemption must keep serving the 48-block class —
     # the pod-local scheduler starves it to exactly zero, so any drop
     # here means the contention path quietly stopped firing.
-    hostile = dataclasses.replace(preset_config("large"),
-                                  preempt_priority=1)
+    hostile = preset_config("large").with_overrides(preempt_priority=1)
     contention = compare_preemption(hostile, seed=GATE_SEED,
                                     strategy=PlacementStrategy.BEST_FIT,
                                     workload=hostile_background_mix)
@@ -106,6 +106,33 @@ def measure() -> dict[str, float]:
                  for record in contention["preemption"].job_records)
     edge = FleetSimulator(preset_config("edge"), seed=GATE_SEED).run(
         PlacementPolicy.OCS)
+    # The serving gate (schema 5): on serve_surge (3x launch spike
+    # inside the deploy-week drain), the reactive autoscaler must keep
+    # beating the peak-pinned static capacity split on SLO-attained
+    # requests per chip-second — gating both its absolute value and
+    # its margin over static, so neither the serving tier nor the
+    # autoscaler can quietly regress.  The full four-policy comparison
+    # lives in bench_serve_autoscale.py; this gate re-runs only the
+    # headline pair.
+    serve = compare_autoscalers(preset_config("serve_surge"),
+                                seed=GATE_SEED,
+                                autoscalers=("reactive", "static"))
+    for report in serve.values():
+        if report.serve.summary["schema_version"] != float(SERVE_SCHEMA):
+            print(f"regression gate: serve schema_version "
+                  f"{report.serve.summary['schema_version']!r} != "
+                  f"library SERVE_SCHEMA {SERVE_SCHEMA}",
+                  file=sys.stderr)
+            raise SystemExit(2)
+        residual = reconciliation_residual(report)
+        if residual > 1e-9:
+            print(f"regression gate: serve reconciliation residual "
+                  f"{residual:.3e} exceeds 1e-9", file=sys.stderr)
+            raise SystemExit(1)
+    reactive_per_chip = \
+        serve["reactive"].serve.summary["slo_attainment_per_chip"]
+    static_per_chip = \
+        serve["static"].serve.summary["slo_attainment_per_chip"]
     for summary in (large.summary, medium.summary,
                     deploy["ocs"].summary, deploy["static"].summary,
                     contention["preemption"].summary,
@@ -124,6 +151,10 @@ def measure() -> dict[str, float]:
             contention["preemption"].goodput_for_blocks(target) -
             contention["queueing"].goodput_for_blocks(target),
         "edge_defrag_goodput": edge.summary["goodput"],
+        "serve_surge_reactive_slo_attainment_per_chip":
+            reactive_per_chip,
+        "serve_surge_reactive_minus_static_slo_attainment_per_chip":
+            reactive_per_chip - static_per_chip,
     }
 
 
@@ -141,8 +172,8 @@ def measure_walls() -> dict[str, float]:
     """
     walls = {}
     for tier in ("strict", "fast"):
-        config = dataclasses.replace(preset_config("hyperscale"),
-                                     determinism=tier)
+        config = preset_config("hyperscale").with_overrides(
+            determinism=tier)
         simulator = FleetSimulator(config, seed=GATE_SEED)
         best = math.inf
         for _ in range(2):

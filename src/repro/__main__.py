@@ -4,38 +4,54 @@
     python -m repro run figure6
     python -m repro run all
     python -m repro fleet --preset small --seed 0
-    python -m repro fleet --preset medium --strategy best_fit
-    python -m repro fleet --preset medium --strategy all --json
-    python -m repro fleet --preset large --policy ocs --cross-pod
-    python -m repro fleet --preset large --policy ocs --no-cross-pod
-    python -m repro fleet --preset edge --policy ocs --no-cross-pod-preemption
-    python -m repro fleet --preset deploy_week                # drain overlay
-    python -m repro fleet --preset small --deploy-schedule maintenance
+    python -m repro fleet run --preset medium --strategy best_fit
+    python -m repro fleet run --preset medium --strategy all --json
+    python -m repro fleet run --preset large --policy ocs --cross-pod
+    python -m repro fleet run --preset large --policy ocs --no-cross-pod
+    python -m repro fleet run --preset edge --no-cross-pod-preemption
+    python -m repro fleet run --preset deploy_week          # drain overlay
+    python -m repro fleet run --preset small --deploy-schedule maintenance
     python -m repro fleet record --preset replay --seed 0 --trace run.jsonl
     python -m repro fleet replay --trace run.jsonl --json
-    python -m repro fleet --preset edge --policy ocs --trace-out edge.json
-    python -m repro fleet report --trace edge.json
+    python -m repro fleet run --preset edge --policy ocs --trace-out e.json
+    python -m repro fleet report --trace e.json
     python -m repro fleet profile --preset large --policy ocs
     python -m repro fleet profile --preset large --repeat 5
     python -m repro fleet sweep --preset hyperscale --seeds 16 --json
-    python -m repro fleet --preset large --determinism fast
+    python -m repro fleet run --preset large --determinism fast
+    python -m repro fleet serve --preset serve_surge --autoscaler reactive
+    python -m repro fleet serve --autoscaler static --json
+
+The `fleet` subcommands share their flag surface through common parent
+parsers: `--preset/--seed` mean the same thing everywhere they are
+accepted, the per-run knob overrides (`--strategy`, `--determinism`,
+`--cross-pod`, ...) parse identically across run/record/replay/
+profile/sweep/serve, and flags a mode cannot honor are rejected by its
+parser instead of being silently ignored (`fleet replay --preset ...`
+and `fleet sweep --seed ...` are usage errors).  A bare `fleet` with
+no mode keyword still means `fleet run`.
 """
 
 from __future__ import annotations
 
 import argparse
-import dataclasses
 import json
 import sys
 
 from repro.core.scheduler import PlacementPolicy, PlacementStrategy
 from repro.errors import TraceError
 from repro.experiments import list_experiments, run
-from repro.fleet import (DispatchProfiler, FleetSimulator, load_obs,
-                         load_trace, preset_config, preset_names,
-                         render_report, run_sweep, save_obs, save_trace,
-                         schedule_for, schedule_names, sweep_mean,
-                         trace_of)
+from repro.fleet import (FleetSimulator, preset_config, preset_names,
+                         run_sweep, schedule_for, schedule_names,
+                         sweep_mean)
+from repro.fleet.obs import (DispatchProfiler, load_obs, render_report,
+                             save_obs)
+from repro.fleet.serve import AUTOSCALERS, scenario_names
+from repro.fleet.trace import load_trace, save_trace, trace_of
+
+#: The fleet subcommand keywords; a bare `fleet` defaults to `run`.
+FLEET_MODES = ("run", "record", "replay", "report", "profile", "sweep",
+               "serve")
 
 
 def _cmd_list(args: argparse.Namespace) -> int:
@@ -58,53 +74,54 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 
 def _apply_fleet_overrides(config, args: argparse.Namespace):
-    """Per-run knob overrides shared by run, record, and replay modes."""
+    """Per-run knob overrides shared by every fleet subcommand.
+
+    Reads only flags the calling subparser defined (getattr-guarded
+    for the serve-only ones), folding them onto the preset via
+    :meth:`~repro.fleet.config.FleetConfig.with_overrides`.
+    """
+    overrides: dict = {}
     if args.reconfig_seconds is not None:
-        config = dataclasses.replace(
-            config, reconfig_base_seconds=args.reconfig_seconds)
+        overrides["reconfig_base_seconds"] = args.reconfig_seconds
     if args.trunk_ports is not None:
-        config = dataclasses.replace(config, trunk_ports=args.trunk_ports)
+        overrides["trunk_ports"] = args.trunk_ports
     if args.cross_pod is not None:
-        config = dataclasses.replace(config, cross_pod=args.cross_pod)
+        overrides["cross_pod"] = args.cross_pod
     if args.cross_pod_preemption is not None:
-        config = dataclasses.replace(
-            config, cross_pod_preemption=args.cross_pod_preemption)
+        overrides["cross_pod_preemption"] = args.cross_pod_preemption
     if args.strategy not in (None, "all"):
-        config = dataclasses.replace(
-            config, strategy=PlacementStrategy(args.strategy))
+        overrides["strategy"] = PlacementStrategy(args.strategy)
     if args.sample_every is not None:
-        config = dataclasses.replace(
-            config, obs_sample_every_seconds=args.sample_every)
+        overrides["obs_sample_every_seconds"] = args.sample_every
     if args.determinism is not None:
-        config = dataclasses.replace(config, determinism=args.determinism)
-    if args.trace_out is not None:
-        config = dataclasses.replace(config, observability=True)
-    return config
+        overrides["determinism"] = args.determinism
+    if getattr(args, "trace_out", None) is not None:
+        overrides["observability"] = True
+    if getattr(args, "scenario", None) is not None:
+        overrides["serve_scenario"] = args.scenario
+    if getattr(args, "autoscaler", None) is not None:
+        overrides["serve_autoscaler"] = args.autoscaler
+    return config.with_overrides(**overrides) if overrides else config
 
 
 def _fleet_simulator(args: argparse.Namespace) -> FleetSimulator | int:
     """Build the run's simulator, or return an exit code on bad usage.
 
-    `run` and `record` draw fresh inputs from the preset + seed and
-    overlay the deployment schedule named by `--deploy-schedule` (or
-    the config's own `deploy_schedule`); `replay` takes everything —
-    config, seed, jobs, outages, drain windows — from the trace file,
-    so its stdout can be byte-diffed against the recorded run's.
+    `run`, `record`, `profile`, and `serve` draw fresh inputs from the
+    preset + seed and overlay the deployment schedule named by
+    `--deploy-schedule` (or the config's own `deploy_schedule`);
+    `replay` takes everything — config, seed, jobs, outages, drain
+    windows — from the trace file, so its stdout can be byte-diffed
+    against the recorded run's.
     """
-    if args.mode in ("record", "replay") and args.trace is None:
-        print(f"fleet {args.mode} requires --trace PATH", file=sys.stderr)
-        return 2
-    if args.determinism == "fast" and args.trace_out is not None:
+    if args.determinism == "fast" and \
+            getattr(args, "trace_out", None) is not None:
         print("--determinism fast cannot record observability "
               "(--trace-out): the fast tier batches same-timestamp "
               "events and has no per-event spans; drop one of the two",
               file=sys.stderr)
         return 2
     if args.mode == "replay":
-        if args.preset is not None or args.seed is not None:
-            print("fleet replay reads the preset config and seed from "
-                  "the trace; drop --preset/--seed", file=sys.stderr)
-            return 2
         try:
             trace = load_trace(args.trace)
         except TraceError as exc:
@@ -138,9 +155,6 @@ def _fleet_simulator(args: argparse.Namespace) -> FleetSimulator | int:
 
 def _cmd_fleet_report(args: argparse.Namespace) -> int:
     """Render a recorded observability trace (either export format)."""
-    if args.trace is None:
-        print("fleet report requires --trace PATH", file=sys.stderr)
-        return 2
     try:
         recorder = load_obs(args.trace)
     except TraceError as exc:
@@ -197,6 +211,10 @@ def _cmd_fleet_profile(args: argparse.Namespace) -> int:
 
 def _cmd_fleet_sweep(args: argparse.Namespace) -> int:
     """Fan one preset across seeds 0..N-1 on worker processes."""
+    if args.seed is not None:
+        print("fleet sweep runs seeds 0..N-1; use --seeds N, not "
+              "--seed", file=sys.stderr)
+        return 2
     if args.strategy == "all":
         print("fleet sweep runs one strategy; pick it explicitly or "
               "drop --strategy for the preset's", file=sys.stderr)
@@ -240,13 +258,30 @@ def _cmd_fleet_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fleet_serve(args: argparse.Namespace) -> int:
+    """One serving-tier run: autoscaled pools over live fleet traffic."""
+    if args.preset is None:
+        args.preset = "serve_surge"
+    simulator = _fleet_simulator(args)
+    if isinstance(simulator, int):
+        return simulator
+    if not simulator.config.serve_scenario:
+        print(f"fleet serve: preset {args.preset!r} has no serving "
+              f"scenario; use --preset serve_surge or --scenario "
+              f"{{{','.join(scenario_names())}}}", file=sys.stderr)
+        return 2
+    report = simulator.run(PlacementPolicy(args.policy))
+    if args.json:
+        print(json.dumps({"summary": report.summary,
+                          "serve": report.serve.summary,
+                          "pools": report.serve.pools},
+                         indent=2, sort_keys=True))
+    else:
+        print(report.render())
+    return 0
+
+
 def _cmd_fleet(args: argparse.Namespace) -> int:
-    if args.mode == "report":
-        return _cmd_fleet_report(args)
-    if args.mode == "profile":
-        return _cmd_fleet_profile(args)
-    if args.mode == "sweep":
-        return _cmd_fleet_sweep(args)
     if args.trace_out is not None and \
             (args.policy == "both" or args.strategy == "all"):
         print("--trace-out records one run; pick --policy ocs|static "
@@ -309,6 +344,86 @@ def _seed(text: str) -> int:
     return value
 
 
+def _fleet_parents() -> dict[str, argparse.ArgumentParser]:
+    """The fleet subcommands' shared flag groups.
+
+    One definition per flag: every subcommand that accepts `--preset`
+    or `--strategy` or `--json` inherits the same argument object, so
+    help text, types, choices, and defaults cannot drift between
+    modes — and a mode that omits a parent rejects its flags outright
+    instead of ignoring them.
+    """
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument("--json", action="store_true",
+                        help="emit telemetry summaries as JSON")
+
+    seeded = argparse.ArgumentParser(add_help=False)
+    seeded.add_argument("--preset", default=None,
+                        choices=preset_names(),
+                        help="scenario preset (default: small; serve "
+                             "defaults to serve_surge)")
+    seeded.add_argument("--seed", type=_seed, default=None,
+                        help="RNG seed for jobs and failures "
+                             "(default: 0)")
+
+    knobs = argparse.ArgumentParser(add_help=False)
+    knobs.add_argument(
+        "--strategy", default=None,
+        choices=[s.value for s in PlacementStrategy] + ["all"],
+        help="placement strategy (default: the preset's; 'all' sweeps "
+             "every strategy — under the OCS policy unless --policy "
+             "names one explicitly)")
+    knobs.add_argument(
+        "--determinism", default=None, choices=["strict", "fast"],
+        help="execution tier (default: the preset's, normally strict). "
+             "strict replays byte-identically and is digest-gated; "
+             "fast batches same-timestamp events over an array job "
+             "table — still self-deterministic per seed and gated for "
+             "statistical equivalence, but not byte-identical to "
+             "strict")
+    knobs.add_argument(
+        "--reconfig-seconds", type=float, default=None, metavar="SECONDS",
+        help="override the fixed OCS reconfiguration window "
+             "(reconfig_base_seconds)")
+    knobs.add_argument(
+        "--trunk-ports", type=int, default=None, metavar="PORTS",
+        help="override the per-pod trunk-port count of the machine "
+             "OCS layer")
+    knobs.add_argument(
+        "--cross-pod", default=None,
+        action=argparse.BooleanOptionalAction,
+        help="enable/disable cross-pod slices over the trunk layer "
+             "(default: the preset's; run once with --cross-pod and "
+             "once with --no-cross-pod for an A/B on identical inputs)")
+    knobs.add_argument(
+        "--cross-pod-preemption", default=None,
+        action=argparse.BooleanOptionalAction,
+        help="enable/disable machine-wide contention resolution: a "
+             "preempting job bigger than one pod may assemble a "
+             "cross-pod placement out of evictions (default: the "
+             "preset's; --no-cross-pod-preemption reproduces the "
+             "pod-local contention behavior on identical inputs)")
+    knobs.add_argument(
+        "--deploy-schedule", default=None,
+        choices=schedule_names() + ["none"],
+        help="overlay a deployment drain schedule on the run "
+             "(default: the preset's deploy_schedule, or none; 'none' "
+             "disables the preset's)")
+    knobs.add_argument(
+        "--sample-every", type=float, default=None, metavar="SECONDS",
+        help="sim-time cadence of the observability time-series "
+             "sampler (default: the preset's "
+             "obs_sample_every_seconds)")
+
+    policy = argparse.ArgumentParser(add_help=False)
+    policy.add_argument("--policy", default="both",
+                        choices=["both", "ocs", "static"],
+                        help="placement policy to simulate")
+
+    return {"common": common, "seeded": seeded, "knobs": knobs,
+            "policy": policy}
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The `python -m repro` argument parser."""
     parser = argparse.ArgumentParser(
@@ -330,100 +445,107 @@ def build_parser() -> argparse.ArgumentParser:
 
     fleet_cmd = sub.add_parser(
         "fleet", help="simulate a multi-pod fleet scenario")
-    fleet_cmd.add_argument(
-        "mode", nargs="?", default="run",
-        choices=["run", "record", "replay", "report", "profile", "sweep"],
-        help="run: simulate fresh draws (default); record: also save "
-             "the run's inputs as a JSONL trace (--trace); replay: "
-             "re-run a recorded trace byte-for-byte (--trace); "
-             "report: render a recorded observability trace "
-             "(--trace); profile: one instrumented run with the "
-             "dispatch-loop wall-clock profile; sweep: fan seeds "
-             "0..N-1 across worker processes (--seeds/--processes)")
-    fleet_cmd.add_argument("--preset", default=None,
-                           choices=preset_names(),
-                           help="scenario preset (default: small; "
-                                "replay takes it from the trace)")
-    fleet_cmd.add_argument("--seed", type=_seed, default=None,
-                           help="RNG seed for jobs and failures "
-                                "(default: 0; replay takes it from the "
-                                "trace)")
-    fleet_cmd.add_argument(
-        "--trace", default=None, metavar="PATH",
-        help="trace file to write (record) or read (replay, report)")
-    fleet_cmd.add_argument(
-        "--trace-out", default=None, metavar="PATH",
-        help="record the run's observability log and write it here: "
-             "Chrome trace-event JSON (open in Perfetto), or "
-             "versioned JSONL when PATH ends in .jsonl; needs a "
-             "single policy and strategy")
-    fleet_cmd.add_argument(
-        "--sample-every", type=float, default=None, metavar="SECONDS",
-        help="sim-time cadence of the observability time-series "
-             "sampler (default: the preset's "
-             "obs_sample_every_seconds)")
-    fleet_cmd.add_argument(
+    parents = _fleet_parents()
+    fleet_sub = fleet_cmd.add_subparsers(dest="mode")
+
+    def trace_flag(cmd: argparse.ArgumentParser, verb: str) -> None:
+        cmd.add_argument("--trace", required=True, metavar="PATH",
+                         help=f"trace file to {verb}")
+
+    def trace_out_flag(cmd: argparse.ArgumentParser) -> None:
+        cmd.add_argument(
+            "--trace-out", default=None, metavar="PATH",
+            help="record the run's observability log and write it "
+                 "here: Chrome trace-event JSON (open in Perfetto), "
+                 "or versioned JSONL when PATH ends in .jsonl; needs "
+                 "a single policy and strategy")
+
+    run_mode = fleet_sub.add_parser(
+        "run", parents=[parents["seeded"], parents["knobs"],
+                        parents["policy"], parents["common"]],
+        help="simulate fresh draws from the preset + seed (the "
+             "default mode: a bare `fleet` means `fleet run`)")
+    trace_out_flag(run_mode)
+    run_mode.set_defaults(func=_cmd_fleet, mode="run", trace=None)
+
+    record_mode = fleet_sub.add_parser(
+        "record", parents=[parents["seeded"], parents["knobs"],
+                           parents["policy"], parents["common"]],
+        help="run and also save the run's inputs as a JSONL trace "
+             "(--trace)")
+    trace_flag(record_mode, "write")
+    trace_out_flag(record_mode)
+    record_mode.set_defaults(func=_cmd_fleet, mode="record")
+
+    replay_mode = fleet_sub.add_parser(
+        "replay", parents=[parents["knobs"], parents["policy"],
+                           parents["common"]],
+        help="re-run a recorded trace byte-for-byte (--trace; config "
+             "and seed come from the trace, so --preset/--seed are "
+             "rejected)")
+    trace_flag(replay_mode, "read")
+    trace_out_flag(replay_mode)
+    replay_mode.set_defaults(func=_cmd_fleet, mode="replay",
+                             preset=None, seed=None)
+
+    report_mode = fleet_sub.add_parser(
+        "report", help="render a recorded observability trace "
+                       "(--trace)")
+    trace_flag(report_mode, "read")
+    report_mode.add_argument(
         "--limit", type=int, default=30, metavar="N",
-        help="fleet report: show at most N per-job timeline rows")
-    fleet_cmd.add_argument(
+        help="show at most N per-job timeline rows")
+    report_mode.set_defaults(func=_cmd_fleet_report, mode="report")
+
+    profile_mode = fleet_sub.add_parser(
+        "profile", parents=[parents["seeded"], parents["knobs"],
+                            parents["policy"], parents["common"]],
+        help="one instrumented run with the dispatch-loop wall-clock "
+             "profile")
+    profile_mode.add_argument(
         "--repeat", type=int, default=1, metavar="N",
-        help="fleet profile: run the identical simulation N times and "
-             "report the fastest (best-of-N wall clock; default 1)")
-    fleet_cmd.add_argument(
+        help="run the identical simulation N times and report the "
+             "fastest (best-of-N wall clock; default 1)")
+    trace_out_flag(profile_mode)
+    profile_mode.set_defaults(func=_cmd_fleet_profile, mode="profile",
+                              trace=None)
+
+    sweep_mode = fleet_sub.add_parser(
+        "sweep", parents=[parents["seeded"], parents["knobs"],
+                          parents["policy"], parents["common"]],
+        help="fan seeds 0..N-1 across worker processes "
+             "(--seeds/--processes)")
+    sweep_mode.add_argument(
         "--seeds", type=int, default=8, metavar="N",
-        help="fleet sweep: number of seeds (runs 0..N-1; default 8)")
-    fleet_cmd.add_argument(
+        help="number of seeds (runs 0..N-1; default 8)")
+    sweep_mode.add_argument(
         "--processes", type=int, default=None, metavar="P",
-        help="fleet sweep: worker processes (default: one per core, "
-             "capped at the seed count; 1 runs inline)")
-    fleet_cmd.add_argument(
-        "--deploy-schedule", default=None,
-        choices=schedule_names() + ["none"],
-        help="overlay a deployment drain schedule on the run "
-             "(default: the preset's deploy_schedule, or none; 'none' "
-             "disables the preset's)")
-    fleet_cmd.add_argument("--policy", default="both",
-                           choices=["both", "ocs", "static"],
-                           help="placement policy to simulate")
-    fleet_cmd.add_argument(
-        "--determinism", default=None, choices=["strict", "fast"],
-        help="execution tier (default: the preset's, normally strict). "
-             "strict replays byte-identically and is digest-gated; "
-             "fast batches same-timestamp events over an array job "
-             "table — still self-deterministic per seed and gated for "
-             "statistical equivalence, but not byte-identical to "
-             "strict")
-    fleet_cmd.add_argument(
-        "--strategy", default=None,
-        choices=[s.value for s in PlacementStrategy] + ["all"],
-        help="placement strategy (default: the preset's; 'all' sweeps "
-             "every strategy — under the OCS policy unless --policy "
-             "names one explicitly)")
-    fleet_cmd.add_argument(
-        "--reconfig-seconds", type=float, default=None, metavar="SECONDS",
-        help="override the fixed OCS reconfiguration window "
-             "(reconfig_base_seconds)")
-    fleet_cmd.add_argument(
-        "--trunk-ports", type=int, default=None, metavar="PORTS",
-        help="override the per-pod trunk-port count of the machine "
-             "OCS layer")
-    fleet_cmd.add_argument(
-        "--cross-pod", default=None,
-        action=argparse.BooleanOptionalAction,
-        help="enable/disable cross-pod slices over the trunk layer "
-             "(default: the preset's; run once with --cross-pod and "
-             "once with --no-cross-pod for an A/B on identical inputs)")
-    fleet_cmd.add_argument(
-        "--cross-pod-preemption", default=None,
-        action=argparse.BooleanOptionalAction,
-        help="enable/disable machine-wide contention resolution: a "
-             "preempting job bigger than one pod may assemble a "
-             "cross-pod placement out of evictions (default: the "
-             "preset's; --no-cross-pod-preemption reproduces the "
-             "pod-local contention behavior on identical inputs)")
-    fleet_cmd.add_argument("--json", action="store_true",
-                           help="emit telemetry summaries as JSON")
-    fleet_cmd.set_defaults(func=_cmd_fleet)
+        help="worker processes (default: one per core, capped at the "
+             "seed count; 1 runs inline)")
+    sweep_mode.set_defaults(func=_cmd_fleet_sweep, mode="sweep",
+                            trace=None, trace_out=None)
+
+    serve_mode = fleet_sub.add_parser(
+        "serve", parents=[parents["seeded"], parents["knobs"],
+                          parents["common"]],
+        help="one serving-tier run: per-model replica pools autoscale "
+             "against diurnal request traffic on real fleet slices "
+             "(default preset: serve_surge)")
+    serve_mode.add_argument(
+        "--policy", default="ocs", choices=["ocs", "static"],
+        help="placement policy for the run (default: ocs; serve runs "
+             "one policy at a time)")
+    serve_mode.add_argument(
+        "--autoscaler", default=None, choices=list(AUTOSCALERS),
+        help="autoscaling policy for every pool (default: the "
+             "config's serve_autoscaler, normally reactive)")
+    serve_mode.add_argument(
+        "--scenario", default=None, choices=scenario_names(),
+        help="serving scenario override (default: the preset's "
+             "serve_scenario)")
+    serve_mode.set_defaults(func=_cmd_fleet_serve, mode="serve",
+                            trace=None, trace_out=None)
+
     return parser
 
 
@@ -434,6 +556,13 @@ def main(argv: list[str] | None = None) -> int:
         print(__doc__)
         print("experiments:", ", ".join(list_experiments()))
         return 0
+    if arguments[0] == "fleet" and (
+            len(arguments) == 1 or
+            (arguments[1].startswith("-") and
+             arguments[1] not in ("-h", "--help"))):
+        # Mode-less `fleet --preset ...` means `fleet run`; `fleet -h`
+        # still shows the mode overview.
+        arguments.insert(1, "run")
     parser = build_parser()
     try:
         args = parser.parse_args(arguments)

@@ -12,7 +12,6 @@ from __future__ import annotations
 
 import json
 
-import dataclasses
 
 from repro.core.scheduler import PlacementPolicy, PlacementStrategy
 from repro.experiments.base import ExperimentResult
@@ -218,8 +217,7 @@ def run_fleet_contention(preset: str = "large",
     assembles a cross-pod placement out of evictions under the live
     trunk budget.
     """
-    config = dataclasses.replace(preset_config(preset),
-                                 preempt_priority=1)
+    config = preset_config(preset).with_overrides(preempt_priority=1)
     reports = compare_preemption(config, seed=seed,
                                  strategy=PlacementStrategy.BEST_FIT,
                                  workload=hostile_background_mix)

@@ -10,7 +10,9 @@ the failure trace is identical across placement policies.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
+from typing import Any
 
 from repro.core.scheduler import PlacementStrategy
 from repro.errors import ConfigurationError
@@ -131,6 +133,19 @@ class FleetConfig:
         obs_sample_every_seconds: sim-time cadence of the time-series
             sampler (free blocks per pod, trunk-port occupancy, queue
             depth, running jobs) when observability is on.
+        serve_scenario: name of an online-serving traffic scenario from
+            :data:`repro.fleet.serve.SCENARIOS` to run on top of this
+            config ('' = no request-level serving tier).  Like
+            `deploy_schedule`, the name resolves at use time so the
+            config stays a plain data layer; the scenario defines the
+            served models, their diurnal QPS curves, surge windows, and
+            SLO targets.
+        serve_autoscaler: autoscaler policy for the serving tier —
+            "reactive" (size pools to current demand), "predictive"
+            (size to demand one lead-time ahead on the known curve),
+            "scheduled" (precomputed per-hour plan), or "static"
+            (peak-pinned pools, the capacity-split baseline).  Ignored
+            when `serve_scenario` is ''.
         determinism: execution tier.  "strict" (default) runs the
             per-event callback engine whose outputs are byte-identical
             to the seed (gated by the 100-seed digest file).  "fast"
@@ -173,6 +188,8 @@ class FleetConfig:
     optical_failure_fraction: float = 0.0
     port_repair_seconds: float = 300.0
     deploy_schedule: str = ""
+    serve_scenario: str = ""
+    serve_autoscaler: str = "reactive"
     observability: bool = False
     obs_sample_every_seconds: float = 15 * MINUTE
     determinism: str = "strict"
@@ -241,6 +258,16 @@ class FleetConfig:
             raise ConfigurationError(
                 "deploy_schedule must be a schedule name string ('' for "
                 "none); schedules are materialized by repro.fleet.scenario")
+        if not isinstance(self.serve_scenario, str):
+            raise ConfigurationError(
+                "serve_scenario must be a scenario name string ('' for "
+                "none); scenarios are materialized by repro.fleet.serve")
+        if self.serve_autoscaler not in (
+                "reactive", "predictive", "scheduled", "static"):
+            raise ConfigurationError(
+                f"serve_autoscaler must be one of 'reactive', "
+                f"'predictive', 'scheduled', or 'static', got "
+                f"{self.serve_autoscaler!r}")
         if self.obs_sample_every_seconds <= 0:
             raise ConfigurationError(
                 "obs_sample_every_seconds must be > 0")
@@ -253,6 +280,54 @@ class FleetConfig:
                 "determinism='fast' cannot record observability: the "
                 "decision log and span tracer are defined per-event; "
                 "use the strict tier for observed runs")
+
+    def to_dict(self) -> dict[str, Any]:
+        """Serialize to a plain JSON-safe dict (strategy as its value).
+
+        The round-trip contract is lossless:
+        ``FleetConfig.from_dict(c.to_dict()) == c`` for every valid
+        config, byte-identical through ``json.dumps`` as well — every
+        field is an int, float, bool, or str once the strategy enum is
+        flattened to its spelling.
+        """
+        out = dataclasses.asdict(self)
+        out["strategy"] = self.strategy.value
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "FleetConfig":
+        """Build a config from :meth:`to_dict` output.
+
+        Unknown keys raise :class:`ConfigurationError` instead of being
+        silently dropped — a typo'd override should fail loudly, not
+        quietly run the default.
+        """
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ConfigurationError(
+                f"unknown FleetConfig key(s) {unknown}; have "
+                f"{sorted(known)}")
+        return cls(**data)
+
+    def with_overrides(self, **overrides: Any) -> "FleetConfig":
+        """A copy with the named fields replaced, validated end to end.
+
+        The public spelling of ``dataclasses.replace`` for this config:
+        unknown field names raise :class:`ConfigurationError` (replace
+        raises a bare TypeError), and the copy re-runs
+        ``__post_init__`` so an override can never smuggle in an
+        invalid combination.
+        """
+        if not overrides:
+            return self
+        known = {f.name for f in dataclasses.fields(self)}
+        unknown = sorted(set(overrides) - known)
+        if unknown:
+            raise ConfigurationError(
+                f"unknown FleetConfig field(s) {unknown}; have "
+                f"{sorted(known)}")
+        return dataclasses.replace(self, **overrides)
 
     @property
     def total_blocks(self) -> int:

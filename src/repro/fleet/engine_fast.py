@@ -77,12 +77,16 @@ from repro.sim.events import Simulator, TypedEventQueue
 from repro.topology.builder import is_block_multiple
 
 #: Typed event kinds.  Within one timestamp batch the engine applies
-#: completions, then repairs, then failures, then arrivals — freed
-#: capacity is visible to everything placed at that instant.
+#: completions, then repairs, then failures, then arrivals, then the
+#: serving tier's control tick — freed capacity is visible to
+#: everything placed at that instant, and a tick scales against the
+#: batch's post-event fleet exactly like the strict tier's
+#: insertion-order tie-break.
 K_ARRIVAL = 0
 K_DOWN = 1
 K_UP = 2
 K_COMPLETE = 3
+K_TICK = 4
 
 #: JobTable states.
 #: Sentinel for masked argmin over the free-count vector.
@@ -380,6 +384,33 @@ class JobTable:
                 (job.blocks for job in jobs),
                 dtype=np.int64, count=len(jobs))
 
+    def grow(self, min_size: int) -> None:
+        """Make room for dynamically-created rows (serve replicas).
+
+        The generators assign ids densely up front, but the serving
+        tier allocates replica jobs mid-run; columns double (amortized
+        O(1) per row) so every autoscaler grow stays cheap.
+        """
+        size = max(min_size, 2 * self.size)
+        pad = size - self.size
+        self.priority = np.concatenate(
+            [self.priority, np.zeros(pad, dtype=np.int64)])
+        self.blocks = np.concatenate(
+            [self.blocks, np.zeros(pad, dtype=np.int64)])
+        self.submitted = np.concatenate(
+            [self.submitted, np.zeros(pad, dtype=np.float64)])
+        self.started = np.concatenate(
+            [self.started, np.zeros(pad, dtype=np.float64)])
+        self.end = np.concatenate(
+            [self.end, np.full(pad, np.inf, dtype=np.float64)])
+        self.pod = np.concatenate(
+            [self.pod, np.full(pad, -1, dtype=np.int64)])
+        self.state = np.concatenate(
+            [self.state, np.full(pad, S_IDLE, dtype=np.int8)])
+        self.active.extend([None] * pad)
+        self.job.extend([None] * pad)
+        self.size = size
+
 
 # -- the scheduler ----------------------------------------------------------------
 
@@ -419,10 +450,22 @@ class FastScheduler(FleetScheduler):
     def _enqueue(self, job: FleetJob) -> ActiveJob:
         active = super()._enqueue(job)
         table = self.table
+        if job.job_id >= table.size:
+            table.grow(job.job_id + 1)
+        if table.job[job.job_id] is None:
+            # A dynamic row (serving-tier replica): the id was allocated
+            # mid-run, so its static columns fill here.
+            table.job[job.job_id] = job
+            table.priority[job.job_id] = job.priority
+            table.blocks[job.job_id] = job.blocks
         table.state[job.job_id] = S_QUEUED
         table.submitted[job.job_id] = active.submitted_at
         table.active[job.job_id] = active
         return active
+
+    def cancel(self, active: ActiveJob) -> None:
+        super().cancel(active)
+        self.table.state[active.job.job_id] = S_DONE
 
     def _queue_in_order(self) -> list[ActiveJob]:
         queue = self.queue
@@ -698,12 +741,21 @@ def run_fast(fleet, policy: PlacementPolicy,
     events = TypedEventQueue()
     scheduler.attach(events, fleet.jobs)
     job_rows = scheduler.table.job
-    # External events (arrivals, outage starts/ends) are all known
-    # before the run, so they never ride the heap: a stable sort of
-    # one flat list — same-time entries keep the order the strict tier
-    # would have pushed them in — and an index walk over it.  Only
-    # completions, which are created (and cancelled) mid-run, pay for
-    # heap traffic.
+    tier = None
+    if config.serve_scenario:
+        from repro.fleet.serve.scenarios import scenario_for
+        from repro.fleet.serve.tier import ServingTier
+        tier = ServingTier(
+            scenario_for(config.serve_scenario, config), config,
+            scheduler,
+            base_job_id=1 + max((job.job_id for job in fleet.jobs),
+                                default=-1))
+    # External events (arrivals, outage starts/ends, serve ticks) are
+    # all known before the run, so they never ride the heap: a stable
+    # sort of one flat list — same-time entries keep the order the
+    # strict tier would have pushed them in (ticks installed last) —
+    # and an index walk over it.  Only completions, which are created
+    # (and cancelled) mid-run, pay for heap traffic.
     ext: list[tuple[float, int, int, int]] = []
     for job in fleet.jobs:
         if job.arrival <= horizon:
@@ -715,6 +767,9 @@ def run_fast(fleet, policy: PlacementPolicy,
         if outage.end <= horizon:
             ext.append((outage.end, K_UP, outage.pod_id,
                         outage.block_id))
+    if tier is not None:
+        for t in tier.tick_times(horizon):
+            ext.append((t, K_TICK, 0, 0))
     ext.sort(key=lambda entry: entry[0])
     if profiler is not None:
         profiler.install(scheduler, sim)
@@ -744,6 +799,7 @@ def run_fast(fleet, policy: PlacementPolicy,
         arrivals: list = []
         downs: list = []
         ups: list = []
+        ticked = False
         fired = len(completes)
         while idx < n_ext and ext[idx][0] == next_time:
             _, kind, a, b = ext[idx]
@@ -753,8 +809,10 @@ def run_fast(fleet, policy: PlacementPolicy,
                 arrivals.append(a)
             elif kind == K_DOWN:
                 downs.append((a, b))
-            else:
+            elif kind == K_UP:
                 ups.append((a, b))
+            else:
+                ticked = True
         sim._events_fired += fired
         for event in completes:
             finish(table_active[event.a])
@@ -762,7 +820,13 @@ def run_fast(fleet, policy: PlacementPolicy,
             apply_up(a, b)
         for a, b in downs:
             apply_down(a, b)
-        dispatch_batch([enqueue(job_rows[a]) for a in arrivals])
+        new_actives = [enqueue(job_rows[a]) for a in arrivals]
+        if ticked:
+            # The tick closes its interval and resizes the pools
+            # against the batch's post-event capacity; its fresh
+            # replicas ride the same single dispatch as the arrivals.
+            new_actives.extend(tier.on_tick(sim.now))
+        dispatch_batch(new_actives)
     if profiler is not None:
         profiler.run_seconds += time.perf_counter() - began
     scheduler.finalize(horizon)
@@ -783,4 +847,5 @@ def run_fast(fleet, policy: PlacementPolicy,
         downtime_fraction=downtime_block_seconds(outages) / capacity,
         drain_fraction=drained / capacity,
         job_records=tuple(telemetry.records.values()),
-        obs=None)
+        obs=None,
+        serve=tier.report(telemetry) if tier is not None else None)

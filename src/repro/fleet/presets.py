@@ -17,16 +17,21 @@ scenario, tuned so cross-pod preemption (and, rarely, trunk-freeing
 defrag) fires under generated load, anchoring the record/replay
 byte-identity smoke for the machine-wide contention paths.
 
+`serve_surge` layers the online serving tier (request-level QPS
+curves, replica pools, autoscaling) onto the deploy-week fleet, with a
+launch surge timed into the rollout drain.
+
 Every preset carries the config's placement strategy (first_fit by
 default), the OCS reconfiguration-latency knobs, and the trunk/spare
 sizing; the CLI's `--strategy`/`--reconfig-seconds`/`--trunk-ports`/
-`--cross-pod` flags override them per run via ``dataclasses.replace``.
+`--cross-pod` flags override them per run via
+:meth:`~repro.fleet.config.FleetConfig.with_overrides`.
 
 All presets default to the `strict` determinism tier (byte-identical,
 digest-gated replay).  None pin `determinism="fast"`: the fast tier is
 a per-run choice — `--determinism fast` on the CLI, or
-``dataclasses.replace(config, determinism="fast")`` in code — so the
-same preset can anchor both the byte-identity gates (strict) and the
+``config.with_overrides(determinism="fast")`` in code — so the same
+preset can anchor both the byte-identity gates (strict) and the
 statistical-equivalence gate (fast) on identical generated inputs.
 """
 
@@ -133,6 +138,21 @@ PRESETS: dict[str, FleetConfig] = {
         # observability sampler needs a tighter cadence than the
         # 15-minute default to resolve queue-depth spikes.
         obs_sample_every_seconds=5 * MINUTE),
+    # The online-serving stress scenario: deploy_week's fleet and drain
+    # schedule with the request-level serving tier on top — two diurnal
+    # model pools (scenario 'surge') whose ads pool takes a 3x launch
+    # spike exactly as the schedule pulls pod 3, so the autoscaler must
+    # triple a pool while a quarter of the fleet drains and outage
+    # failovers interrupt live replicas.  The autoscaler-vs-static
+    # capacity-split benchmark and the serve CI smoke ride this preset.
+    "serve_surge": FleetConfig(
+        num_pods=4, blocks_per_pod=64,
+        horizon_seconds=7 * DAY, arrival_window_seconds=6 * DAY,
+        mean_interarrival_seconds=7 * MINUTE, mean_job_seconds=10 * HOUR,
+        max_job_blocks=32, serving_fraction=0.1,
+        host_mtbf_seconds=120 * DAY, mean_repair_seconds=4 * HOUR,
+        strategy="best_fit", deploy_schedule="deploy_week",
+        serve_scenario="surge"),
     # Serving-heavy mix: long residencies plus background training.
     "serving": FleetConfig(
         num_pods=2, blocks_per_pod=64,

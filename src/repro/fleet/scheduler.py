@@ -1016,6 +1016,27 @@ class FleetScheduler:
         active.submitted_at = self.sim.now
         self.queue.append(active)
 
+    def cancel(self, active: ActiveJob) -> None:
+        """Retire a job on request (the serving tier's scale-down path).
+
+        A running job halts as a *planned* stop — the segment banks
+        with nothing replayed (serving replicas are stateless anyway)
+        and its blocks free immediately; a queued job simply leaves the
+        queue.  Either way the record closes at `now` so chip-second
+        accounting ends with the pool's decision, not the horizon.
+        No dispatch here: callers batch their cancels and dispatch
+        once.
+        """
+        job = active.job
+        if active.running:
+            self._halt_segment(active, planned=True)
+        elif active in self.queue:
+            self.queue.remove(active)
+        active.remaining = 0.0
+        self.telemetry.record_for(job).completed_at = self.sim.now
+        self.obs.instant("cancelled", self.sim.now, job_id=job.job_id,
+                         kind=job.kind, blocks=job.blocks)
+
     def _release(self, active: ActiveJob) -> None:
         self._grow_epoch += 1  # freed blocks can unstick cached failures
         for pod_id, blocks in active.assignments:
@@ -1068,6 +1089,7 @@ class FleetScheduler:
                               checkpoint=writes, trunk_stall=stall)
         record = self.telemetry.record_for(active.job)
         record.useful_seconds += useful
+        record.busy_seconds += elapsed
         record.trunk_stall_seconds += stall
         self.telemetry.busy_block_seconds += elapsed * blocks
         self.telemetry.useful_block_seconds += (useful + stall) * blocks

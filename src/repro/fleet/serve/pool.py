@@ -1,0 +1,100 @@
+"""One model's replica pool, mapped onto real fleet slices.
+
+A pool owns the ``kind="serve"`` :class:`~repro.fleet.workload.FleetJob`
+replicas currently standing for one model.  Replicas are real scheduler
+jobs: they queue, place, pay reconfiguration latency, get interrupted
+by outages and drains (the scheduler requeues the same
+:class:`~repro.fleet.scheduler.ActiveJob`, so failover needs no pool
+bookkeeping), and hold their blocks until the autoscaler cancels them.
+A replica only counts as serving *capacity* once its segment has spun
+up — reconfiguration plus restore elapsed — which is exactly the lag a
+predictive policy exists to hide.
+"""
+
+from __future__ import annotations
+
+from repro.core.slicing import blocks_needed
+from repro.fleet.scheduler import ActiveJob
+from repro.fleet.serve.traffic import ModelTraffic
+from repro.fleet.workload import PRIORITY_SERVING, FleetJob, shape_for_chips
+from repro.models.dlrm import DLRMConfig
+from repro.models.serving import serving_estimate
+
+#: Readiness comparisons tolerate float accumulation at tick edges.
+_READY_EPSILON = 1e-9
+
+
+class ReplicaPool:
+    """The live replicas (and scaling counters) of one served model."""
+
+    def __init__(self, traffic: ModelTraffic,
+                 horizon_seconds: float) -> None:
+        self.traffic = traffic
+        estimate = serving_estimate(DLRMConfig(), traffic.replica_chips)
+        #: Sustained QPS one spun-up replica absorbs.
+        self.replica_qps = estimate.qps
+        #: Zero-load response time of one request (the M/M/1 service
+        #: time; queueing delay stacks on top as utilization rises).
+        self.base_latency = estimate.step_seconds
+        self.shape = shape_for_chips(traffic.replica_chips)
+        self.blocks = blocks_needed(self.shape)
+        self.chips = traffic.replica_chips
+        self._horizon = horizon_seconds
+        #: Replicas the pool currently stands behind (queued or
+        #: running; cancelled ones leave the list).  Order is creation
+        #: order — scale-down pops from the tail (newest first).
+        self.replicas: list[ActiveJob] = []
+        self.job_ids: set[int] = set()
+        self.scale_ups = 0
+        self.scale_downs = 0
+        self.peak_replicas = 0
+        self.initial_replicas = 0
+
+    def ready_count(self, now: float) -> int:
+        """Replicas that are placed AND past their spin-up.
+
+        A replica's segment spends ``pending_reconfig`` rewiring the
+        fabric and ``pending_restore`` reloading before it can answer
+        queries; until then it is capacity in flight, not capacity.
+        """
+        ready = 0
+        for active in self.replicas:
+            if active.running and \
+                    now - active.started_at >= active.pending_reconfig + \
+                    active.pending_restore - _READY_EPSILON:
+                ready += 1
+        return ready
+
+    def grow(self, count: int, now: float, next_job_id, submit) -> None:
+        """Submit `count` fresh replica jobs through the scheduler."""
+        for _ in range(count):
+            job = FleetJob(
+                job_id=next_job_id(), kind="serve",
+                model_type="MLP/DLRM", shape=self.shape, arrival=now,
+                # Replicas never retire on their own: work outlives the
+                # run, so only a cancel (or the horizon) ends one.
+                work_seconds=2.0 * self._horizon,
+                priority=PRIORITY_SERVING)
+            active = submit(job)
+            self.replicas.append(active)
+            self.job_ids.add(job.job_id)
+            self.scale_ups += 1
+        self.peak_replicas = max(self.peak_replicas, len(self.replicas))
+
+    def shrink(self, count: int, cancel) -> None:
+        """Cancel `count` replicas: queued first, then newest running.
+
+        Queued replicas cost nothing to take back; among running ones
+        the most recently started has banked the least spin-up, so
+        LIFO keeps the longest-warm capacity serving.
+        """
+        queued = [a for a in self.replicas if not a.running]
+        running = sorted((a for a in self.replicas if a.running),
+                         key=lambda a: (a.started_at, a.job.job_id),
+                         reverse=True)
+        victims = (queued[::-1] + running)[:count]
+        for active in victims:
+            cancel(active)
+            self.replicas.remove(active)
+            self.job_ids.discard(active.job.job_id)
+            self.scale_downs += 1

@@ -22,7 +22,6 @@ starts, keeping traces policy-independent.
 
 from __future__ import annotations
 
-import dataclasses
 import time
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Sequence
@@ -48,6 +47,7 @@ from repro.sim.rng import spawn_rngs
 from repro.units import HOUR
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (trace -> here)
+    from repro.fleet.serve.tier import ServeReport
     from repro.fleet.trace import FleetTrace
 
 #: Anything that yields a job stream under the generate_jobs calling
@@ -75,6 +75,10 @@ class FleetReport:
     #: The run's observability log when recording was on; None on the
     #: default (disabled) path.  Export via :mod:`repro.fleet.obs`.
     obs: ObsRecorder | None = None
+    #: Serving-tier telemetry when the config names a `serve_scenario`;
+    #: None otherwise.  Lives beside the base summary (its own
+    #: SERVE_SCHEMA) so the digest-gated SUMMARY_SCHEMA never moves.
+    serve: ServeReport | None = None
 
     def goodput_for_blocks(self, blocks: int) -> float:
         """Goodput of one job class — jobs of exactly `blocks` blocks.
@@ -142,6 +146,8 @@ class FleetReport:
             lines.append(
                 f"  deployment: {self.drain_fraction:.3f} of capacity "
                 f"drained by the rollout schedule")
+        if self.serve is not None:
+            lines.append(self.serve.render())
         return "\n".join(lines)
 
 
@@ -266,6 +272,22 @@ class FleetSimulator:
                 outage.end,
                 lambda o=outage: scheduler.on_block_up(o.pod_id,
                                                        o.block_id))
+        tier = None
+        if self.config.serve_scenario:
+            # Lazy: the serve package imports scheduler/workload from
+            # this package, and its compare helper imports back here.
+            from repro.fleet.serve.scenarios import scenario_for
+            from repro.fleet.serve.tier import ServingTier
+            scenario = scenario_for(self.config.serve_scenario,
+                                    self.config)
+            tier = ServingTier(
+                scenario, self.config, scheduler,
+                base_job_id=1 + max((job.job_id for job in self.jobs),
+                                    default=-1))
+            # Installed after arrivals and outages: a tick at time t
+            # scales against the capacity left after every same-time
+            # outage/drain event (insertion-order tie-break).
+            tier.install(sim, horizon)
         if recorder.enabled:
             recorder.meta.update({
                 "policy": policy.value, "strategy": strategy.value,
@@ -317,7 +339,8 @@ class FleetSimulator:
             downtime_fraction=downtime_block_seconds(outages) / capacity,
             drain_fraction=drained / capacity,
             job_records=tuple(telemetry.records.values()),
-            obs=recorder if recorder.enabled else None)
+            obs=recorder if recorder.enabled else None,
+            serve=tier.report(telemetry) if tier is not None else None)
 
 
 def run_fleet(config: FleetConfig, *, seed: int = 0,
@@ -365,8 +388,8 @@ def compare_preemption(config: FleetConfig, *, seed: int = 0,
     adversarial stream (e.g. :func:`~repro.fleet.workload.
     hostile_background_mix`) in place of the Table 2 generator.
     """
-    enabled = dataclasses.replace(config, cross_pod_preemption=True)
-    disabled = dataclasses.replace(config, cross_pod_preemption=False)
+    enabled = config.with_overrides(cross_pod_preemption=True)
+    disabled = config.with_overrides(cross_pod_preemption=False)
     return {
         "preemption": FleetSimulator(
             enabled, seed=seed, workload=workload).run(
@@ -387,8 +410,8 @@ def compare_cross_pod(config: FleetConfig, *, seed: int = 0,
     streams — the only difference is whether jobs larger than a pod can
     ride the trunk layer or must queue forever.
     """
-    enabled = dataclasses.replace(config, cross_pod=True)
-    disabled = dataclasses.replace(config, cross_pod=False)
+    enabled = config.with_overrides(cross_pod=True)
+    disabled = config.with_overrides(cross_pod=False)
     return {
         "cross_pod": FleetSimulator(enabled, seed=seed).run(
             PlacementPolicy.OCS, strategy),

@@ -58,6 +58,7 @@ class JobRecord:
     first_start: float | None = None
     completed_at: float | None = None
     useful_seconds: float = 0.0
+    busy_seconds: float = 0.0
     trunk_stall_seconds: float = 0.0
     queue_waits: list[float] = field(default_factory=list)
     interruptions: int = 0
@@ -166,12 +167,15 @@ class FleetTelemetry:
         self.cross_pod_block_seconds += float((elapsed * cross) @ blocks)
         size = int(job_ids.max()) + 1
         useful_by_job = np.zeros(size)
+        busy_by_job = np.zeros(size)
         stall_by_job = np.zeros(size)
         np.add.at(useful_by_job, job_ids, useful)
+        np.add.at(busy_by_job, job_ids, elapsed)
         np.add.at(stall_by_job, job_ids, stall)
         for job_id in np.unique(job_ids).tolist():
             record = self.records[job_id]
             record.useful_seconds += float(useful_by_job[job_id])
+            record.busy_seconds += float(busy_by_job[job_id])
             record.trunk_stall_seconds += float(stall_by_job[job_id])
 
     def summary(self, *, total_blocks: int, horizon_seconds: float,

@@ -35,7 +35,6 @@ recorded run's.
 
 from __future__ import annotations
 
-import dataclasses
 import json
 import math
 from dataclasses import dataclass
@@ -103,9 +102,7 @@ def record_trace(config: FleetConfig, *, seed: int = 0,
 
 
 def _config_payload(config: FleetConfig) -> dict[str, Any]:
-    payload = dataclasses.asdict(config)
-    payload["strategy"] = config.strategy.value
-    return payload
+    return config.to_dict()
 
 
 def dumps_trace(trace: FleetTrace) -> str:
@@ -203,8 +200,8 @@ def _parse_header(record: dict, line_no: int) -> tuple[int, FleetConfig]:
     if not isinstance(payload, dict):
         raise _fail(line_no, "config must be an object")
     try:
-        config = FleetConfig(**payload)
-    except TypeError as exc:  # unknown/missing config fields
+        config = FleetConfig.from_dict(payload)
+    except TypeError as exc:  # missing config fields
         raise _fail(line_no, f"bad config: {exc}") from exc
     except ConfigurationError as exc:
         raise _fail(line_no, f"invalid config: {exc}") from exc

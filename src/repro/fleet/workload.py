@@ -112,18 +112,28 @@ def model_type_mix(snapshot: str = "TPU v4 (10/2022, training)"
     return kinds, probabilities / probabilities.sum()
 
 
+def shape_for_chips(chips: int) -> SliceShape:
+    """The legal serving slice shape closest to a chip count.
+
+    Sub-block meshes under 64 chips, cube-balanced block multiples
+    above — the rounding rule every serving deployment (the generated
+    residencies here and the serve tier's replica pools) shares.
+    """
+    if chips in _SUB_BLOCK_BY_CHIPS:
+        return _SUB_BLOCK_BY_CHIPS[chips]
+    from repro.core.availability import balanced_block_shape
+    return balanced_block_shape(max(chips, 64))
+
+
 def serving_shape(config: FleetConfig) -> SliceShape:
     """Slice shape of one serving deployment at the config's QPS target.
 
     Sizes the slice with the Section 3.1 latency/throughput model, then
-    rounds the chip count to the nearest legal shape: sub-block meshes
-    under 64 chips, cube-balanced block multiples above.
+    rounds the chip count to the nearest legal shape via
+    :func:`shape_for_chips`.
     """
-    chips = chips_for_qps(DLRMConfig(), config.serving_qps)
-    if chips in _SUB_BLOCK_BY_CHIPS:
-        return _SUB_BLOCK_BY_CHIPS[chips]
-    from repro.core.availability import balanced_block_shape
-    shape = balanced_block_shape(max(chips, 64))
+    shape = shape_for_chips(chips_for_qps(DLRMConfig(),
+                                          config.serving_qps))
     if blocks_needed(shape) > config.max_job_blocks:
         raise ConfigurationError(
             f"serving slice needs {blocks_needed(shape)} blocks, over the "

@@ -263,3 +263,93 @@ class TestFleetObsCLI:
         payload = json.loads(capsys.readouterr().out)
         assert payload["profile"]["phases"]["dispatch_total"]["calls"] > 0
         assert payload["summary"]["goodput"] > 0
+
+
+class TestFleetFlagMatrix:
+    """The shared-parent contract: one flag, one definition, everywhere.
+
+    `--preset/--seed/--strategy/--determinism/--json` (and the rest of
+    the knobs parent) must parse to identical values under every fleet
+    subcommand that accepts them, and be rejected outright by the
+    modes that don't.
+    """
+
+    SHARED = ["--preset", "tiny", "--seed", "3", "--strategy",
+              "best_fit", "--determinism", "fast", "--json",
+              "--reconfig-seconds", "45", "--trunk-ports", "8",
+              "--no-cross-pod", "--deploy-schedule", "none",
+              "--sample-every", "600"]
+    SHARED_DESTS = ["preset", "seed", "strategy", "determinism", "json",
+                    "reconfig_seconds", "trunk_ports", "cross_pod",
+                    "deploy_schedule", "sample_every"]
+
+    def _parse(self, argv):
+        from repro.__main__ import build_parser
+        return build_parser().parse_args(argv)
+
+    def test_shared_flags_parse_identically_across_modes(self):
+        extra = {"run": [], "record": ["--trace", "t.jsonl"],
+                 "profile": [], "sweep": [], "serve": []}
+        parsed = {
+            mode: self._parse(["fleet", mode] + self.SHARED + tail)
+            for mode, tail in extra.items()}
+        baseline = {dest: getattr(parsed["run"], dest)
+                    for dest in self.SHARED_DESTS}
+        assert baseline["seed"] == 3
+        assert baseline["determinism"] == "fast"
+        assert baseline["cross_pod"] is False
+        for mode, namespace in parsed.items():
+            got = {dest: getattr(namespace, dest)
+                   for dest in self.SHARED_DESTS}
+            assert got == baseline, mode
+
+    def test_bare_fleet_defaults_to_run_mode(self):
+        from repro.__main__ import main
+        # `fleet --preset tiny ...` == `fleet run --preset tiny ...`
+        assert main(["fleet", "--preset", "tiny", "--policy", "ocs",
+                     "--json"]) == 0
+
+    @pytest.mark.parametrize("argv", [
+        ["fleet", "replay", "--trace", "t.jsonl", "--preset", "tiny"],
+        ["fleet", "replay", "--trace", "t.jsonl", "--seed", "1"],
+        ["fleet", "report", "--trace", "t.jsonl", "--preset", "tiny"],
+        ["fleet", "report", "--trace", "t.jsonl", "--json"],
+        ["fleet", "sweep", "--seed", "1"],
+        ["fleet", "run", "--seeds", "4"],
+        ["fleet", "run", "--autoscaler", "reactive"],
+        ["fleet", "serve", "--policy", "both"],
+        ["fleet", "serve", "--trace-out", "x.json"],
+    ])
+    def test_unsupported_combinations_rejected(self, argv):
+        from repro.__main__ import main
+        assert main(argv) == 2
+
+    def test_every_mode_has_a_subparser(self):
+        from repro.__main__ import FLEET_MODES
+        assert FLEET_MODES == ("run", "record", "replay", "report",
+                               "profile", "sweep", "serve")
+
+    def test_serve_quickstart(self, capsys):
+        from repro.__main__ import main
+        # The README quickstart, shrunk to the test preset: one
+        # serving run, JSON out, serve telemetry attached.
+        assert main(["fleet", "serve", "--preset", "serve_surge",
+                     "--determinism", "fast", "--seed", "0",
+                     "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["serve"]["requests_total"] > 0
+        assert "slo_attainment_per_chip" in payload["serve"]
+        assert "ads-dlrm" in payload["pools"]
+
+    def test_serve_rejects_presets_without_scenario(self, capsys):
+        from repro.__main__ import main
+        assert main(["fleet", "serve", "--preset", "tiny"]) == 2
+        assert "no serving scenario" in capsys.readouterr().err
+
+    def test_serve_autoscaler_flag_round_trip(self, capsys):
+        from repro.__main__ import main
+        assert main(["fleet", "serve", "--preset", "serve_surge",
+                     "--determinism", "fast", "--autoscaler", "static",
+                     "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["serve"]["scale_downs"] == 0

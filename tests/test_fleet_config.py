@@ -50,3 +50,104 @@ class TestValidation:
         assert not FleetConfig(max_job_blocks=64).machine_wide_jobs
         assert config.trunk_capacity == \
             config.num_pods * config.trunk_ports
+
+
+class TestDictRoundTrip:
+    """to_dict/from_dict: the lossless serialization contract."""
+
+    def test_every_preset_round_trips_byte_identical(self):
+        import json
+
+        from repro.fleet.presets import PRESETS
+        for name, config in PRESETS.items():
+            payload = config.to_dict()
+            rebuilt = FleetConfig.from_dict(payload)
+            assert rebuilt == config, name
+            assert json.dumps(payload, sort_keys=True) == \
+                json.dumps(rebuilt.to_dict(), sort_keys=True), name
+
+    def test_to_dict_is_json_safe(self):
+        import json
+        payload = FleetConfig().to_dict()
+        json.dumps(payload)  # no enums, no dataclasses
+        assert payload["strategy"] == "first_fit"
+        assert all(isinstance(v, (int, float, bool, str))
+                   for v in payload.values())
+
+    def test_from_dict_rejects_unknown_keys(self):
+        payload = FleetConfig().to_dict()
+        payload["flux_capacitor"] = 1.21
+        with pytest.raises(ConfigurationError, match="flux_capacitor"):
+            FleetConfig.from_dict(payload)
+
+    def test_from_dict_revalidates(self):
+        payload = FleetConfig().to_dict()
+        payload["num_pods"] = 0
+        with pytest.raises(ConfigurationError):
+            FleetConfig.from_dict(payload)
+
+
+class TestWithOverrides:
+    """The public spelling of dataclasses.replace for this config."""
+
+    def test_applies_and_revalidates(self):
+        config = FleetConfig().with_overrides(num_pods=4,
+                                              determinism="fast")
+        assert config.num_pods == 4
+        assert config.determinism == "fast"
+        # the original is untouched (configs are immutable copies)
+        assert FleetConfig().num_pods == 2
+
+    def test_no_overrides_returns_self(self):
+        config = FleetConfig()
+        assert config.with_overrides() is config
+
+    def test_unknown_field_rejected_with_name(self):
+        with pytest.raises(ConfigurationError, match="warp_factor"):
+            FleetConfig().with_overrides(warp_factor=9)
+
+    def test_invalid_combination_rejected(self):
+        # with_overrides re-runs __post_init__: fast + observability
+        # cannot be smuggled in via the copy path.
+        with pytest.raises(ConfigurationError, match="observability"):
+            FleetConfig().with_overrides(determinism="fast",
+                                         observability=True)
+
+
+class TestFacade:
+    """repro.fleet.__all__ is the curated public API."""
+
+    def test_every_facade_name_resolves(self):
+        import repro.fleet as fleet
+        for name in fleet.__all__:
+            assert getattr(fleet, name, None) is not None, name
+
+    def test_facade_covers_the_public_surface(self):
+        import repro.fleet as fleet
+        expected = {
+            "FleetConfig",
+            "FleetSimulator", "FleetReport", "run_fleet",
+            "PRESETS", "preset_config", "preset_names",
+            "SCHEDULES", "schedule_for", "schedule_names",
+            "compare_policies", "compare_strategies",
+            "compare_preemption", "compare_cross_pod",
+            "compare_deployment", "compare_autoscalers",
+            "run_sweep", "sweep_mean", "SweepResult",
+            "record_trace", "save_trace", "load_trace", "trace_of",
+            "AUTOSCALERS", "SCENARIOS", "SERVE_SCHEMA", "ModelTraffic",
+            "ReplicaPool", "ServeReport", "ServeScenario", "ServingTier",
+            "SurgeWindow", "reconciliation_residual", "scenario_for",
+            "scenario_names",
+        }
+        assert set(fleet.__all__) == expected
+
+    def test_deep_imports_still_work(self):
+        # The facade curates; it does not wall off the modules.
+        from repro.fleet.engine_fast import run_fast
+        from repro.fleet.obs import ObsRecorder
+        from repro.fleet.scheduler import FleetScheduler
+        from repro.fleet.serve.tier import ServingTier
+        from repro.fleet.trace import validate_trace
+        for obj in (run_fast, ObsRecorder, FleetScheduler, ServingTier,
+                    validate_trace):
+            assert callable(obj)

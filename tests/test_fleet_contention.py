@@ -3,7 +3,6 @@ trunk-freeing defragmentation, the failure-cache invalidation on trunk
 releases, the static-wiring migration guard, and the invariant-guard
 wiring — the ISSUE 5 tentpole and its bugfix satellites."""
 
-import dataclasses
 import json
 
 import pytest
@@ -452,8 +451,8 @@ class TestHostileMixAcceptance:
 
     @pytest.fixture(scope="class")
     def reports(self):
-        config = dataclasses.replace(preset_config("large"),
-                                     preempt_priority=1)
+        config = preset_config("large").with_overrides(
+            preempt_priority=1)
         return compare_preemption(config, seed=0,
                                   strategy=PlacementStrategy.BEST_FIT,
                                   workload=hostile_background_mix)

@@ -8,7 +8,6 @@ policy and strategy replays the exact same job stream and failure
 trace — the comparison measures the scheduler, never the dice.
 """
 
-import dataclasses
 import hashlib
 import json
 import pathlib
@@ -25,7 +24,7 @@ GOLDEN_DIR = pathlib.Path(__file__).parent / "golden"
 
 
 def _tiny(strategy):
-    return dataclasses.replace(preset_config("tiny"), strategy=strategy)
+    return preset_config("tiny").with_overrides(strategy=strategy)
 
 
 class TestByteIdenticalRuns:
@@ -118,8 +117,7 @@ class TestCrossPodDeterminism:
         # output captured at the PR 2 commit.
         golden = json.loads(
             (GOLDEN_DIR / "fleet_medium_seed0_pr2.json").read_text())
-        config = dataclasses.replace(preset_config("medium"),
-                                     cross_pod=False)
+        config = preset_config("medium").with_overrides(cross_pod=False)
         reports = compare_strategies(config, seed=0)
         for name, summary in golden.items():
             for key, value in summary.items():
@@ -130,8 +128,8 @@ class TestCrossPodDeterminism:
         # Medium's job mix never exceeds one pod, so enabling the
         # trunk layer must change nothing there either.
         enabled = run_fleet(preset_config("medium"), seed=0)
-        disabled = run_fleet(dataclasses.replace(
-            preset_config("medium"), cross_pod=False), seed=0)
+        disabled = run_fleet(
+            preset_config("medium").with_overrides(cross_pod=False), seed=0)
         assert json.dumps(enabled.summary, sort_keys=True) == \
             json.dumps(disabled.summary, sort_keys=True)
 

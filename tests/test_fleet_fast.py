@@ -25,7 +25,7 @@ from repro.sim.events import TypedEventQueue
 
 
 def fast_config(preset: str):
-    return dataclasses.replace(preset_config(preset), determinism="fast")
+    return preset_config(preset).with_overrides(determinism="fast")
 
 
 def summary_json(report) -> str:
@@ -132,13 +132,12 @@ class TestPlanPriceParity:
 class TestConfigValidation:
     def test_unknown_tier_rejected(self):
         with pytest.raises(ConfigurationError, match="determinism"):
-            dataclasses.replace(preset_config("tiny"),
-                                determinism="quick")
+            preset_config("tiny").with_overrides(determinism="quick")
 
     def test_fast_with_observability_rejected(self):
         with pytest.raises(ConfigurationError, match="observability"):
-            dataclasses.replace(preset_config("tiny"),
-                                determinism="fast", observability=True)
+            preset_config("tiny").with_overrides(
+                determinism="fast", observability=True)
 
     def test_fast_run_with_recorder_rejected(self):
         simulator = FleetSimulator(fast_config("tiny"), seed=0)

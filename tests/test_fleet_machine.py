@@ -1,7 +1,6 @@
 """Tests for machine-wide placement: the trunk fabric layer, the
 multi-region placement planner, and fabric-aware spare-port repair."""
 
-import dataclasses
 
 import numpy as np
 import pytest
@@ -278,7 +277,6 @@ class TestLargePreset:
         assert config.optical_failure_fraction > 0
 
     def test_replace_toggles_cross_pod_without_revalidation_error(self):
-        config = dataclasses.replace(preset_config("large"),
-                                     cross_pod=False)
+        config = preset_config("large").with_overrides(cross_pod=False)
         assert not config.cross_pod
         assert config.machine_wide_jobs  # the mix still spans pods

@@ -6,7 +6,6 @@ reconcile exactly with the telemetry identity's buckets, and both
 export formats validate strictly and round-trip.
 """
 
-import dataclasses
 import json
 
 import pytest
@@ -24,8 +23,8 @@ from repro.fleet.obs import (DispatchProfiler, MetricsSampler,
 
 
 def _run_with_obs(preset: str, seed: int = 0, **overrides):
-    config = dataclasses.replace(preset_config(preset),
-                                 observability=True, **overrides)
+    config = preset_config(preset).with_overrides(
+        observability=True, **overrides)
     return FleetSimulator(config, seed=seed).run(PlacementPolicy.OCS)
 
 
@@ -215,8 +214,8 @@ class TestMetricsSampler:
 
     def test_bad_cadence_rejected(self):
         with pytest.raises(ConfigurationError):
-            dataclasses.replace(preset_config("tiny"),
-                                obs_sample_every_seconds=0.0)
+            preset_config("tiny").with_overrides(
+                obs_sample_every_seconds=0.0)
         with pytest.raises(ConfigurationError):
             MetricsSampler(ObsRecorder(), None, None, -1.0)
 

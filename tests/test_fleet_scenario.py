@@ -7,7 +7,6 @@ existing utilization identity, and — the paper's claim — handled
 strictly better by reconfigurable placement than by static wiring.
 """
 
-import dataclasses
 import json
 
 import pytest
@@ -313,8 +312,8 @@ class TestScenarioRuns:
             json.dumps(second.summary, sort_keys=True)
 
     def test_compare_deployment_uses_config_schedule(self):
-        config = dataclasses.replace(preset_config("tiny"),
-                                     deploy_schedule="maintenance")
+        config = preset_config("tiny").with_overrides(
+            deploy_schedule="maintenance")
         reports = compare_deployment(config, seed=0)
         expected = schedule_for("maintenance", config)
         capacity = config.total_blocks * config.horizon_seconds
@@ -323,8 +322,7 @@ class TestScenarioRuns:
 
     def test_deploy_schedule_config_field_validated(self):
         with pytest.raises(ConfigurationError, match="deploy_schedule"):
-            dataclasses.replace(preset_config("tiny"),
-                                deploy_schedule=3)
+            preset_config("tiny").with_overrides(deploy_schedule=3)
 
     def test_render_mentions_deployment_only_when_drained(self):
         config = preset_config("tiny")

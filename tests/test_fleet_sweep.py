@@ -6,7 +6,6 @@ or start order — and results always come back sorted by seed, so sweep
 output is as deterministic as the runs it aggregates.
 """
 
-import dataclasses
 import json
 
 import pytest
@@ -50,8 +49,8 @@ class TestRunSweep:
     def test_deploy_schedule_applies_inside_workers(self):
         # A preset carrying a deploy_schedule must sweep with its drain
         # windows overlaid, exactly as the CLI runs it.
-        config = dataclasses.replace(preset_config("tiny"),
-                                     deploy_schedule="deploy_week")
+        config = preset_config("tiny").with_overrides(
+            deploy_schedule="deploy_week")
         result = run_sweep(config, [0], processes=1)[0]
         windows = schedule_for("deploy_week", config).windows
         solo = FleetSimulator(config, seed=0, windows=windows).run(
@@ -127,9 +126,9 @@ class TestHyperscalePreset:
     def test_run_is_deterministic(self):
         # Two short replicas of the 64-pod scenario agree byte-for-byte
         # (full-horizon smoke lives in CI; unit tests stay fast).
-        config = dataclasses.replace(preset_config("hyperscale"),
-                                     horizon_seconds=6 * 3600.0,
-                                     arrival_window_seconds=4 * 3600.0)
+        config = preset_config("hyperscale").with_overrides(
+            horizon_seconds=6 * 3600.0,
+            arrival_window_seconds=4 * 3600.0)
         first = FleetSimulator(config, seed=0).run(PlacementPolicy.OCS)
         second = FleetSimulator(config, seed=0).run(PlacementPolicy.OCS)
         assert json.dumps(first.summary, sort_keys=True) == \

@@ -116,8 +116,8 @@ class TestRoundTrip:
         # Replay-under-different-knobs: the config changes, the dice
         # do not.
         trace = record_trace(preset_config("tiny"), seed=5)
-        harsher = dataclasses.replace(trace.config,
-                                      reconfig_base_seconds=300.0)
+        harsher = trace.config.with_overrides(
+            reconfig_base_seconds=300.0)
         replayed = FleetSimulator.from_trace(trace, config=harsher)
         assert replayed.jobs == list(trace.jobs)
         assert replayed.trace == list(trace.outages)
@@ -167,7 +167,9 @@ class TestHeaderValidation:
     def test_unknown_config_field_rejected(self, tiny_text):
         header = _line(tiny_text, 0)
         header["config"]["flux_capacitor"] = 1.21
-        with pytest.raises(TraceError, match="bad config"):
+        # Unknown keys route through FleetConfig.from_dict, which
+        # names the offender instead of a bare TypeError.
+        with pytest.raises(TraceError, match="flux_capacitor"):
             loads_trace(_mutated(tiny_text, 0, header))
 
     def test_non_object_config_rejected(self, tiny_text):
