@@ -21,6 +21,9 @@
     python -m repro fleet run --preset large --determinism fast
     python -m repro fleet serve --preset serve_surge --autoscaler reactive
     python -m repro fleet serve --autoscaler static --json
+    python -m repro fleet lint                       # lint src/repro
+    python -m repro fleet lint --json src/repro/fleet
+    python -m repro fleet lint --rules D001,D003 src/repro
 
 The `fleet` subcommands share their flag surface through common parent
 parsers: `--preset/--seed` mean the same thing everywhere they are
@@ -38,6 +41,11 @@ import argparse
 import json
 import sys
 
+from pathlib import Path
+
+import repro
+from repro.analysis import (AnalysisError, EXIT_CLEAN, EXIT_FINDINGS,
+                            EXIT_USAGE, run_lint)
 from repro.core.scheduler import PlacementPolicy, PlacementStrategy
 from repro.errors import TraceError
 from repro.experiments import list_experiments, run
@@ -51,13 +59,13 @@ from repro.fleet.trace import load_trace, save_trace, trace_of
 
 #: The fleet subcommand keywords; a bare `fleet` defaults to `run`.
 FLEET_MODES = ("run", "record", "replay", "report", "profile", "sweep",
-               "serve")
+               "serve", "lint")
 
 
 def _cmd_list(args: argparse.Namespace) -> int:
     experiments = list_experiments()
     if args.json:
-        print(json.dumps(experiments))
+        print(json.dumps(experiments, sort_keys=True))
     else:
         for experiment_id in experiments:
             print(experiment_id)
@@ -279,6 +287,36 @@ def _cmd_fleet_serve(args: argparse.Namespace) -> int:
     else:
         print(report.render())
     return 0
+
+
+def _cmd_fleet_lint(args: argparse.Namespace) -> int:
+    """Static determinism analysis over the named paths.
+
+    Exit codes follow the lint contract shared with CI: 0 clean, 1
+    unsuppressed findings, 2 usage error (unknown rule, bad path).
+    With no paths the installed `repro` package itself is linted, so
+    a bare `fleet lint` works from any directory.
+    """
+    paths = args.paths or [Path(repro.__file__).parent]
+    rule_filter = None
+    if args.rules is not None:
+        rule_filter = [rule_id.strip()
+                       for rule_id in args.rules.split(",")
+                       if rule_id.strip()]
+        if not rule_filter:
+            print("fleet lint: --rules needs at least one rule id",
+                  file=sys.stderr)
+            return EXIT_USAGE
+    try:
+        result = run_lint(paths, rule_filter=rule_filter)
+    except AnalysisError as exc:
+        print(f"fleet lint: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    if args.json:
+        print(result.to_json())
+    else:
+        print(result.render())
+    return EXIT_CLEAN if result.clean else EXIT_FINDINGS
 
 
 def _cmd_fleet(args: argparse.Namespace) -> int:
@@ -545,6 +583,21 @@ def build_parser() -> argparse.ArgumentParser:
              "serve_scenario)")
     serve_mode.set_defaults(func=_cmd_fleet_serve, mode="serve",
                             trace=None, trace_out=None)
+
+    lint_mode = fleet_sub.add_parser(
+        "lint", parents=[parents["common"]],
+        help="static determinism analysis: the detlint rule pack "
+             "over the named paths (default: the installed repro "
+             "package); exit 0 clean, 1 findings, 2 usage error")
+    lint_mode.add_argument(
+        "paths", nargs="*", metavar="PATH",
+        help="files or directories to lint (default: the repro "
+             "package)")
+    lint_mode.add_argument(
+        "--rules", default=None, metavar="IDS",
+        help="comma-separated rule ids to run (default: all; e.g. "
+             "D001,D003,C102)")
+    lint_mode.set_defaults(func=_cmd_fleet_lint, mode="lint")
 
     return parser
 

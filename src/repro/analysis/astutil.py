@@ -1,0 +1,203 @@
+"""Shared AST helpers for the detlint rule pack.
+
+Rules need three recurring capabilities: resolving what a call
+actually refers to (`np.random.shuffle` when numpy was imported
+``as np``; a bare `shuffle` after ``from random import shuffle``),
+deciding whether an expression is *unordered* (set-typed, so its
+iteration order is not part of the determinism contract), and walking
+with parent links so a rule can ask "is this call's result consumed
+by `sorted()`?".  All of it is syntactic, single-file inference —
+deliberately so: detlint trades type-checker depth for zero
+dependencies and total predictability about what fires.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+
+@dataclass(slots=True)
+class ImportMap:
+    """Top-level import bindings of one module.
+
+    `modules` maps local alias -> dotted module (``np`` ->
+    ``numpy``); `names` maps local name -> dotted origin (``shuffle``
+    -> ``random.shuffle``) for ``from x import y [as z]``.
+    """
+
+    modules: dict[str, str] = field(default_factory=dict)
+    names: dict[str, str] = field(default_factory=dict)
+
+
+def collect_imports(tree: ast.Module) -> ImportMap:
+    """Import bindings from every `import` statement in the module."""
+    imports = ImportMap()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                imports.modules[alias.asname or
+                                alias.name.split(".")[0]] = alias.name
+        elif isinstance(node, ast.ImportFrom) and node.module and \
+                node.level == 0:
+            for alias in node.names:
+                imports.names[alias.asname or alias.name] = \
+                    f"{node.module}.{alias.name}"
+    return imports
+
+
+def dotted_name(node: ast.expr) -> str | None:
+    """`a.b.c` attribute chains as a dotted string, else None."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+def resolve_call(node: ast.Call, imports: ImportMap) -> str | None:
+    """The fully-qualified dotted target of a call, when inferable.
+
+    `np.random.shuffle(x)` with ``import numpy as np`` resolves to
+    ``numpy.random.shuffle``; a bare `shuffle(x)` after ``from random
+    import shuffle`` resolves to ``random.shuffle``.  Calls through
+    arbitrary expressions (method calls on objects, subscripts)
+    resolve to None.
+    """
+    dotted = dotted_name(node.func)
+    if dotted is None:
+        return None
+    head, _, rest = dotted.partition(".")
+    if head in imports.modules:
+        origin = imports.modules[head]
+        return f"{origin}.{rest}" if rest else origin
+    if head in imports.names:
+        origin = imports.names[head]
+        return f"{origin}.{rest}" if rest else origin
+    return dotted
+
+
+def attach_parents(tree: ast.Module) -> None:
+    """Stamp a `_detlint_parent` link on every node (idempotent)."""
+    for node in ast.walk(tree):
+        for child in ast.iter_child_nodes(node):
+            child._detlint_parent = node  # type: ignore[attr-defined]
+
+
+def parent_of(node: ast.AST) -> ast.AST | None:
+    return getattr(node, "_detlint_parent", None)
+
+
+def enclosing_function(node: ast.AST) -> ast.AST | None:
+    """The nearest enclosing function/method definition, if any."""
+    current = parent_of(node)
+    while current is not None:
+        if isinstance(current, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return current
+        current = parent_of(current)
+    return None
+
+
+def is_call_to(node: ast.expr, name: str) -> bool:
+    """True for a call of the bare builtin-style name `name`."""
+    return isinstance(node, ast.Call) and \
+        isinstance(node.func, ast.Name) and node.func.id == name
+
+
+def is_dict_view(node: ast.expr) -> bool:
+    """`x.values()` / `x.items()` / `x.keys()` method calls."""
+    return (isinstance(node, ast.Call) and
+            isinstance(node.func, ast.Attribute) and
+            node.func.attr in ("values", "items", "keys") and
+            not node.args and not node.keywords)
+
+
+class _SetNameCollector(ast.NodeVisitor):
+    """Names in one scope whose every assignment is a set expression.
+
+    One non-set assignment disqualifies the name — the inference only
+    claims set-ness when every binding agrees, which keeps D001 from
+    firing on rebound temporaries.
+    """
+
+    def __init__(self) -> None:
+        self.set_assigned: set[str] = set()
+        self.otherwise_assigned: set[str] = set()
+
+    def _record(self, target: ast.expr, value: ast.expr) -> None:
+        if isinstance(target, ast.Name):
+            bucket = self.set_assigned if _is_unordered_syntax(value) \
+                else self.otherwise_assigned
+            bucket.add(target.id)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            self._record(target, node.value)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if node.value is not None:
+            self._record(node.target, node.value)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        # `s |= {...}` keeps set-ness; anything else disqualifies.
+        if isinstance(node.target, ast.Name) and \
+                not _is_unordered_syntax(node.value):
+            self.otherwise_assigned.add(node.target.id)
+        self.generic_visit(node)
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        pass  # nested scopes analyze themselves
+
+    visit_AsyncFunctionDef = visit_FunctionDef
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        pass
+
+
+def _is_unordered_syntax(node: ast.expr) -> bool:
+    """Set-ness by syntax alone (no name inference)."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name) \
+            and node.func.id in ("set", "frozenset"):
+        return True
+    if isinstance(node, ast.BinOp) and \
+            isinstance(node.op, (ast.BitOr, ast.BitAnd, ast.BitXor,
+                                 ast.Sub)):
+        return _is_unordered_syntax(node.left) or \
+            _is_unordered_syntax(node.right)
+    return False
+
+
+def set_names_in_scope(scope: ast.AST) -> set[str]:
+    """Names bound only to set expressions inside `scope`."""
+    collector = _SetNameCollector()
+    for stmt in getattr(scope, "body", []):
+        collector.visit(stmt)
+    return collector.set_assigned - collector.otherwise_assigned
+
+
+def is_unordered(node: ast.expr, set_names: set[str]) -> bool:
+    """True when iterating `node` has no contract-backed order.
+
+    Set literals/comprehensions, `set()`/`frozenset()` calls, set
+    algebra over those, and names the enclosing scope binds only to
+    such expressions.  Dict views are *not* unordered — insertion
+    order is deterministic and part of the repo's contract — they get
+    their own, narrower treatment in D005.
+    """
+    if _is_unordered_syntax(node):
+        return True
+    if isinstance(node, ast.Name) and node.id in set_names:
+        return True
+    if isinstance(node, ast.BinOp) and \
+            isinstance(node.op, (ast.BitOr, ast.BitAnd, ast.BitXor,
+                                 ast.Sub)):
+        return is_unordered(node.left, set_names) or \
+            is_unordered(node.right, set_names)
+    return False

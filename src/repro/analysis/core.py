@@ -1,0 +1,145 @@
+"""Core types of the determinism-contract static analyzer.
+
+A :class:`SourceFile` is one parsed Python file: its text, its AST,
+and every ``# detlint: ignore[...]`` suppression comment found by the
+tokenizer (so string literals that merely *mention* the marker never
+count).  A :class:`Finding` is one rule hit pinned to a file, line,
+and column; findings are value objects the engine sorts, suppresses,
+and renders — rules never print.
+
+Exit codes are part of the CLI contract and mirror the rest of the
+`fleet` surface: 0 clean, 1 unsuppressed findings, 2 usage error.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.errors import ReproError
+
+#: Exit-code contract of `fleet lint` (and :func:`run_lint` callers).
+EXIT_CLEAN = 0
+EXIT_FINDINGS = 1
+EXIT_USAGE = 2
+
+#: The suppression marker: a comment of the form
+#: ``detlint: ignore[D001]`` or ``detlint: ignore[D001,C102]``.
+#: Anything after the closing bracket is the human justification and
+#: is ignored by the parser.
+_SUPPRESSION = re.compile(
+    r"#\s*detlint:\s*ignore\[([A-Z]\d{3}(?:\s*,\s*[A-Z]\d{3})*)\]")
+
+
+class AnalysisError(ReproError):
+    """A lint target cannot be read or parsed as Python."""
+
+
+@dataclass(frozen=True, slots=True)
+class Finding:
+    """One rule violation at a source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def sort_key(self) -> tuple[str, int, int, str]:
+        return (self.path, self.line, self.col, self.rule)
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: " \
+               f"{self.rule} {self.message}"
+
+    def to_dict(self) -> dict[str, object]:
+        return {"rule": self.rule, "path": self.path, "line": self.line,
+                "col": self.col, "message": self.message}
+
+
+@dataclass(slots=True)
+class Suppression:
+    """One ``# detlint: ignore[...]`` comment.
+
+    ``line`` is the comment's own line; ``applies_to`` is the line the
+    suppression covers — the same line for a trailing comment, the
+    next line for a standalone comment (a comment with nothing but
+    whitespace before it, the form used above long statements).
+    ``used`` flips when a finding matches; suppressions that never
+    match are themselves findings (rule U100), so stale annotations
+    cannot silently rot.
+    """
+
+    path: str
+    line: int
+    applies_to: int
+    rules: tuple[str, ...]
+    used: set[str] = field(default_factory=set)
+
+
+@dataclass(slots=True)
+class SourceFile:
+    """One parsed lint target."""
+
+    path: Path
+    #: Path as reported in findings: relative to the lint root when
+    #: possible, POSIX separators always (stable across platforms).
+    display_path: str
+    text: str
+    tree: ast.Module
+    suppressions: list[Suppression]
+
+    @property
+    def posix(self) -> str:
+        """Absolute path with POSIX separators (for allowlist matching)."""
+        return self.path.as_posix()
+
+
+def _parse_suppressions(display_path: str, text: str) -> list[Suppression]:
+    """Every detlint comment in `text`, via the tokenizer."""
+    suppressions: list[Suppression] = []
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(text).readline)
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            match = _SUPPRESSION.search(token.string)
+            if match is None:
+                continue
+            line = token.start[0]
+            standalone = token.line[:token.start[1]].strip() == ""
+            suppressions.append(Suppression(
+                path=display_path, line=line,
+                applies_to=line + 1 if standalone else line,
+                rules=tuple(rule.strip()
+                            for rule in match.group(1).split(","))))
+    except tokenize.TokenError:  # pragma: no cover - ast.parse catches
+        pass
+    return suppressions
+
+
+def load_source(path: Path, root: Path | None = None) -> SourceFile:
+    """Read and parse one file; raises :class:`AnalysisError` on failure."""
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise AnalysisError(f"cannot read {path}: {exc}") from exc
+    try:
+        tree = ast.parse(text, filename=str(path))
+    except SyntaxError as exc:
+        raise AnalysisError(
+            f"cannot parse {path}: line {exc.lineno}: {exc.msg}") from exc
+    display = path
+    if root is not None:
+        try:
+            display = path.relative_to(root)
+        except ValueError:
+            pass
+    display_path = display.as_posix()
+    return SourceFile(path=path, display_path=display_path, text=text,
+                      tree=tree,
+                      suppressions=_parse_suppressions(display_path, text))

@@ -1,0 +1,182 @@
+"""The detlint engine: target collection, rule dispatch, suppression.
+
+One :func:`run_lint` call is one lint run: collect ``*.py`` targets,
+parse each once, run every selected per-file rule, then every
+selected cross-file rule over the whole set, apply
+``# detlint: ignore[...]`` suppressions, and turn suppressions that
+silenced nothing into U100 findings so annotations cannot outlive
+the hazard they excused.
+
+Cross-file rules may need schema anchors (``fleet/telemetry.py``,
+``fleet/serve/tier.py``) that the target set does not include — for
+example ``fleet lint src/repro/fleet/simulator.py``.  The
+:class:`Project` context then locates them on disk by walking up
+from an analyzed file and loads them read-only: they contribute
+schema definitions but no findings of their own.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.analysis.core import (AnalysisError, Finding, SourceFile,
+                                 load_source)
+from repro.analysis.report import LintResult
+from repro.analysis.rules import REGISTRY, rule
+
+#: Directory names never descended into when walking lint targets.
+SKIP_DIRS = frozenset({"__pycache__", ".git", ".venv", "node_modules"})
+
+
+@rule("U100", "unused-suppression",
+      "a # detlint: ignore[...] comment that silenced no finding; "
+      "delete it so annotations cannot outlive their hazard")
+def _unused_suppression_placeholder() -> list[Finding]:
+    """U100 is synthesized by the engine after suppression matching;
+    the registry entry exists so --rules, --json, and the docs table
+    see it like any other rule."""
+    return []
+
+
+def collect_targets(paths: Sequence[Path]) -> list[Path]:
+    """Every ``*.py`` under `paths`, sorted; raises on a bad path."""
+    targets: list[Path] = []
+    for path in paths:
+        if path.is_file():
+            targets.append(path)
+        elif path.is_dir():
+            targets.extend(
+                candidate for candidate in path.rglob("*.py")
+                if not any(part in SKIP_DIRS
+                           for part in candidate.parts))
+        else:
+            raise AnalysisError(f"lint target does not exist: {path}")
+    return sorted(set(targets))
+
+
+class Project:
+    """The cross-file rule context over one lint run's sources."""
+
+    def __init__(self, sources: list[SourceFile]) -> None:
+        self.sources = sources
+        self._extra: dict[str, SourceFile | None] = {}
+
+    def locate(self, suffix: str) -> SourceFile | None:
+        """A source by POSIX path suffix, loading off-target if needed.
+
+        Prefers a file already in the analyzed set; otherwise walks up
+        from each analyzed file's directory looking for the suffix
+        relative to a ``repro`` package root, so a partial lint still
+        sees the full schema definitions.
+        """
+        for source in self.sources:
+            if source.posix.endswith(suffix):
+                return source
+        if suffix in self._extra:
+            return self._extra[suffix]
+        relative = suffix.split("repro/", 1)[-1]
+        found: SourceFile | None = None
+        for source in self.sources:
+            for ancestor in source.path.resolve().parents:
+                candidate = ancestor / "repro" / relative
+                if candidate.is_file():
+                    try:
+                        found = load_source(candidate)
+                    except AnalysisError:  # pragma: no cover - racy fs
+                        found = None
+                    break
+            if found is not None:
+                break
+        self._extra[suffix] = found
+        return found
+
+
+def _select_rules(rule_filter: Iterable[str] | None) -> list[str]:
+    if rule_filter is None:
+        return list(REGISTRY)
+    selected: list[str] = []
+    for rule_id in rule_filter:
+        if rule_id not in REGISTRY:
+            raise AnalysisError(
+                f"unknown rule {rule_id!r}; known rules: "
+                f"{', '.join(REGISTRY)}")
+        if rule_id not in selected:
+            selected.append(rule_id)
+    return selected
+
+
+def run_lint(paths: Sequence[str | Path], *,
+             rule_filter: Iterable[str] | None = None,
+             root: Path | None = None) -> LintResult:
+    """Lint `paths` and return the structured result.
+
+    `root` (default: the current directory when every target is under
+    it) only affects how paths display in findings.  Raises
+    :class:`AnalysisError` for unknown rules or unreadable targets —
+    usage errors, exit code 2 at the CLI.
+    """
+    selected = _select_rules(rule_filter)
+    targets = collect_targets([Path(p) for p in paths])
+    display_root = root if root is not None else Path.cwd()
+    sources = [load_source(target, root=display_root)
+               for target in targets]
+
+    raw: list[Finding] = []
+    for rule_id in selected:
+        entry = REGISTRY[rule_id]
+        if entry.rule_id == "U100" or entry.cross_file:
+            continue
+        for source in sources:
+            raw.extend(entry.check(source))
+    project = Project(sources)
+    for rule_id in selected:
+        entry = REGISTRY[rule_id]
+        if entry.cross_file:
+            raw.extend(entry.check(project))
+    # One statement can sit inside two flagged constructs (e.g. nested
+    # loops that are both unordered); identical findings collapse.
+    raw = list(dict.fromkeys(raw))
+
+    # Suppression matching: a finding is silenced when a detlint
+    # comment on its line (or a standalone comment directly above)
+    # names its rule.  Matched suppressions are marked used.
+    by_site: dict[tuple[str, int], list] = {}
+    for source in sources:
+        for suppression in source.suppressions:
+            by_site.setdefault(
+                (suppression.path, suppression.applies_to),
+                []).append(suppression)
+    active: list[Finding] = []
+    suppressed: list[Finding] = []
+    for finding in raw:
+        silenced = False
+        for suppression in by_site.get((finding.path, finding.line),
+                                       []):
+            if finding.rule in suppression.rules:
+                suppression.used.add(finding.rule)
+                silenced = True
+        (suppressed if silenced else active).append(finding)
+
+    # Unused suppressions become findings themselves — but only for
+    # rules this run actually executed, so `--rules D001` does not
+    # condemn every D002 annotation as stale.
+    if "U100" in selected:
+        ran = set(selected)
+        for source in sources:
+            for suppression in source.suppressions:
+                for rule_id in suppression.rules:
+                    if rule_id in ran and rule_id != "U100" and \
+                            rule_id not in suppression.used:
+                        active.append(Finding(
+                            rule="U100", path=suppression.path,
+                            line=suppression.line, col=0,
+                            message=f"suppression for {rule_id} "
+                                    f"matched no finding; delete the "
+                                    f"stale annotation"))
+
+    active.sort(key=Finding.sort_key)
+    suppressed.sort(key=Finding.sort_key)
+    return LintResult(findings=active, suppressed=suppressed,
+                      files_checked=len(sources),
+                      rules_run=tuple(selected))

@@ -156,6 +156,7 @@ class TPUv4Supercomputer:
 
     def scheduled_chips(self) -> int:
         """Chips currently inside live slices."""
+        # detlint: ignore[D005] integer chip counts; order-free sum
         return sum(s.num_chips for s in self.slices.values())
 
     def utilization(self) -> float:

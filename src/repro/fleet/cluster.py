@@ -108,9 +108,14 @@ class Pod:
         """Blocks currently failed."""
         return int(np.count_nonzero(~self.up))
 
-    def jobs_on(self) -> set[int]:
-        """Ids of jobs holding any block of this pod."""
-        return set(self.owner.values())
+    def jobs_on(self) -> list[int]:
+        """Sorted ids of jobs holding any block of this pod.
+
+        Sorted so callers may iterate directly without inheriting set
+        order; scheduler consumers re-sort by their own total-order
+        keys, so the result bytes are unchanged.
+        """
+        return sorted(set(self.owner.values()))
 
     # -- placement ---------------------------------------------------------------
 

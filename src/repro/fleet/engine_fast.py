@@ -303,6 +303,7 @@ class FastMachineLedger:
         for job_id in job_ids:
             for pod_id, count in self._held_trunks.get(job_id,
                                                        {}).items():
+                # detlint: ignore[D005] integer trunk-port counts
                 budget[pod_id] += count
         return budget
 
@@ -327,8 +328,10 @@ class FastMachineLedger:
         if not ports:
             return 0
         for pod_id, count in ports.items():
+            # detlint: ignore[D005] integer trunk-port counts
             self._trunk_free[pod_id] += count
         self.trunk_release_count += 1
+        # detlint: ignore[D005] integer port counts; order-free sum
         return sum(ports.values()) // 2 * FACE_LINKS
 
     def check_trunk_accounting(self) -> None:
@@ -336,6 +339,7 @@ class FastMachineLedger:
         in_use = [0] * self._num_pods
         for ports in self._held_trunks.values():
             for pod_id, count in ports.items():
+                # detlint: ignore[D005] integer trunk-port counts
                 in_use[pod_id] += count
         for pod_id, used in enumerate(in_use):
             if self._trunk_free[pod_id] != self.trunk_ports - used:

@@ -203,6 +203,7 @@ class MachineFabric:
         for job_id in job_ids:
             for pod_id, count in self._held_trunks.get(job_id,
                                                        {}).items():
+                # detlint: ignore[D005] integer trunk-port counts
                 budget[pod_id] += count
         return budget
 
@@ -294,9 +295,11 @@ class MachineFabric:
             removed += pod.release(job_id)
         ports = self._held_trunks.pop(job_id, {})
         for pod_id, count in ports.items():
+            # detlint: ignore[D005] integer trunk-port counts
             self._trunk_free[pod_id] += count
         if ports:
             self.trunk_release_count += 1
+        # detlint: ignore[D005] integer port counts; order-free sum
         removed += sum(ports.values()) // 2 * FACE_LINKS
         return removed
 
@@ -307,6 +310,7 @@ class MachineFabric:
         in_use = [0] * self.num_pods
         for ports in self._held_trunks.values():
             for pod_id, count in ports.items():
+                # detlint: ignore[D005] integer trunk-port counts
                 in_use[pod_id] += count
         for pod_id, used in enumerate(in_use):
             if self._trunk_free[pod_id] != self.trunk_ports - used:

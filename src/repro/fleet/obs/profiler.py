@@ -17,6 +17,17 @@ run still produces byte-identical results.
 Phases nest: the placement/defrag/cross-pod/preemption rungs run
 inside ``dispatch``, which runs inside event application.  The report
 prints leaf phases as shares of total run wall, not as a partition.
+
+This module is also the anchor of detlint's **D002 wall-clock
+allowlist** (``repro.analysis.determinism``).  The static analyzer
+bans host-clock reads everywhere in the package, with exactly two
+exemptions: this file wholesale (measuring host time *is* its job),
+and — in ``fleet/simulator.py`` and ``fleet/engine_fast.py`` — only
+functions that stamp a profiler's ``run_seconds``, which pins the
+engines' best-of-N timing reads and nothing else.  Adding a
+``time.*`` call anywhere outside those sites fails the CI lint gate;
+if a new sanctioned reader is ever needed, extend the allowlist in
+``repro/analysis/determinism.py`` alongside a justification here.
 """
 
 from __future__ import annotations

@@ -118,16 +118,19 @@ class FleetTelemetry:
     @property
     def preemption_events(self) -> int:
         """Total preemptions across jobs."""
+        # detlint: ignore[D005] integer counters; order-free sum
         return sum(r.preemptions for r in self.records.values())
 
     @property
     def defrag_migrations(self) -> int:
         """Total defrag migrations, rolled up from per-job records."""
+        # detlint: ignore[D005] integer counters; order-free sum
         return sum(r.migrations for r in self.records.values())
 
     @property
     def cross_pod_placements(self) -> int:
         """Total cross-pod slice starts, rolled up from per-job records."""
+        # detlint: ignore[D005] integer counters; order-free sum
         return sum(r.cross_pod_placements for r in self.records.values())
 
     def record_for(self, job) -> JobRecord:

@@ -74,15 +74,18 @@ class ComputationGraph:
 
     def total_flops(self) -> float:
         """Sum of global FLOPs over all ops."""
+        # detlint: ignore[D005] _ops preserves deterministic build order
         return sum(op.flops() for op in self._ops.values())
 
     def matmul_flops(self) -> float:
         """FLOPs in dense matmuls only (the MXU share)."""
+        # detlint: ignore[D005] _ops preserves deterministic build order
         return sum(op.flops() for op in self._ops.values()
                    if isinstance(op, MatMulOp))
 
     def parameter_bytes(self) -> float:
         """Total weight bytes (global, before sharding)."""
+        # detlint: ignore[D005] _ops preserves deterministic build order
         return sum(op.output.num_bytes for op in self._ops.values()
                    if isinstance(op, ParameterOp))
 

@@ -58,6 +58,7 @@ class ShardedGraph:
 
     def per_chip_flops(self) -> float:
         """Total per-chip compute FLOPs (collectives excluded)."""
+        # detlint: ignore[D005] local_flops mirrors the graph's build order
         return sum(flops for name, flops in self.local_flops.items()
                    if not self.graph.op(name).is_collective)
 

@@ -59,6 +59,7 @@ def max_min_fair_rates(
         bottleneck_share = None
         bottleneck_link = None
         for link, flows_on_link in usage_count.items():
+            # detlint: ignore[D005] integer multiplicities; order-free
             weight = sum(mult for fid, mult in flows_on_link.items()
                          if fid in active)
             if weight == 0:

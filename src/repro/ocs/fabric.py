@@ -84,6 +84,7 @@ class OCSFabric:
 
     def total_circuits(self) -> int:
         """Live circuits across all switches."""
+        # detlint: ignore[D005] integer circuit counts; order-free sum
         return sum(s.num_circuits for s in self.switches.values())
 
     def circuits(self) -> Iterator[tuple[int, int, int, int]]:

@@ -134,6 +134,7 @@ class Topology:
     @property
     def num_links(self) -> int:
         """Total undirected link count including parallel links."""
+        # detlint: ignore[D005] integer multiplicities; order-free sum
         return sum(self._multiplicity.values())
 
     # -- exports ---------------------------------------------------------------

@@ -54,6 +54,7 @@ def average_distance(topology: Topology) -> float:
         dist = bfs_distances(topology, source)
         if len(dist) != topology.num_nodes:
             raise TopologyError("topology is disconnected")
+        # detlint: ignore[D005] integer hop counts; order-free sum
         total += sum(dist.values())
         pairs += len(dist) - 1
     return total / pairs

@@ -319,6 +319,10 @@ class TestFleetFlagMatrix:
         ["fleet", "run", "--autoscaler", "reactive"],
         ["fleet", "serve", "--policy", "both"],
         ["fleet", "serve", "--trace-out", "x.json"],
+        ["fleet", "lint", "--preset", "tiny"],
+        ["fleet", "lint", "--seed", "1"],
+        ["fleet", "lint", "--policy", "both"],
+        ["fleet", "lint", "--determinism", "fast"],
     ])
     def test_unsupported_combinations_rejected(self, argv):
         from repro.__main__ import main
@@ -327,7 +331,7 @@ class TestFleetFlagMatrix:
     def test_every_mode_has_a_subparser(self):
         from repro.__main__ import FLEET_MODES
         assert FLEET_MODES == ("run", "record", "replay", "report",
-                               "profile", "sweep", "serve")
+                               "profile", "sweep", "serve", "lint")
 
     def test_serve_quickstart(self, capsys):
         from repro.__main__ import main
@@ -353,3 +357,56 @@ class TestFleetFlagMatrix:
                      "--json"]) == 0
         payload = json.loads(capsys.readouterr().out)
         assert payload["serve"]["scale_downs"] == 0
+
+
+class TestFleetLintCLI:
+    """`fleet lint` rows of the CLI contract: shared --json, stable
+    exit codes (0 clean / 1 findings / 2 usage), path arguments."""
+
+    def _clean_file(self, tmp_path):
+        target = tmp_path / "clean.py"
+        target.write_text("VALUES = [1, 2, 3]\n"
+                          "TOTAL = sum(VALUES)\n")
+        return target
+
+    def _dirty_file(self, tmp_path):
+        target = tmp_path / "dirty.py"
+        target.write_text("import time\n"
+                          "STAMP = time.time()\n")
+        return target
+
+    def test_clean_target_exits_zero(self, tmp_path, capsys):
+        from repro.__main__ import main
+        assert main(["fleet", "lint", str(self._clean_file(tmp_path))]) == 0
+        assert "0 findings" in capsys.readouterr().out
+
+    def test_findings_exit_one(self, tmp_path, capsys):
+        from repro.__main__ import main
+        assert main(["fleet", "lint", str(self._dirty_file(tmp_path))]) == 1
+        assert "D002" in capsys.readouterr().out
+
+    def test_json_flag_shared_shape(self, tmp_path, capsys):
+        from repro.__main__ import main
+        assert main(["fleet", "lint", "--json",
+                     str(self._dirty_file(tmp_path))]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema"] == "repro.detlint"
+        assert payload["counts"]["findings"] == 1
+        assert payload["findings"][0]["rule"] == "D002"
+
+    def test_unknown_rule_is_usage_error(self, tmp_path, capsys):
+        from repro.__main__ import main
+        assert main(["fleet", "lint", "--rules", "D999",
+                     str(self._clean_file(tmp_path))]) == 2
+        assert "unknown rule" in capsys.readouterr().err
+
+    def test_missing_path_is_usage_error(self, tmp_path, capsys):
+        from repro.__main__ import main
+        assert main(["fleet", "lint", str(tmp_path / "absent.py")]) == 2
+        assert "does not exist" in capsys.readouterr().err
+
+    def test_rules_filter_narrows_the_run(self, tmp_path, capsys):
+        from repro.__main__ import main
+        # The D002 hazard is invisible to a D001-only run.
+        assert main(["fleet", "lint", "--rules", "D001",
+                     str(self._dirty_file(tmp_path))]) == 0

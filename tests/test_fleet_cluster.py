@@ -49,7 +49,7 @@ class TestPod:
         pod = Pod(0, 8)
         pod.assign([1, 2], job_id=7)
         assert pod.num_free == 6
-        assert pod.jobs_on() == {7}
+        assert pod.jobs_on() == [7]
         assert pod.release(7) == [1, 2]
         assert pod.num_free == 8
 
